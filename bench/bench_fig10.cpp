@@ -1,0 +1,67 @@
+// Figure 10 — total execution time (a) and response time (b) as the number
+// of component databases is adjusted (paper §4.2, second experiment).
+//
+// Paper shapes to reproduce:
+//   (a) the localized approaches' total time grows faster than CA's, since
+//       R_iso = 1 - 0.9^(N_db-1) raises the number of assistant objects to
+//       check and simultaneous transfers contend on the shared network;
+//       PL's total time eventually crosses above CA's.
+//   (b) BL's and PL's response time stays below CA's throughout.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isomer;
+  using namespace isomer::bench;
+  const HarnessOptions options = parse_options(argc, argv);
+
+  std::vector<StrategyKind> kinds(std::begin(kPaperStrategies),
+                                  std::end(kPaperStrategies));
+  if (options.run_signatures) {
+    kinds.push_back(StrategyKind::BLS);
+    kinds.push_back(StrategyKind::PLS);
+  }
+
+  const std::size_t db_counts[] = {2, 3, 4, 5, 6, 7, 8};
+
+  std::vector<std::vector<SeriesPoint>> rows;
+  for (const std::size_t n_db : db_counts) {
+    ParamConfig config;  // Table-2 defaults
+    config.n_db = n_db;
+    apply_scale(config, options.scale);
+    rows.push_back(run_point(config, kinds, options.samples, options.seed));
+  }
+
+  print_header("Figure 10(a): total execution time [s] vs N_db", "N_db",
+               kinds, options);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    print_row(static_cast<double>(db_counts[i]), rows[i], /*response=*/false);
+  std::printf("\n");
+  print_header("Figure 10(b): response time [s] vs N_db", "N_db", kinds,
+               options);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    print_row(static_cast<double>(db_counts[i]), rows[i], /*response=*/true);
+
+  // Supplementary panel: the same sweep on a collision-prone shared medium
+  // (CSMA/CD-style; contention burns bandwidth instead of merely delaying
+  // transfers). This is where the paper's "PL's total execution time even
+  // passes CA's" crossover emerges — the localized approaches' deliberately
+  // simultaneous transfers pay a growing collision tax as N_db rises. See
+  // EXPERIMENTS.md and bench_ablation for the full analysis.
+  std::vector<std::vector<SeriesPoint>> collision_rows;
+  for (const std::size_t n_db : db_counts) {
+    ParamConfig config;
+    config.n_db = n_db;
+    apply_scale(config, options.scale);
+    collision_rows.push_back(run_point(config, kinds, options.samples,
+                                       options.seed,
+                                       NetworkTopology::CollisionBus));
+  }
+  std::printf("\n");
+  print_header(
+      "Figure 10(a'), collision-bus network: total execution time [s] vs "
+      "N_db",
+      "N_db", kinds, options);
+  for (std::size_t i = 0; i < collision_rows.size(); ++i)
+    print_row(static_cast<double>(db_counts[i]), collision_rows[i], false);
+  return 0;
+}

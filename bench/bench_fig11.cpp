@@ -1,0 +1,48 @@
+// Figure 11 — total execution time (a) and response time (b) as the
+// selectivity of one local predicate is adjusted (paper §4.2, third
+// experiment). N_o is set to 1000-2000 for this experiment, as in the paper.
+//
+// Paper shapes to reproduce:
+//   (a) CA is flat — it ships everything regardless of selectivity — while
+//       BL and PL rise with selectivity (fewer objects eliminated locally
+//       means more data transferred and integrated), BL rising faster than
+//       PL (the selectivity also governs how many assistants BL checks,
+//       whereas PL checks them for all objects regardless).
+//   (b) same ordering on response time.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isomer;
+  using namespace isomer::bench;
+  const HarnessOptions options = parse_options(argc, argv);
+
+  std::vector<StrategyKind> kinds(std::begin(kPaperStrategies),
+                                  std::end(kPaperStrategies));
+  if (options.run_signatures) {
+    kinds.push_back(StrategyKind::BLS);
+    kinds.push_back(StrategyKind::PLS);
+  }
+
+  const double selectivities[] = {0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9};
+
+  std::vector<std::vector<SeriesPoint>> rows;
+  for (const double selectivity : selectivities) {
+    ParamConfig config;
+    config.n_objects = {1000, 2000};  // the paper's Fig. 11 setting
+    config.forced_root_selectivity = selectivity;
+    apply_scale(config, options.scale);
+    rows.push_back(
+        run_point(config, kinds, options.samples, options.seed));
+  }
+
+  print_header("Figure 11(a): total execution time [s] vs selectivity",
+               "selectivity", kinds, options);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    print_row(selectivities[i], rows[i], /*response=*/false);
+  std::printf("\n");
+  print_header("Figure 11(b): response time [s] vs selectivity",
+               "selectivity", kinds, options);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    print_row(selectivities[i], rows[i], /*response=*/true);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9 — total execution time (a) and response time (b) as the average
+// number of objects in each constituent class is adjusted (paper §4.2,
+// first experiment). Everything else is at the Table-2 defaults.
+//
+// Paper shapes to reproduce:
+//   (a) BL and PL total time below CA; BL below PL.
+//   (b) BL/PL response time far below CA (inter-site parallelism).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isomer;
+  using namespace isomer::bench;
+  const HarnessOptions options = parse_options(argc, argv);
+
+  std::vector<StrategyKind> kinds(std::begin(kPaperStrategies),
+                                  std::end(kPaperStrategies));
+  if (options.run_signatures) {
+    kinds.push_back(StrategyKind::BLS);
+    kinds.push_back(StrategyKind::PLS);
+  }
+
+  // Sweep the centre of the N_o range; the paper's default band is
+  // 5000-6000, its Fig. 11 variant drops to 1000-2000, so sweep 1000..6000.
+  const int centers[] = {1000, 2000, 3000, 4000, 5000, 6000};
+
+  std::vector<std::vector<SeriesPoint>> rows;
+  for (const int center : centers) {
+    ParamConfig config;  // Table-2 defaults
+    config.n_objects = {center, center + 1000};
+    apply_scale(config, options.scale);
+    rows.push_back(run_point(config, kinds, options.samples, options.seed));
+  }
+
+  print_header("Figure 9(a): total execution time [s] vs N_o", "N_o", kinds,
+               options);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    print_row(centers[i], rows[i], /*response=*/false);
+  std::printf("\n");
+  print_header("Figure 9(b): response time [s] vs N_o", "N_o", kinds, options);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    print_row(centers[i], rows[i], /*response=*/true);
+  return 0;
+}

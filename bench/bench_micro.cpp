@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) of the building blocks: extent scans,
+// three-valued predicate evaluation, GOid-table probes, outerjoin
+// materialization, signature screening, and the discrete-event engine.
+// These measure the *wall-clock* cost of the library itself, not simulated
+// time — useful when sizing full-scale (--paper) harness runs.
+#include <benchmark/benchmark.h>
+
+#include "isomer/core/local_exec.hpp"
+#include "isomer/core/strategy.hpp"
+#include "isomer/federation/materializer.hpp"
+#include "isomer/sim/barrier.hpp"
+#include "isomer/workload/synth.hpp"
+
+namespace {
+
+using namespace isomer;
+
+SynthFederation make_synth(int objects, std::size_t n_db = 3) {
+  Rng rng(1234);
+  ParamConfig config;
+  config.n_db = n_db;
+  config.n_objects = {objects, objects};
+  config.n_classes = {3, 3};
+  config.n_preds = {2, 2};
+  SampleParams sample = draw_sample(config, rng);
+  return materialize_sample(sample);
+}
+
+void BM_ExtentScan(benchmark::State& state) {
+  const SynthFederation synth = make_synth(static_cast<int>(state.range(0)));
+  const ComponentDatabase& db = synth.federation->db(DbId{1});
+  for (auto _ : state) {
+    AccessMeter meter;
+    benchmark::DoNotOptimize(db.scan("C1", &meter));
+    benchmark::DoNotOptimize(meter.objects_scanned);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExtentScan)->Arg(1000)->Arg(5000);
+
+void BM_LocalQueryEvaluation(benchmark::State& state) {
+  const SynthFederation synth = make_synth(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    LocalExecution exec =
+        run_local_query(*synth.federation, synth.query, DbId{1});
+    benchmark::DoNotOptimize(exec.rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LocalQueryEvaluation)->Arg(1000)->Arg(5000);
+
+void BM_GoidProbe(benchmark::State& state) {
+  const SynthFederation synth = make_synth(2000);
+  const GoidTable& goids = synth.federation->goids();
+  const ComponentDatabase& db = synth.federation->db(DbId{1});
+  std::vector<LOid> ids;
+  for (const Object& obj : db.extent("C1").objects()) ids.push_back(obj.id());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(goids.goid_of(ids[i++ % ids.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoidProbe);
+
+void BM_Materialize(benchmark::State& state) {
+  const SynthFederation synth = make_synth(static_cast<int>(state.range(0)));
+  const auto classes =
+      classes_involved(synth.federation->schema(), synth.query);
+  for (auto _ : state) {
+    MaterializedView view = materialize(*synth.federation, classes);
+    benchmark::DoNotOptimize(view.extent(synth.query.range_class).size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Materialize)->Arg(1000)->Arg(5000);
+
+void BM_SignatureBuild(benchmark::State& state) {
+  const SynthFederation synth = make_synth(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    SignatureIndex index = SignatureIndex::build(*synth.federation);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SignatureBuild)->Arg(1000);
+
+void BM_SignatureScreen(benchmark::State& state) {
+  const SynthFederation synth = make_synth(2000);
+  const SignatureIndex index = SignatureIndex::build(*synth.federation);
+  const ComponentDatabase& db = synth.federation->db(DbId{1});
+  std::vector<LOid> ids;
+  for (const Object& obj : db.extent("C2").objects()) ids.push_back(obj.id());
+  const Value literal{std::int64_t{0}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.screen(ids[i++ % ids.size()], "p0", literal));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SignatureScreen);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Resource resource(sim, "r");
+    auto barrier = Barrier::create(10000, [] {});
+    for (int i = 0; i < 10000; ++i) resource.use(10, barrier->arrival());
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_FullStrategyExecution(benchmark::State& state) {
+  const SynthFederation synth = make_synth(static_cast<int>(state.range(1)));
+  const auto kind = static_cast<StrategyKind>(state.range(0));
+  StrategyOptions options;
+  options.record_trace = false;
+  for (auto _ : state) {
+    StrategyReport report =
+        execute_strategy(kind, *synth.federation, synth.query, options);
+    benchmark::DoNotOptimize(report.total_ns);
+  }
+}
+BENCHMARK(BM_FullStrategyExecution)
+    ->Args({static_cast<int>(StrategyKind::CA), 2000})
+    ->Args({static_cast<int>(StrategyKind::BL), 2000})
+    ->Args({static_cast<int>(StrategyKind::PL), 2000});
+
+}  // namespace
+
+BENCHMARK_MAIN();

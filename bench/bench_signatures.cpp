@@ -1,0 +1,49 @@
+// Extension experiment — signature-assisted localized approaches (paper §3
+// intro and §5 future work; Table 1's S_s, Table 2's R_ss).
+//
+// A replicated signature index lets the home database discard candidate
+// assistant objects that provably violate an equality predicate without
+// shipping them, reducing data transfer at no change in the answers. This
+// harness reruns the Fig. 10 sweep with BL/PL against BL-S/PL-S and reports
+// both total time and bytes shipped.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace isomer;
+  using namespace isomer::bench;
+  HarnessOptions options = parse_options(argc, argv);
+  if (!options.samples_set) options.samples = 10;
+  if (!options.scale_set) options.scale = 0.5;
+
+  const std::vector<StrategyKind> kinds = {
+      StrategyKind::BL, StrategyKind::BLS, StrategyKind::PL,
+      StrategyKind::PLS};
+
+  const std::size_t db_counts[] = {2, 4, 6, 8};
+
+  std::vector<std::vector<SeriesPoint>> rows;
+  for (const std::size_t n_db : db_counts) {
+    ParamConfig config;
+    config.n_db = n_db;
+    apply_scale(config, options.scale);
+    rows.push_back(run_point(config, kinds, options.samples, options.seed));
+  }
+
+  print_header("Signatures: total execution time [s] vs N_db", "N_db", kinds,
+               options);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    print_row(static_cast<double>(db_counts[i]), rows[i], /*response=*/false);
+
+  std::printf("\n# Signatures: network bytes shipped [MB] vs N_db\n");
+  std::printf("%-12s", "N_db");
+  for (const StrategyKind kind : kinds)
+    std::printf(" %10s", std::string(to_string(kind)).c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::printf("%-12zu", db_counts[i]);
+    for (const SeriesPoint& point : rows[i])
+      std::printf(" %10.4f", point.bytes_mb);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Table 1 — the system parameters. Prints the table and verifies that the
+// library defaults are exactly the paper's values (exits non-zero on any
+// mismatch, so the harness doubles as a regression check).
+#include <cstdio>
+
+#include "isomer/sim/cost_params.hpp"
+
+int main() {
+  using namespace isomer;
+  const CostParams params;
+
+  std::printf("# Table 1: the system parameters\n");
+  std::printf("%-8s %-55s %s\n", "param", "description", "setting");
+  std::printf("%-8s %-55s %llu bytes\n", "S_a", "average size of attributes",
+              static_cast<unsigned long long>(params.attr_bytes));
+  std::printf("%-8s %-55s %llu bytes\n", "S_GOid", "size of GOid",
+              static_cast<unsigned long long>(params.goid_bytes));
+  std::printf("%-8s %-55s %llu bytes\n", "S_LOid", "size of LOid",
+              static_cast<unsigned long long>(params.loid_bytes));
+  std::printf("%-8s %-55s %llu bytes\n", "S_s", "size of object signatures",
+              static_cast<unsigned long long>(params.sig_bytes));
+  std::printf("%-8s %-55s %.0f us/byte\n", "T_d", "average disk access time",
+              static_cast<double>(params.disk_ns_per_byte) / 1000.0);
+  std::printf("%-8s %-55s %.0f us/byte\n", "T_net",
+              "average network transfer time",
+              static_cast<double>(params.net_ns_per_byte) / 1000.0);
+  std::printf("%-8s %-55s %.1f us/comparison\n", "T_c",
+              "average cpu processing time",
+              static_cast<double>(params.cpu_ns_per_cmp) / 1000.0);
+  std::printf("%-8s %-55s %.0f\n", "N_iso",
+              "average number of isomeric objects per real-world entity",
+              params.avg_isomers);
+
+  int failures = 0;
+  const auto check = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "MISMATCH vs paper: %s\n", what);
+      ++failures;
+    }
+  };
+  check(params.attr_bytes == 32, "S_a must be 32 bytes");
+  check(params.goid_bytes == 16, "S_GOid must be 16 bytes");
+  check(params.loid_bytes == 16, "S_LOid must be 16 bytes");
+  check(params.sig_bytes == 32, "S_s must be 32 bytes");
+  check(params.disk_ns_per_byte == 15'000, "T_d must be 15 us/byte");
+  check(params.net_ns_per_byte == 8'000, "T_net must be 8 us/byte");
+  check(params.cpu_ns_per_cmp == 500, "T_c must be 0.5 us/comparison");
+  check(params.avg_isomers == 2.0, "N_iso must be 2");
+  std::printf("\n%s\n", failures == 0 ? "all defaults match the paper"
+                                      : "DEFAULTS DIVERGE FROM THE PAPER");
+  return failures == 0 ? 0 : 1;
+}

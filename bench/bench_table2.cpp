@@ -1,0 +1,175 @@
+// Table 2 — the database and query parameters. Prints the parameter table
+// with its sampling formulas, then validates the workload generator
+// empirically: drawn values must stay within the paper's ranges, the
+// derived ratios must follow the paper's formulas, and materialized
+// federations must realize the drawn statistics (predicate selectivity,
+// isomerism ratio, missing-data ratio) within sampling tolerance.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "isomer/workload/synth.hpp"
+
+namespace {
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+void check_near(double actual, double expected, double tolerance,
+                const char* what) {
+  if (std::abs(actual - expected) > tolerance) {
+    std::fprintf(stderr, "FAIL: %s (actual %.4f, expected %.4f +- %.4f)\n",
+                 what, actual, expected, tolerance);
+    ++failures;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace isomer;
+
+  std::printf("# Table 2: the database and query parameters\n");
+  std::printf("%-11s %-52s %s\n", "param", "description", "default setting");
+  std::printf("%-11s %-52s %s\n", "N_db", "number of component databases",
+              "3");
+  std::printf("%-11s %-52s %s\n", "N_c", "number of global classes involved",
+              "1 ~ 4");
+  std::printf("%-11s %-52s %s\n", "N_p^k", "predicates on the class", "0 ~ 3");
+  std::printf("%-11s %-52s %s\n", "R_ps^k", "selectivity of the predicates",
+              "0.45^sqrt(N_p^k)");
+  std::printf("%-11s %-52s %s\n", "R_r^k", "ratio of objects to be referenced",
+              "0.5 ~ 1");
+  std::printf("%-11s %-52s %s\n", "R_iso^k",
+              "ratio of objects having isomeric objects",
+              "1 - 0.9^(N_db-1)");
+  std::printf("%-11s %-52s %s\n", "N_o^{i,k}", "number of objects",
+              "5000 ~ 6000");
+  std::printf("%-11s %-52s %s\n", "N_pa^{i,k}",
+              "attributes involved in the local predicates", "0 ~ N_p^k");
+  std::printf("%-11s %-52s %s\n", "N_ta^{i,k}",
+              "target attributes in the subquery", "0 ~ 2");
+  std::printf("%-11s %-52s %s\n", "R_pps^{i,k}",
+              "selectivity of the local predicates",
+              "0.45^sqrt(N_pa^{i,k})");
+  std::printf("%-11s %-52s %s\n", "R_m^{i,k}",
+              "ratio of objects which have missing data",
+              "1 if N_p^k > N_pa^{i,k}, else 0 ~ 0.2");
+  std::printf("%-11s %-52s %s\n", "R_as^{i,k}",
+              "selectivity of predicates on assistant objects",
+              "0.55^sqrt(N_p^k - N_pa^{i,k})");
+  std::printf("%-11s %-52s %s\n", "R_ss^{i,k}",
+              "selectivity on signatures of assistant objects",
+              "0.6^sqrt(N_p^k - N_pa^{i,k})");
+
+  // ---- Range validation over many drawn samples.
+  {
+    ParamConfig config;
+    Rng rng(1);
+    double sum_objects = 0;
+    std::uint64_t n_objects_draws = 0;
+    for (int s = 0; s < 5000; ++s) {
+      const SampleParams sample = draw_sample(config, rng);
+      check(sample.n_classes() >= 1 && sample.n_classes() <= 4,
+            "N_c within 1..4");
+      check(sample.n_db == 3, "N_db default is 3");
+      check_near(sample.iso_ratio, 1.0 - std::pow(0.9, 2), 1e-12,
+                 "R_iso = 1 - 0.9^(N_db-1)");
+      for (const auto& cls : sample.classes) {
+        check(cls.n_preds >= 0 && cls.n_preds <= 3, "N_p within 0..3");
+        check(cls.ref_ratio >= 0.5 && cls.ref_ratio <= 1.0,
+              "R_r within 0.5..1");
+        if (cls.n_preds > 0) {
+          const double combined =
+              std::pow(cls.pred_selectivity, cls.n_preds);
+          check_near(combined,
+                     std::pow(0.45, std::sqrt((double)cls.n_preds)), 1e-9,
+                     "R_ps = 0.45^sqrt(N_p)");
+        }
+        for (const auto& db : cls.dbs) {
+          check(db.n_objects >= 5000 && db.n_objects <= 6000,
+                "N_o within 5000..6000");
+          sum_objects += db.n_objects;
+          ++n_objects_draws;
+          check(db.present_preds.size() <=
+                    static_cast<std::size_t>(cls.n_preds),
+                "N_pa <= N_p");
+          if (db.present_preds.size() ==
+              static_cast<std::size_t>(cls.n_preds))
+            check(db.extra_missing >= 0.0 && db.extra_missing <= 0.2,
+                  "R_m within 0..0.2 when nothing schema-missing");
+          else
+            check(db.extra_missing == 0.0,
+                  "R_m implied 1 via schema-missing attributes");
+        }
+      }
+    }
+    check_near(sum_objects / static_cast<double>(n_objects_draws), 5500.0,
+               25.0, "mean N_o ~ 5500");
+  }
+
+  // ---- Realized statistics on materialized federations (small N_o).
+  {
+    ParamConfig config;
+    config.n_objects = {800, 1000};
+    Rng rng(2);
+    for (int s = 0; s < 5; ++s) {
+      const SampleParams sample = draw_sample(config, rng);
+      const SynthFederation synth = materialize_sample(sample);
+      const Federation& fed = *synth.federation;
+
+      // Realized isomerism ratio across root-class objects.
+      std::uint64_t with_isomers = 0, total = 0;
+      const GoidTable& goids = fed.goids();
+      for (std::size_t e = 0; e < goids.entity_count(); ++e) {
+        const GOid entity{static_cast<std::uint64_t>(e + 1)};
+        const std::size_t copies = goids.isomers_of(entity).size();
+        total += copies;
+        if (copies > 1) with_isomers += copies;
+      }
+      check_near(static_cast<double>(with_isomers) /
+                     static_cast<double>(total),
+                 sample.iso_ratio, 0.05, "realized R_iso matches drawn");
+
+      // Realized selectivity of the root class's first predicate attribute.
+      const auto& root = sample.classes[0];
+      if (root.n_preds > 0) {
+        for (const DbId db_id : fed.db_ids()) {
+          const std::size_t i = static_cast<std::size_t>(db_id.value() - 1);
+          const auto& present = root.dbs[i].present_preds;
+          if (present.empty()) continue;
+          const std::string attr = "p" + std::to_string(present[0]);
+          const ComponentDatabase& db = fed.db(db_id);
+          const ClassDef& cls = db.schema().cls("C1");
+          const auto index = cls.find_attribute(attr);
+          std::uint64_t zero = 0, nonnull = 0;
+          for (const Object& obj : db.extent("C1").objects()) {
+            const Value& v = obj.value(*index);
+            if (v.is_null()) continue;
+            ++nonnull;
+            if (v == Value(0)) ++zero;
+          }
+          if (nonnull > 200)
+            check_near(static_cast<double>(zero) /
+                           static_cast<double>(nonnull),
+                       root.pred_selectivity, 0.08,
+                       "realized predicate selectivity matches drawn");
+        }
+      }
+
+      check(fed.check_consistency().empty(),
+            "materialized federation is consistent");
+    }
+  }
+
+  std::printf("\n%s\n", failures == 0
+                            ? "generator conforms to Table 2"
+                            : "GENERATOR DIVERGES FROM TABLE 2");
+  return failures == 0 ? 0 : 1;
+}

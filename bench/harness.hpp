@@ -1,0 +1,149 @@
+// Shared infrastructure for the figure-regeneration harnesses.
+//
+// Each bench_figN binary sweeps one Table-2 parameter exactly as §4.2
+// describes, runs `--samples` random parameter sets per point through the
+// discrete-event simulator (the paper uses 500; the default here is smaller
+// so the full suite finishes in minutes — pass --samples=500 --scale=1 for
+// the paper's exact setting), and prints the averaged total execution time
+// and response time per strategy.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "isomer/core/strategy.hpp"
+#include "isomer/workload/synth.hpp"
+
+namespace isomer::bench {
+
+struct HarnessOptions {
+  int samples = 15;      ///< parameter sets per sweep point (paper: 500)
+  double scale = 1.0;    ///< multiplier on N_o (1.0 = paper scale)
+  std::uint64_t seed = 1996;
+  bool run_signatures = false;  ///< also run BL-S / PL-S
+  bool samples_set = false;     ///< user passed --samples / --paper / --quick
+  bool scale_set = false;       ///< user passed --scale / --paper / --quick
+};
+
+inline HarnessOptions parse_options(int argc, char** argv) {
+  HarnessOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--samples=")) {
+      options.samples = std::atoi(v);
+      options.samples_set = true;
+    } else if (const char* v = value("--scale=")) {
+      options.scale = std::atof(v);
+      options.scale_set = true;
+    } else if (const char* v = value("--seed=")) {
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--signatures") {
+      options.run_signatures = true;
+    } else if (arg == "--paper") {
+      options.samples = 500;
+      options.scale = 1.0;
+      options.samples_set = options.scale_set = true;
+    } else if (arg == "--quick") {
+      options.samples = 8;
+      options.scale = 0.1;
+      options.samples_set = options.scale_set = true;
+    }
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--samples=N] [--scale=F] [--seed=S] "
+                   "[--signatures] [--paper] [--quick]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+/// Applies the scale factor to the Table-2 object-count range.
+inline void apply_scale(ParamConfig& config, double scale) {
+  config.n_objects.first =
+      std::max(1, static_cast<int>(config.n_objects.first * scale));
+  config.n_objects.second =
+      std::max(config.n_objects.first,
+               static_cast<int>(config.n_objects.second * scale));
+}
+
+/// Averaged simulated times (seconds) for one strategy at one sweep point.
+struct SeriesPoint {
+  double total_s = 0;
+  double response_s = 0;
+  double bytes_mb = 0;
+  double messages = 0;
+};
+
+/// Runs `samples` random parameter sets drawn from `config` and averages
+/// each requested strategy's figures.
+inline std::vector<SeriesPoint> run_point(
+    const ParamConfig& config, const std::vector<StrategyKind>& kinds,
+    int samples, std::uint64_t seed,
+    NetworkTopology topology = NetworkTopology::SharedBus,
+    double collision_alpha = 0.3) {
+  Rng rng(seed);
+  StrategyOptions exec_options;
+  exec_options.record_trace = false;
+  exec_options.topology = topology;
+  exec_options.costs.collision_alpha = collision_alpha;
+  std::vector<SeriesPoint> points(kinds.size());
+  for (int s = 0; s < samples; ++s) {
+    const SampleParams sample = draw_sample(config, rng);
+    const SynthFederation synth = materialize_sample(sample);
+    // Reuse one signature index across the signature variants.
+    std::unique_ptr<SignatureIndex> signatures;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      StrategyOptions options = exec_options;
+      if (kinds[k] == StrategyKind::BLS || kinds[k] == StrategyKind::PLS) {
+        if (!signatures)
+          signatures = std::make_unique<SignatureIndex>(
+              SignatureIndex::build(*synth.federation));
+        options.signatures = signatures.get();
+      }
+      const StrategyReport report =
+          execute_strategy(kinds[k], *synth.federation, synth.query, options);
+      points[k].total_s += to_seconds(report.total_ns);
+      points[k].response_s += to_seconds(report.response_ns);
+      points[k].bytes_mb +=
+          static_cast<double>(report.bytes_transferred) / 1e6;
+      points[k].messages += static_cast<double>(report.messages);
+    }
+  }
+  for (SeriesPoint& point : points) {
+    point.total_s /= samples;
+    point.response_s /= samples;
+    point.bytes_mb /= samples;
+    point.messages /= samples;
+  }
+  return points;
+}
+
+inline void print_header(const char* figure, const char* x_name,
+                         const std::vector<StrategyKind>& kinds,
+                         const HarnessOptions& options) {
+  std::printf("# %s — %d samples/point, N_o scale %.2f (paper: 500 / 1.0)\n",
+              figure, options.samples, options.scale);
+  std::printf("%-12s", x_name);
+  for (const StrategyKind kind : kinds)
+    std::printf(" %10s", std::string(to_string(kind)).c_str());
+  std::printf("\n");
+}
+
+inline void print_row(double x, const std::vector<SeriesPoint>& points,
+                      bool response) {
+  std::printf("%-12g", x);
+  for (const SeriesPoint& point : points)
+    std::printf(" %10.3f", response ? point.response_s : point.total_s);
+  std::printf("\n");
+}
+
+}  // namespace isomer::bench

@@ -1,0 +1,385 @@
+#include "isomer/analytic/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+namespace {
+
+/// All per-sample expected quantities the strategy formulas share.
+struct Derived {
+  std::size_t K = 0;  ///< classes
+  std::size_t D = 0;  ///< databases
+  int total_preds = 0;
+
+  // Indexing: [class][db]
+  std::vector<std::vector<double>> objects;       // N_o
+  std::vector<std::vector<double>> present;       // N_pa
+  std::vector<std::vector<double>> null_prob;     // per present attr
+  std::vector<std::vector<double>> stored_bytes;  // per object
+  std::vector<std::vector<double>> reach;         // root reaches class k
+  std::vector<double> entities;                   // E_k
+
+  // Per (class, pred-on-class, db):
+  // probability vectors flattened as [class][db] per-pred (preds of one
+  // class share presence statistics via the random subset, so we use the
+  // per-attribute presence probability m/P).
+  std::vector<std::vector<double>> p_true;    // per pred
+  std::vector<std::vector<double>> p_false;   // per pred
+  std::vector<std::vector<double>> p_unknown; // per pred
+  std::vector<std::vector<double>> p_nested;  // unknown past step 0
+
+  std::vector<double> survive;  // sigma per db: object passes all preds
+  std::vector<double> rows;     // expected shipped rows per db
+};
+
+Derived derive(const SampleParams& sample, const CostParams& costs,
+               std::size_t extra_attrs) {
+  Derived d;
+  d.K = sample.classes.size();
+  d.D = sample.n_db;
+  const double sa = static_cast<double>(costs.attr_bytes);
+  const double sl = static_cast<double>(costs.loid_bytes);
+
+  // Entities per class: a fraction q of entities are two-database pairs so
+  // that the fraction of *objects* with isomers is R_iso.
+  const double q = sample.iso_ratio / (2.0 - sample.iso_ratio);
+
+  d.objects.assign(d.K, std::vector<double>(d.D, 0));
+  d.present.assign(d.K, std::vector<double>(d.D, 0));
+  d.null_prob.assign(d.K, std::vector<double>(d.D, 0));
+  d.stored_bytes.assign(d.K, std::vector<double>(d.D, 0));
+  d.reach.assign(d.K, std::vector<double>(d.D, 1.0));
+  d.entities.assign(d.K, 0);
+  d.p_true.assign(d.K, std::vector<double>(d.D, 0));
+  d.p_false.assign(d.K, std::vector<double>(d.D, 0));
+  d.p_unknown.assign(d.K, std::vector<double>(d.D, 0));
+  d.p_nested.assign(d.K, std::vector<double>(d.D, 0));
+
+  for (std::size_t k = 0; k < d.K; ++k) {
+    const auto& cls = sample.classes[k];
+    d.total_preds += cls.n_preds;
+    double total_objects = 0;
+    for (std::size_t i = 0; i < d.D; ++i) {
+      const auto& db = cls.dbs[i];
+      d.objects[k][i] = db.n_objects;
+      total_objects += d.objects[k][i];
+      d.present[k][i] = static_cast<double>(db.present_preds.size());
+      d.null_prob[k][i] =
+          d.present[k][i] > 0 ? db.extra_missing / d.present[k][i] : 0.0;
+      const double attrs = 1.0 /*id*/ + d.present[k][i] +
+                           (k == 0 ? sample.n_targets : 0) +
+                           static_cast<double>(extra_attrs);
+      d.stored_bytes[k][i] =
+          sl + attrs * sa + (k + 1 < d.K ? sl : 0.0);
+    }
+    d.entities[k] = total_objects / (1.0 + q);
+  }
+
+  // Reachability: probability a root object in db i navigates to a class-k
+  // object within db i (each hop: entity-level reference non-null times the
+  // child entity having a constituent here).
+  for (std::size_t k = 1; k < d.K; ++k)
+    for (std::size_t i = 0; i < d.D; ++i) {
+      const double h =
+          std::min(1.0, d.objects[k][i] / std::max(1.0, d.entities[k]));
+      d.reach[k][i] =
+          d.reach[k - 1][i] * sample.classes[k - 1].ref_ratio * h;
+    }
+
+  // Per-predicate outcome probabilities at each database. Presence of a
+  // specific predicate attribute is approximated by N_pa / N_p (the subset
+  // is uniform); conjuncts are treated as independent.
+  for (std::size_t k = 0; k < d.K; ++k) {
+    const auto& cls = sample.classes[k];
+    if (cls.n_preds == 0) continue;
+    for (std::size_t i = 0; i < d.D; ++i) {
+      const double pres =
+          d.present[k][i] / static_cast<double>(cls.n_preds);
+      const double evaluable =
+          d.reach[k][i] * pres * (1.0 - d.null_prob[k][i]);
+      d.p_true[k][i] = evaluable * cls.pred_selectivity;
+      d.p_false[k][i] = evaluable * (1.0 - cls.pred_selectivity);
+      d.p_unknown[k][i] = 1.0 - d.p_true[k][i] - d.p_false[k][i];
+      // Unknown at step 0 (on the root itself): for root-class predicates
+      // every unknown is root-level; for nested predicates it is failing
+      // the very first hop.
+      double step0;
+      if (k == 0) {
+        step0 = d.p_unknown[k][i];
+      } else {
+        const double h1 =
+            std::min(1.0, d.objects[1][i] / std::max(1.0, d.entities[1]));
+        step0 = 1.0 - sample.classes[0].ref_ratio * h1;
+      }
+      d.p_nested[k][i] = std::max(0.0, d.p_unknown[k][i] - step0);
+    }
+  }
+
+  // Local survival and shipped rows.
+  d.survive.assign(d.D, 1.0);
+  d.rows.assign(d.D, 0.0);
+  for (std::size_t i = 0; i < d.D; ++i) {
+    for (std::size_t k = 0; k < d.K; ++k)
+      d.survive[i] *= std::pow(1.0 - d.p_false[k][i],
+                               sample.classes[k].n_preds);
+    d.rows[i] = d.objects[0][i] * d.survive[i];
+  }
+  return d;
+}
+
+/// Expected distinct class-k objects touched in db i when `draws` root
+/// navigations land uniformly on the local extent (occupancy bound).
+double distinct_touched(double draws, double extent) {
+  if (extent <= 0) return 0;
+  return extent * (1.0 - std::exp(-draws / extent));
+}
+
+struct Accumulator {
+  double disk_bytes = 0;
+  double cpu_cmps = 0;
+  double net_bytes = 0;
+};
+
+double seconds(const Accumulator& acc, const CostParams& costs) {
+  return acc.disk_bytes * static_cast<double>(costs.disk_ns_per_byte) / 1e9 +
+         acc.cpu_cmps * static_cast<double>(costs.cpu_ns_per_cmp) / 1e9 +
+         acc.net_bytes * static_cast<double>(costs.net_ns_per_byte) / 1e9;
+}
+
+AnalyticEstimate estimate_ca(const SampleParams& sample, const Derived& d,
+                             const CostParams& costs) {
+  const double sa = static_cast<double>(costs.attr_bytes);
+  const double sl = static_cast<double>(costs.loid_bytes);
+  const double sg = static_cast<double>(costs.goid_bytes);
+
+  // Does navigating past class k happen (is the reference involved)?
+  std::vector<bool> need_ref(d.K, false);
+  for (std::size_t k = 0; k + 1 < d.K; ++k)
+    for (std::size_t k2 = k + 1; k2 < d.K; ++k2)
+      if (sample.classes[k2].n_preds > 0) need_ref[k] = true;
+
+  double disk = 0, proj_cmp = 0, net = 0;
+  double max_local_s = 0;
+  for (std::size_t i = 0; i < d.D; ++i) {
+    double disk_i = 0, net_i = 0, cmp_i = 0;
+    for (std::size_t k = 0; k < d.K; ++k) {
+      disk_i += d.objects[k][i] * d.stored_bytes[k][i];
+      cmp_i += d.objects[k][i];
+      double proj = sl + d.present[k][i] * sa +
+                    (k == 0 ? sample.n_targets * sa : 0.0) +
+                    (need_ref[k] ? sg : 0.0);
+      net_i += d.objects[k][i] * proj;
+    }
+    disk += disk_i;
+    proj_cmp += cmp_i;
+    net += net_i;
+    const double local_s =
+        disk_i * static_cast<double>(costs.disk_ns_per_byte) / 1e9 +
+        cmp_i * static_cast<double>(costs.cpu_ns_per_cmp) / 1e9;
+    max_local_s = std::max(max_local_s, local_s);
+  }
+
+  // Global site: outerjoin probes + merges, then predicate evaluation over
+  // the materialized root extent.
+  double total_objects = 0, nonnull_refs = 0;
+  for (std::size_t k = 0; k < d.K; ++k)
+    for (std::size_t i = 0; i < d.D; ++i) {
+      total_objects += d.objects[k][i];
+      if (k + 1 < d.K)
+        nonnull_refs += d.objects[k][i] * sample.classes[k].ref_ratio;
+    }
+  const double global_cmp =
+      2.0 * total_objects + nonnull_refs + d.entities[0] * d.total_preds;
+
+  Accumulator acc{disk, proj_cmp + global_cmp, net};
+  AnalyticEstimate est;
+  est.disk_s = disk * static_cast<double>(costs.disk_ns_per_byte) / 1e9;
+  est.cpu_s = (proj_cmp + global_cmp) *
+              static_cast<double>(costs.cpu_ns_per_cmp) / 1e9;
+  est.net_s = net * static_cast<double>(costs.net_ns_per_byte) / 1e9;
+  est.total_s = seconds(acc, costs);
+  est.bytes = net;
+  est.response_s = max_local_s +
+                   net * static_cast<double>(costs.net_ns_per_byte) / 1e9 +
+                   global_cmp * static_cast<double>(costs.cpu_ns_per_cmp) / 1e9;
+  return est;
+}
+
+AnalyticEstimate estimate_localized(const SampleParams& sample,
+                                    const Derived& d, const CostParams& costs,
+                                    bool eager, bool signatures,
+                                    std::size_t /*extra_attrs*/) {
+  const double sa = static_cast<double>(costs.attr_bytes);
+  const double sl = static_cast<double>(costs.loid_bytes);
+  const double sg = static_cast<double>(costs.goid_bytes);
+
+  // need_touch(k): local evaluation navigates into class k at all.
+  std::vector<bool> need_touch(d.K, false);
+  for (std::size_t k = 1; k < d.K; ++k)
+    for (std::size_t k2 = k; k2 < d.K; ++k2)
+      if (sample.classes[k2].n_preds > 0) need_touch[k] = true;
+
+  double disk = 0, cmp = 0, net = 0, bytes = 0;
+  double max_local_s = 0;
+
+  // Check volume per (class, db): expected assistant-check task instances
+  // dispatched by db i for predicates on class k.
+  double tasks_total = 0, screened_total = 0, check_disk = 0, check_cmp = 0;
+
+  for (std::size_t i = 0; i < d.D; ++i) {
+    // --- local disk: root scan plus distinct fetched branch objects.
+    double disk_i = d.objects[0][i] * d.stored_bytes[0][i];
+    for (std::size_t k = 1; k < d.K; ++k) {
+      if (!need_touch[k]) continue;
+      const double draws = d.objects[0][i] * d.reach[k][i];
+      disk_i += distinct_touched(draws, d.objects[k][i]) *
+                d.stored_bytes[k][i];
+    }
+
+    // --- local cpu: one comparison per evaluable predicate instance, plus
+    // GOid probes for rows and their unsolved items.
+    double cmp_i = 0;
+    double unknown_insts = 0, nested_rows = 0, nested_all = 0;
+    for (std::size_t k = 0; k < d.K; ++k) {
+      const auto& cls = sample.classes[k];
+      if (cls.n_preds == 0) continue;
+      const double pres = d.present[k][i] / cls.n_preds;
+      cmp_i += d.objects[0][i] * cls.n_preds * d.reach[k][i] * pres;
+      const double guard =
+          d.survive[i] / std::max(1e-12, 1.0 - d.p_false[k][i]);
+      unknown_insts +=
+          d.objects[0][i] * cls.n_preds * d.p_unknown[k][i] * guard;
+      nested_rows +=
+          d.objects[0][i] * cls.n_preds * d.p_nested[k][i] * guard;
+      nested_all += d.objects[0][i] * cls.n_preds * d.p_nested[k][i];
+
+      // Assistant capability in the pair database: probability the paired
+      // database defines the suffix's first attribute (approximated by the
+      // average presence ratio over the other databases).
+      double pres_other = 0;
+      for (std::size_t j = 0; j < d.D; ++j)
+        if (j != i) pres_other += d.present[k][j] / cls.n_preds;
+      pres_other /= static_cast<double>(std::max<std::size_t>(1, d.D - 1));
+
+      const double item_insts = eager ? (d.objects[0][i] * cls.n_preds *
+                                         d.p_nested[k][i])
+                                      : (d.objects[0][i] * cls.n_preds *
+                                         d.p_nested[k][i] * guard);
+      double tasks = item_insts * sample.iso_ratio * pres_other;
+      if (signatures) {
+        // Table 2's R_ss: fraction of assistants passing the signature
+        // screen and still being shipped.
+        const double miss = std::max(
+            0.0, static_cast<double>(cls.n_preds) - d.present[k][i]);
+        const double r_ss = std::pow(0.6, std::sqrt(std::max(1.0, miss)));
+        screened_total += tasks * (1.0 - r_ss);
+        cmp_i += tasks;  // one signature comparison per candidate
+        tasks *= r_ss;
+      }
+      tasks_total += tasks;
+      // Target-side cost per task: fetch the assistant object and compare.
+      double so_other = 0;
+      for (std::size_t j = 0; j < d.D; ++j)
+        if (j != i) so_other += d.stored_bytes[k][j];
+      so_other /= static_cast<double>(std::max<std::size_t>(1, d.D - 1));
+      check_disk += tasks * so_other;
+      check_cmp += tasks;
+      cmp_i += item_insts * 2.0;  // mapping-table probes while planning
+    }
+    cmp_i += d.rows[i];  // row entity probes
+
+    // --- row message bytes.
+    const double row_bytes =
+        d.rows[i] * (sl + sg + sample.n_targets * sa) +
+        unknown_insts * (sg + 8.0);
+
+    disk += disk_i;
+    cmp += cmp_i;
+    net += row_bytes;
+    bytes += row_bytes;
+    const double local_s =
+        disk_i * static_cast<double>(costs.disk_ns_per_byte) / 1e9 +
+        cmp_i * static_cast<double>(costs.cpu_ns_per_cmp) / 1e9;
+    max_local_s = std::max(max_local_s, local_s);
+  }
+
+  // Check traffic: request tasks out, verdicts back.
+  const double check_net =
+      tasks_total * static_cast<double>(costs.check_task_bytes()) +
+      (tasks_total + screened_total) *
+          static_cast<double>(costs.verdict_bytes());
+  net += check_net;
+  bytes += check_net;
+  disk += check_disk;
+  cmp += check_cmp;
+
+  // Certification at the global site.
+  double rows_total = 0;
+  for (std::size_t i = 0; i < d.D; ++i) rows_total += d.rows[i];
+  const double certify_cmp =
+      rows_total * (d.total_preds + 1.0) + tasks_total + screened_total;
+  cmp += certify_cmp;
+
+  // Request messages.
+  const double req_net =
+      static_cast<double>(d.D) *
+      static_cast<double>(costs.request_bytes(
+          static_cast<std::uint64_t>(d.total_preds)));
+  net += req_net;
+  bytes += req_net;
+
+  AnalyticEstimate est;
+  est.disk_s = disk * static_cast<double>(costs.disk_ns_per_byte) / 1e9;
+  est.cpu_s = cmp * static_cast<double>(costs.cpu_ns_per_cmp) / 1e9;
+  est.net_s = net * static_cast<double>(costs.net_ns_per_byte) / 1e9;
+  est.total_s = est.disk_s + est.cpu_s + est.net_s;
+  est.bytes = bytes;
+
+  // Response: slowest local pipeline, then the serialized shared-bus
+  // transfers, then checking (overlapped with evaluation under PL) and the
+  // global certification.
+  const double check_s =
+      (check_disk / static_cast<double>(std::max<std::size_t>(1, d.D))) *
+          static_cast<double>(costs.disk_ns_per_byte) / 1e9 +
+      check_net * static_cast<double>(costs.net_ns_per_byte) / 1e9;
+  const double transfers_s =
+      (net - check_net) * static_cast<double>(costs.net_ns_per_byte) / 1e9;
+  const double certify_s =
+      certify_cmp * static_cast<double>(costs.cpu_ns_per_cmp) / 1e9;
+  if (eager)
+    est.response_s =
+        std::max(max_local_s, check_s) + transfers_s + certify_s;
+  else
+    est.response_s = max_local_s + check_s + transfers_s + certify_s;
+  return est;
+}
+
+}  // namespace
+
+AnalyticEstimate estimate_strategy(StrategyKind kind,
+                                   const SampleParams& sample,
+                                   const CostParams& costs,
+                                   std::size_t extra_attrs) {
+  expects(!sample.classes.empty(), "sample needs at least one class");
+  const Derived d = derive(sample, costs, extra_attrs);
+  switch (kind) {
+    case StrategyKind::CA:
+      return estimate_ca(sample, d, costs);
+    case StrategyKind::BL:
+      return estimate_localized(sample, d, costs, false, false, extra_attrs);
+    case StrategyKind::PL:
+      return estimate_localized(sample, d, costs, true, false, extra_attrs);
+    case StrategyKind::BLS:
+      return estimate_localized(sample, d, costs, false, true, extra_attrs);
+    case StrategyKind::PLS:
+      return estimate_localized(sample, d, costs, true, true, extra_attrs);
+  }
+  throw ContractViolation("unknown strategy kind");
+}
+
+}  // namespace isomer

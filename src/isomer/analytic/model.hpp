@@ -1,0 +1,42 @@
+// Closed-form expected-cost model.
+//
+// Mirrors the executors' message flow with expected values computed directly
+// from a Table-2 parameter sample — no objects, no event simulation — so a
+// full-scale 500-sample sweep costs microseconds per point. Used as a fast
+// estimator and cross-validated against the discrete-event simulator
+// (bench_crossval, tests/test_analytic.cpp).
+//
+// Approximations (all documented at the formula site):
+//   * predicate outcomes are treated as independent across conjuncts;
+//   * the unsolved-site class of a nested unknown is approximated by the
+//     predicate's final class;
+//   * distinct fetched branch objects follow the standard occupancy bound;
+//   * response time is approximated as the slowest local pipeline plus the
+//     serialized network and the global site's CPU (shared-bus model).
+// Accuracy target (enforced by tests): totals within ~35% of the DES and
+// matching strategy orderings on typical workloads.
+#pragma once
+
+#include "isomer/core/strategy.hpp"
+#include "isomer/workload/params.hpp"
+
+namespace isomer {
+
+/// Expected simulated costs of one strategy on one parameter sample.
+struct AnalyticEstimate {
+  double total_s = 0;
+  double response_s = 0;
+  double disk_s = 0;
+  double cpu_s = 0;
+  double net_s = 0;
+  double bytes = 0;
+};
+
+/// Estimates the expected cost of `kind` on `sample` under `costs`.
+/// Signature variants estimate the screened task reduction with Table 2's
+/// R_ss formula.
+[[nodiscard]] AnalyticEstimate estimate_strategy(
+    StrategyKind kind, const SampleParams& sample,
+    const CostParams& costs = {}, std::size_t extra_attrs = 3);
+
+}  // namespace isomer

@@ -1,0 +1,16 @@
+#include "isomer/common/error.hpp"
+
+// Exceptions are header-only; this translation unit pins the vtables so the
+// types have a single home in the static library.
+namespace isomer {
+namespace {
+[[maybe_unused]] void pin_vtables() {
+  (void)sizeof(Error);
+  (void)sizeof(SchemaError);
+  (void)sizeof(QueryError);
+  (void)sizeof(FederationError);
+  (void)sizeof(SimError);
+  (void)sizeof(ContractViolation);
+}
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,68 @@
+// Error handling for the isomer library.
+//
+// Following the C++ Core Guidelines we use exceptions for errors that the
+// immediate caller cannot be expected to handle locally:
+//   * SchemaError     — malformed schemas / integration specs,
+//   * QueryError      — queries that do not type-check against a schema,
+//   * FederationError — inconsistent GOid mappings or federation state,
+//   * SimError        — misuse of the discrete-event simulator.
+// Contract violations (preconditions that indicate a bug in the calling code)
+// go through `expects()` / `ensures()` and throw ContractViolation.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace isomer {
+
+/// Base class for all isomer exceptions.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A schema or schema-integration specification is malformed.
+class SchemaError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A query does not type-check against the schema it is run on.
+class QueryError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Federation metadata (GOid mapping tables, isomerism assertions) is
+/// inconsistent.
+class FederationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The discrete-event simulator was driven into an invalid state.
+class SimError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A precondition or postcondition stated by the library was violated; this
+/// always indicates a bug in the code that triggered it.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Precondition check. Kept as a function (not a macro) per the guidelines;
+/// call sites pass a static description of the violated condition.
+inline void expects(bool condition, const char* what) {
+  if (!condition) throw ContractViolation(std::string("precondition: ") + what);
+}
+
+/// Postcondition check.
+inline void ensures(bool condition, const char* what) {
+  if (!condition)
+    throw ContractViolation(std::string("postcondition: ") + what);
+}
+
+}  // namespace isomer

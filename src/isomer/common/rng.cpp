@@ -1,0 +1,94 @@
+#include "isomer/common/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace isomer {
+
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 expansion guarantees a non-zero state for any seed.
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  expects(lo <= hi, "Rng::uniform_int requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range requested.
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Debiased modulo (Lemire-style rejection on the low zone).
+  const std::uint64_t zone = Rng::max() - Rng::max() % span;
+  std::uint64_t draw = (*this)();
+  while (draw >= zone) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  expects(lo <= hi, "Rng::uniform_real requires lo <= hi");
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  const double unit =
+      static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+bool Rng::bernoulli(double p) {
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  return uniform_real(0.0, 1.0) < clamped;
+}
+
+std::size_t Rng::index(std::size_t size) {
+  expects(size > 0, "Rng::index requires a non-empty range");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size - 1)));
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  expects(k <= n, "Rng::sample_indices requires k <= n");
+  // Partial Fisher-Yates: only the first k slots are needed.
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(
+                uniform_int(0, static_cast<std::int64_t>(n - i - 1)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::fork() noexcept {
+  return Rng((*this)());
+}
+
+}  // namespace isomer

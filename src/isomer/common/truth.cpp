@@ -1,0 +1,21 @@
+#include "isomer/common/truth.hpp"
+
+namespace isomer {
+
+std::string_view to_string(Truth t) noexcept {
+  switch (t) {
+    case Truth::False:
+      return "false";
+    case Truth::Unknown:
+      return "unknown";
+    case Truth::True:
+      return "true";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, Truth t) {
+  return os << to_string(t);
+}
+
+}  // namespace isomer

@@ -1,0 +1,78 @@
+// Kleene three-valued logic.
+//
+// Missing data (missing attributes and null values) makes predicate
+// evaluation three-valued: an object whose predicates all evaluate to True is
+// a *certain* result; one whose predicates evaluate to True or Unknown (with
+// at least one Unknown) is a *maybe* result; any False eliminates the object.
+#pragma once
+
+#include <array>
+#include <ostream>
+#include <string_view>
+
+namespace isomer {
+
+/// Kleene truth value. The enumerator order (False < Unknown < True) is the
+/// standard information ordering used by min/max formulations of and/or.
+enum class Truth : unsigned char { False = 0, Unknown = 1, True = 2 };
+
+[[nodiscard]] constexpr Truth truth_of(bool b) noexcept {
+  return b ? Truth::True : Truth::False;
+}
+
+/// Kleene conjunction: min under False < Unknown < True.
+[[nodiscard]] constexpr Truth operator&&(Truth a, Truth b) noexcept {
+  return a < b ? a : b;
+}
+
+/// Kleene disjunction: max under False < Unknown < True.
+[[nodiscard]] constexpr Truth operator||(Truth a, Truth b) noexcept {
+  return a < b ? b : a;
+}
+
+/// Kleene negation: swaps True/False, fixes Unknown.
+[[nodiscard]] constexpr Truth operator!(Truth a) noexcept {
+  switch (a) {
+    case Truth::False:
+      return Truth::True;
+    case Truth::True:
+      return Truth::False;
+    case Truth::Unknown:
+      return Truth::Unknown;
+  }
+  return Truth::Unknown;
+}
+
+[[nodiscard]] constexpr bool is_true(Truth t) noexcept {
+  return t == Truth::True;
+}
+[[nodiscard]] constexpr bool is_false(Truth t) noexcept {
+  return t == Truth::False;
+}
+[[nodiscard]] constexpr bool is_unknown(Truth t) noexcept {
+  return t == Truth::Unknown;
+}
+
+[[nodiscard]] std::string_view to_string(Truth t) noexcept;
+
+std::ostream& operator<<(std::ostream& os, Truth t);
+
+/// Folds a range of truth values with Kleene conjunction; empty ranges are
+/// vacuously True (matching conjunctive predicate lists).
+template <typename Range>
+[[nodiscard]] constexpr Truth conjunction(const Range& range) noexcept {
+  Truth acc = Truth::True;
+  for (Truth t : range) acc = acc && t;
+  return acc;
+}
+
+/// Folds a range of truth values with Kleene disjunction; empty ranges are
+/// vacuously False.
+template <typename Range>
+[[nodiscard]] constexpr Truth disjunction(const Range& range) noexcept {
+  Truth acc = Truth::False;
+  for (Truth t : range) acc = acc || t;
+  return acc;
+}
+
+}  // namespace isomer

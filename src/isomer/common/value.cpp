@@ -1,0 +1,179 @@
+#include "isomer/common/value.hpp"
+
+#include <sstream>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+std::string_view to_string(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::Null:
+      return "null";
+    case ValueKind::Bool:
+      return "bool";
+    case ValueKind::Int:
+      return "int";
+    case ValueKind::Real:
+      return "real";
+    case ValueKind::String:
+      return "string";
+    case ValueKind::LocalRef:
+      return "local-ref";
+    case ValueKind::GlobalRef:
+      return "global-ref";
+    case ValueKind::LocalRefSet:
+      return "local-ref-set";
+    case ValueKind::GlobalRefSet:
+      return "global-ref-set";
+  }
+  return "null";
+}
+
+ValueKind Value::kind() const noexcept {
+  return static_cast<ValueKind>(storage_.index());
+}
+
+bool Value::as_bool() const {
+  expects(std::holds_alternative<bool>(storage_), "Value::as_bool on non-bool");
+  return std::get<bool>(storage_);
+}
+
+std::int64_t Value::as_int() const {
+  expects(std::holds_alternative<std::int64_t>(storage_),
+          "Value::as_int on non-int");
+  return std::get<std::int64_t>(storage_);
+}
+
+double Value::as_real() const {
+  expects(std::holds_alternative<double>(storage_),
+          "Value::as_real on non-real");
+  return std::get<double>(storage_);
+}
+
+const std::string& Value::as_string() const {
+  expects(std::holds_alternative<std::string>(storage_),
+          "Value::as_string on non-string");
+  return std::get<std::string>(storage_);
+}
+
+LOid Value::as_local_ref() const {
+  expects(std::holds_alternative<LocalRef>(storage_),
+          "Value::as_local_ref on non-local-ref");
+  return std::get<LocalRef>(storage_).target;
+}
+
+GOid Value::as_global_ref() const {
+  expects(std::holds_alternative<GlobalRef>(storage_),
+          "Value::as_global_ref on non-global-ref");
+  return std::get<GlobalRef>(storage_).target;
+}
+
+const std::vector<LOid>& Value::as_local_ref_set() const {
+  expects(std::holds_alternative<LocalRefSet>(storage_),
+          "Value::as_local_ref_set on non-local-ref-set");
+  return std::get<LocalRefSet>(storage_).targets;
+}
+
+const std::vector<GOid>& Value::as_global_ref_set() const {
+  expects(std::holds_alternative<GlobalRefSet>(storage_),
+          "Value::as_global_ref_set on non-global-ref-set");
+  return std::get<GlobalRefSet>(storage_).targets;
+}
+
+double Value::as_number() const {
+  if (const auto* i = std::get_if<std::int64_t>(&storage_))
+    return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&storage_)) return *d;
+  throw ContractViolation("Value::as_number on non-numeric value");
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::Null:
+      return os << "-";
+    case ValueKind::Bool:
+      return os << (v.as_bool() ? "true" : "false");
+    case ValueKind::Int:
+      return os << v.as_int();
+    case ValueKind::Real:
+      return os << v.as_real();
+    case ValueKind::String:
+      return os << v.as_string();
+    case ValueKind::LocalRef:
+      return os << v.as_local_ref();
+    case ValueKind::GlobalRef:
+      return os << "g" << v.as_global_ref().value();
+    case ValueKind::LocalRefSet: {
+      os << "{";
+      const char* sep = "";
+      for (const LOid& t : v.as_local_ref_set()) {
+        os << sep << t;
+        sep = ", ";
+      }
+      return os << "}";
+    }
+    case ValueKind::GlobalRefSet: {
+      os << "{";
+      const char* sep = "";
+      for (const GOid& t : v.as_global_ref_set()) {
+        os << sep << "g" << t.value();
+        sep = ", ";
+      }
+      return os << "}";
+    }
+  }
+  return os;
+}
+
+std::string to_string(const Value& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void incomparable(const Value& a, const Value& b,
+                               const char* op) {
+  std::ostringstream os;
+  os << "cannot apply " << op << " to values of kind " << to_string(a.kind())
+     << " and " << to_string(b.kind());
+  throw QueryError(os.str());
+}
+
+}  // namespace
+
+Truth compare_eq(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Truth::Unknown;
+  if (a.is_numeric() && b.is_numeric())
+    return truth_of(a.as_number() == b.as_number());
+  if (a.kind() != b.kind()) incomparable(a, b, "=");
+  switch (a.kind()) {
+    case ValueKind::Bool:
+      return truth_of(a.as_bool() == b.as_bool());
+    case ValueKind::String:
+      return truth_of(a.as_string() == b.as_string());
+    case ValueKind::LocalRef:
+      return truth_of(a.as_local_ref() == b.as_local_ref());
+    case ValueKind::GlobalRef:
+      return truth_of(a.as_global_ref() == b.as_global_ref());
+    case ValueKind::LocalRefSet:
+      return truth_of(a.as_local_ref_set() == b.as_local_ref_set());
+    case ValueKind::GlobalRefSet:
+      return truth_of(a.as_global_ref_set() == b.as_global_ref_set());
+    default:
+      incomparable(a, b, "=");
+  }
+}
+
+Truth compare_less(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Truth::Unknown;
+  if (a.is_numeric() && b.is_numeric())
+    return truth_of(a.as_number() < b.as_number());
+  if (a.kind() == ValueKind::String && b.kind() == ValueKind::String)
+    return truth_of(a.as_string() < b.as_string());
+  incomparable(a, b, "<");
+}
+
+}  // namespace isomer

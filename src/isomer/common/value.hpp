@@ -1,0 +1,153 @@
+// Attribute values.
+//
+// A value stored in a component database is one of:
+//   * null            — the paper's "original null values", one of the two
+//                       sources of missing data,
+//   * a primitive     — bool / integer / real / string,
+//   * a reference     — the LOid of an object of the attribute's domain class
+//                       (a *complex* attribute value),
+//   * a reference set — multi-valued complex attribute (paper §5 future work).
+//
+// After materialization at the global site, LOid references are rewritten to
+// GOid references (`GlobalRef`), mirroring Fig. 6 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "isomer/common/ids.hpp"
+#include "isomer/common/truth.hpp"
+
+namespace isomer {
+
+/// Tag type for the null (missing) value.
+struct Null {
+  friend constexpr auto operator<=>(const Null&, const Null&) noexcept =
+      default;
+};
+
+/// Reference to a local object (complex attribute value inside one component
+/// database).
+struct LocalRef {
+  LOid target;
+  friend constexpr auto operator<=>(const LocalRef&, const LocalRef&) noexcept =
+      default;
+};
+
+/// Reference to a global object (complex attribute value after integration).
+struct GlobalRef {
+  GOid target;
+  friend constexpr auto operator<=>(const GlobalRef&,
+                                    const GlobalRef&) noexcept = default;
+};
+
+/// Multi-valued local reference (set-valued complex attribute).
+struct LocalRefSet {
+  std::vector<LOid> targets;
+  friend auto operator<=>(const LocalRefSet&, const LocalRefSet&) = default;
+};
+
+/// Multi-valued global reference.
+struct GlobalRefSet {
+  std::vector<GOid> targets;
+  friend auto operator<=>(const GlobalRefSet&, const GlobalRefSet&) = default;
+};
+
+/// Discriminates Value alternatives without exposing variant indices.
+enum class ValueKind : unsigned char {
+  Null,
+  Bool,
+  Int,
+  Real,
+  String,
+  LocalRef,
+  GlobalRef,
+  LocalRefSet,
+  GlobalRefSet,
+};
+
+[[nodiscard]] std::string_view to_string(ValueKind kind) noexcept;
+
+/// A single attribute value. Value is a regular type (copyable, equality
+/// comparable with *exact* equality); three-valued SQL-style comparison lives
+/// in `compare_eq` / `compare_less`, which map nulls to Truth::Unknown.
+class Value {
+ public:
+  using Storage = std::variant<Null, bool, std::int64_t, double, std::string,
+                               LocalRef, GlobalRef, LocalRefSet, GlobalRefSet>;
+
+  /// Default-constructed values are null, matching a freshly created object
+  /// whose attributes have not been set.
+  Value() noexcept : storage_(Null{}) {}
+  Value(bool b) : storage_(b) {}
+  Value(std::int64_t i) : storage_(i) {}
+  Value(int i) : storage_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : storage_(d) {}
+  Value(std::string s) : storage_(std::move(s)) {}
+  Value(const char* s) : storage_(std::string(s)) {}
+  Value(LocalRef r) : storage_(r) {}
+  Value(GlobalRef r) : storage_(r) {}
+  Value(LocalRefSet r) : storage_(std::move(r)) {}
+  Value(GlobalRefSet r) : storage_(std::move(r)) {}
+
+  [[nodiscard]] static Value null() { return Value{}; }
+
+  [[nodiscard]] ValueKind kind() const noexcept;
+  [[nodiscard]] bool is_null() const noexcept {
+    return std::holds_alternative<Null>(storage_);
+  }
+  [[nodiscard]] bool is_ref() const noexcept {
+    return std::holds_alternative<LocalRef>(storage_) ||
+           std::holds_alternative<GlobalRef>(storage_);
+  }
+  [[nodiscard]] bool is_ref_set() const noexcept {
+    return std::holds_alternative<LocalRefSet>(storage_) ||
+           std::holds_alternative<GlobalRefSet>(storage_);
+  }
+  [[nodiscard]] bool is_primitive() const noexcept {
+    return !is_null() && !is_ref() && !is_ref_set();
+  }
+
+  /// Typed accessors; throw ContractViolation when the kind does not match.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_real() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] LOid as_local_ref() const;
+  [[nodiscard]] GOid as_global_ref() const;
+  [[nodiscard]] const std::vector<LOid>& as_local_ref_set() const;
+  [[nodiscard]] const std::vector<GOid>& as_global_ref_set() const;
+
+  /// Numeric view: Int and Real both convert; anything else throws.
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] bool is_numeric() const noexcept {
+    return std::holds_alternative<std::int64_t>(storage_) ||
+           std::holds_alternative<double>(storage_);
+  }
+
+  [[nodiscard]] const Storage& storage() const noexcept { return storage_; }
+
+  /// Exact (non-SQL) equality: null == null here. Used for container
+  /// membership and tests, not for predicate evaluation.
+  friend bool operator==(const Value&, const Value&) = default;
+
+ private:
+  Storage storage_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+[[nodiscard]] std::string to_string(const Value& v);
+
+/// Three-valued equality: Unknown when either side is null; numeric kinds
+/// compare numerically; comparing incompatible kinds throws QueryError (a
+/// type-checked query never does this).
+[[nodiscard]] Truth compare_eq(const Value& a, const Value& b);
+
+/// Three-valued `<` over numbers and strings; Unknown when either side is
+/// null; refs and bools are not ordered (throws QueryError).
+[[nodiscard]] Truth compare_less(const Value& a, const Value& b);
+
+}  // namespace isomer

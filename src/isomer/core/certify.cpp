@@ -1,0 +1,111 @@
+#include "isomer/core/certify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+QueryResult certify(const Federation& federation, const GlobalQuery& query,
+                    const std::vector<LocalExecution>& locals,
+                    const std::vector<CheckVerdict>& verdicts,
+                    AccessMeter* meter) {
+  // Databases that ran a local query (homes of the range class).
+  std::set<DbId> homes;
+  for (const LocalExecution& local : locals) homes.insert(local.db);
+
+  // Entity -> its rows (in ascending DbId order because locals arrive per
+  // database and we visit them in DbId order below).
+  std::vector<const LocalExecution*> ordered;
+  ordered.reserve(locals.size());
+  for (const LocalExecution& local : locals) ordered.push_back(&local);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const LocalExecution* a, const LocalExecution* b) {
+              return a->db < b->db;
+            });
+
+  std::map<GOid, std::vector<const LocalRow*>> rows_by_entity;
+  for (const LocalExecution* local : ordered)
+    for (const LocalRow& row : local->rows)
+      rows_by_entity[row.entity].push_back(&row);
+
+  // Verdict index: (item, predicate) -> Kleene-or of all assistant verdicts,
+  // with False dominating (any violating assistant eliminates).
+  std::map<std::pair<GOid, std::size_t>, Truth> verdict_index;
+  for (const CheckVerdict& verdict : verdicts) {
+    if (meter != nullptr) ++meter->comparisons;
+    auto [it, inserted] = verdict_index.try_emplace(
+        std::pair{verdict.item, verdict.predicate}, verdict.truth);
+    if (!inserted) {
+      if (is_false(verdict.truth) || is_false(it->second))
+        it->second = Truth::False;
+      else
+        it->second = it->second || verdict.truth;
+    }
+  }
+
+  QueryResult result;
+  for (const auto& [entity, rows] : rows_by_entity) {
+    // Row-presence evidence: every home database holding an isomeric root
+    // object must have shipped a row, else the object was eliminated locally
+    // and the entity fails the conjunction.
+    bool eliminated = false;
+    std::size_t expected_rows = 0;
+    for (const DbId home : homes) {
+      const auto isomer = federation.goids().loid_in(entity, home, meter);
+      if (isomer) ++expected_rows;
+    }
+    if (rows.size() != expected_rows) eliminated = true;
+
+    // Pool the evidence per predicate across rows and check verdicts:
+    // any True solves it, any False (a violating value somewhere, or a
+    // violating assistant) refutes it, otherwise it stays Unknown. On
+    // consistent federations True and False evidence cannot coexist; if
+    // they ever did, False dominates, matching the certification rule's
+    // "eliminated when any assistant violates".
+    Truth overall = Truth::True;
+    if (!eliminated) {
+      std::vector<Truth> truths(query.predicates.size(), Truth::Unknown);
+      for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+        bool any_true = false, any_false = false;
+        for (const LocalRow* row : rows) {
+          if (meter != nullptr) ++meter->comparisons;
+          const PredStatus& status = row->preds[p];
+          if (is_true(status.truth)) any_true = true;
+          if (is_false(status.truth)) any_false = true;
+          if (is_unknown(status.truth) && status.step > 0) {
+            const auto it = verdict_index.find(std::pair{status.item, p});
+            if (it != verdict_index.end()) {
+              if (meter != nullptr) ++meter->comparisons;
+              if (is_false(it->second)) any_false = true;
+              if (is_true(it->second)) any_true = true;
+            }
+          }
+        }
+        truths[p] = any_false  ? Truth::False
+                    : any_true ? Truth::True
+                               : Truth::Unknown;
+      }
+      overall = query.combine(truths);
+      if (is_false(overall)) eliminated = true;
+    }
+    if (eliminated) continue;
+
+    ResultRow out;
+    out.entity = entity;
+    out.status =
+        is_true(overall) ? ResultStatus::Certain : ResultStatus::Maybe;
+    out.targets.assign(query.targets.size(), Value::null());
+    for (const LocalRow* row : rows)  // ascending DbId; first non-null wins
+      for (std::size_t t = 0; t < query.targets.size(); ++t)
+        if (out.targets[t].is_null() && !row->targets[t].is_null())
+          out.targets[t] = row->targets[t];
+    result.rows.push_back(std::move(out));
+  }
+  result.normalize();
+  return result;
+}
+
+}  // namespace isomer

@@ -1,0 +1,43 @@
+// Certification at the global processing site (phase I of the localized
+// approaches).
+//
+// Inputs: every component database's local result rows plus the tri-state
+// verdicts from assistant checking. Per real-world entity (GOid) the rule is
+// the paper's Certification Rule, applied with two kinds of evidence:
+//
+//  * Row evidence. Each database holding an isomeric root object either
+//    shipped a row (predicate statuses True/Unknown) or eliminated the
+//    object locally; a missing row proves the entity violates a predicate,
+//    so the entity is eliminated (paper: "s1 is eliminated because its
+//    assistant objects are not obtained in the local results from DB2").
+//  * Check evidence. A verdict True for an unsolved item solves that
+//    predicate; a verdict False eliminates the entity ("o is eliminated
+//    when any of its assistant objects violates an unsolved predicate").
+//
+// An entity with every predicate solved is a certain result; with no False
+// evidence but unsolved predicates left it remains a maybe result. Target
+// values are merged across the entity's rows in ascending DbId order, first
+// non-null wins — the same policy as the centralized materializer, which is
+// what makes the strategies return identical answers on consistent
+// federations.
+#pragma once
+
+#include <vector>
+
+#include "isomer/core/checks.hpp"
+#include "isomer/core/local_exec.hpp"
+#include "isomer/query/result.hpp"
+
+namespace isomer {
+
+/// Certifies the collected local results into the final answer.
+/// `meter` receives the global site's merge work: one comparison per
+/// (row, predicate) merged, one per verdict applied, and one mapping-table
+/// probe per expected-row presence check.
+[[nodiscard]] QueryResult certify(const Federation& federation,
+                                  const GlobalQuery& query,
+                                  const std::vector<LocalExecution>& locals,
+                                  const std::vector<CheckVerdict>& verdicts,
+                                  AccessMeter* meter = nullptr);
+
+}  // namespace isomer

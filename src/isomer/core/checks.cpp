@@ -1,0 +1,162 @@
+#include "isomer/core/checks.hpp"
+
+#include <algorithm>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+std::vector<UnsolvedItem> unsolved_items_of_rows(
+    const std::vector<LocalRow>& rows) {
+  std::vector<UnsolvedItem> items;
+  for (const LocalRow& row : rows)
+    for (std::size_t p = 0; p < row.preds.size(); ++p) {
+      const PredStatus& status = row.preds[p];
+      // Nested sites only: root-level sites (step 0 on the root object) are
+      // certified through the other databases' local results.
+      if (is_unknown(status.truth) && status.step > 0)
+        items.push_back(
+            UnsolvedItem{status.item, p, status.step, status.item});
+    }
+  // Items are collected per result object, as in the paper's Fig. 7 graphs:
+  // two maybe results advised by the same teacher list its assistants twice,
+  // and both instances are shipped and checked. (Sorted for the PL wave-2
+  // set difference; deliberately NOT dedup'd — the number of assistant
+  // objects checked is the cost driver of Figs. 10 and 11.)
+  std::sort(items.begin(), items.end());
+  return items;
+}
+
+std::vector<UnsolvedItem> unsolved_items_of_all_roots(
+    const Federation& federation, const GlobalQuery& query, DbId home,
+    AccessMeter* meter) {
+  const GlobalSchema& schema = federation.schema();
+  const GlobalClass& range = schema.cls(query.range_class);
+  const auto constituent = range.constituent_in(home);
+  expects(constituent.has_value(),
+          "unsolved_items_of_all_roots at a non-root database");
+  const ComponentDatabase& database = federation.db(home);
+  const std::string& root_class =
+      range.constituents()[*constituent].local_class;
+
+  // PL_C1 retrieves the nested objects of *every* root object and inspects
+  // them for missing data — schema-level missing attributes and value-level
+  // nulls alike. The discovery walk is the same navigation phase P performs
+  // later (one buffer pool; the executors subtract this meter from the
+  // evaluation meter), but no predicate comparisons are charged here: those
+  // belong to phase P.
+  std::vector<UnsolvedItem> items;
+  AccessMeter local;
+  FetchCache cache;
+  for (const Object& obj : database.scan(root_class, &local, &cache)) {
+    for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+      const LocalPredOutcome outcome = eval_global_predicate_at(
+          federation, home, obj, range, query.predicates[p], 0, &local,
+          &cache);
+      if (is_unknown(outcome.truth) && outcome.step > 0) {
+        const auto entity = federation.goids().goid_of(outcome.holder, &local);
+        ensures(entity.has_value(), "every constituent object is GOid-mapped");
+        items.push_back(UnsolvedItem{*entity, p, outcome.step, *entity});
+      }
+    }
+  }
+  // Discovery inspects values but performs no predicate comparisons.
+  local.comparisons = 0;
+  if (meter != nullptr) *meter += local;
+  std::sort(items.begin(), items.end());  // per-object instances, not dedup'd
+  return items;
+}
+
+CheckPlan plan_checks(const Federation& federation, const GlobalQuery& query,
+                      DbId home, const std::vector<UnsolvedItem>& items,
+                      const SignatureIndex* signatures) {
+  const GlobalSchema& schema = federation.schema();
+  const GoidTable& goids = federation.goids();
+
+  CheckPlan plan;
+  for (const UnsolvedItem& item : items) {
+    const Predicate& pred = query.predicates[item.predicate];
+    expects(item.step < pred.path.length(),
+            "unsolved step beyond predicate path");
+    const PathExpr suffix = pred.path.suffix(item.step);
+    // Signatures index (attribute = value) tokens, so screening applies to
+    // single-attribute equality suffixes only.
+    const bool screenable =
+        signatures != nullptr && suffix.length() == 1 && pred.op == CompOp::Eq;
+    const std::string& item_class = goids.class_of(item.item);
+    ++plan.meter.table_probes;  // the mapping-table lookup for this item
+    for (const LOid& isomer : goids.isomers_of(item.item)) {
+      if (isomer.db == home) continue;
+      ++plan.meter.table_probes;  // examine one candidate assistant
+      const PathTranslation translation =
+          schema.translate_path(item_class, suffix, isomer.db);
+      // The assistant is useful when its database can evaluate at least the
+      // first step of the suffix: full evaluation may still hit deeper
+      // missing data there, which cascades (CheckOutcome::follow_up). An
+      // assistant whose schema misses the very first attribute cannot make
+      // progress at all and is skipped.
+      if (!translation.complete() && *translation.missing_at == 0) continue;
+      if (screenable &&
+          signatures->screen(isomer, suffix.step(0), pred.literal,
+                             &plan.meter) ==
+              SignatureIndex::Screen::CannotSatisfy) {
+        plan.local_verdicts.push_back(
+            CheckVerdict{item.origin, item.predicate, Truth::False});
+        continue;
+      }
+      plan.by_target[isomer.db].push_back(
+          CheckTask{item.item, isomer, item.predicate, item.step, item.origin});
+    }
+  }
+  return plan;
+}
+
+CheckOutcome run_checks(const Federation& federation, const GlobalQuery& query,
+                        DbId target, const std::vector<CheckTask>& tasks,
+                        const SignatureIndex* signatures) {
+  const ComponentDatabase& database = federation.db(target);
+  const GoidTable& goids = federation.goids();
+
+  CheckOutcome outcome;
+  outcome.db = target;
+  outcome.verdicts.reserve(tasks.size());
+  std::vector<UnsolvedItem> cascaded;
+  // Each listed LOid is retrieved individually (paper BL_C3: "retrieve the
+  // objects for the LOid list of the assistant objects") — check batches are
+  // random point lookups, not buffered scans, so no FetchCache here.
+  for (const CheckTask& task : tasks) {
+    expects(task.assistant.db == target, "check task routed to wrong database");
+    const Object* assistant =
+        database.fetch(task.assistant, &outcome.meter);
+    if (assistant == nullptr)
+      throw FederationError("assistant object " + to_string(task.assistant) +
+                            " does not exist");
+    const GlobalClass& item_class =
+        federation.schema().cls(goids.class_of(task.item));
+    const LocalPredOutcome eval = eval_global_predicate_at(
+        federation, target, *assistant, item_class,
+        query.predicates[task.predicate], task.step, &outcome.meter);
+    outcome.verdicts.push_back(
+        CheckVerdict{task.origin, task.predicate, eval.truth});
+
+    if (is_unknown(eval.truth)) {
+      // A deeper unsolved site (strictly past the checked step) is a new
+      // item whose assistants this database can look up itself; the site at
+      // the checked step is the original item, whose other assistants the
+      // home database already fanned out to.
+      if (eval.step > task.step) {
+        const auto entity = goids.goid_of(eval.holder, &outcome.meter);
+        ensures(entity.has_value(), "every constituent object is GOid-mapped");
+        cascaded.push_back(
+            UnsolvedItem{*entity, task.predicate, eval.step, task.origin});
+      }
+    }
+  }
+  std::sort(cascaded.begin(), cascaded.end());
+  if (!cascaded.empty())
+    outcome.follow_up =
+        plan_checks(federation, query, target, cascaded, signatures);
+  return outcome;
+}
+
+}  // namespace isomer

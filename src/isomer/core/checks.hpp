@@ -1,0 +1,129 @@
+// Assistant objects: lookup (phase O) and checking.
+//
+// For every unsolved item (a nested object holding missing data for some
+// unsolved predicate), the home database probes the replicated GOid mapping
+// tables for the item's isomeric objects in other databases and selects as
+// *assistant objects* those whose database's schema can evaluate the
+// remaining predicate suffix. The LOids and suffix predicates are shipped to
+// those databases; each evaluates the suffix on the assistant object and
+// reports a tri-state verdict to the global site.
+//
+// (The paper ships back only the LOids of satisfied assistants; we ship the
+// full tri-state verdict so that an assistant that itself hits a null is
+// distinguished from one that violates — required for exact maybe
+// semantics. The wire size difference is one byte per verdict.)
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "isomer/core/local_exec.hpp"
+#include "isomer/federation/signature.hpp"
+
+namespace isomer {
+
+/// One assistant object to check at a target database.
+struct CheckTask {
+  GOid item;                ///< the unsolved item's entity
+  LOid assistant;           ///< its isomeric object at the target database
+  std::size_t predicate;    ///< index into GlobalQuery::predicates
+  std::size_t step;         ///< suffix start: the unsolved global path step
+  /// The row-level unsolved item this task certifies. Equal to `item` for
+  /// first-round tasks; cascaded tasks keep the origin of the task that
+  /// spawned them, so their verdicts join back onto the local result rows.
+  GOid origin;
+
+  friend bool operator==(const CheckTask&, const CheckTask&) = default;
+};
+
+/// A tri-state checking verdict for one (item, predicate).
+struct CheckVerdict {
+  GOid item;
+  std::size_t predicate;
+  Truth truth = Truth::Unknown;
+
+  friend bool operator==(const CheckVerdict&, const CheckVerdict&) = default;
+};
+
+/// All checking work one database dispatches, grouped by target database.
+struct CheckPlan {
+  std::map<DbId, std::vector<CheckTask>> by_target;
+  AccessMeter meter;  ///< GOid-mapping probes + signature screens
+
+  /// Verdicts produced locally by signature screening (BLS/PLS only): an
+  /// assistant whose signature provably violates an equality predicate is
+  /// reported False without being shipped.
+  std::vector<CheckVerdict> local_verdicts;
+
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& [db, tasks] : by_target) count += tasks.size();
+    return count;
+  }
+};
+
+/// An unsolved site to find assistants for.
+struct UnsolvedItem {
+  GOid item;
+  std::size_t predicate;
+  std::size_t step;
+  /// Row-level item whose certification this resolves (== item except along
+  /// check cascades).
+  GOid origin;
+
+  friend auto operator<=>(const UnsolvedItem&, const UnsolvedItem&) = default;
+};
+
+/// Collects the unsolved items of the rows produced at `home` — nested
+/// sites only (step > 0); root-level sites are certified through the other
+/// databases' local results. Deduplicated and sorted.
+[[nodiscard]] std::vector<UnsolvedItem> unsolved_items_of_rows(
+    const std::vector<LocalRow>& rows);
+
+/// Collects the unsolved items of *every* object of the local root extent
+/// whose predicate paths cross schema-level missing attributes — the
+/// parallel localized approach's eager phase O, which runs before local
+/// predicate evaluation and therefore cannot restrict itself to maybe
+/// results (paper §3.3, step PL_C1). Charges the prefix walks to `meter`.
+[[nodiscard]] std::vector<UnsolvedItem> unsolved_items_of_all_roots(
+    const Federation& federation, const GlobalQuery& query, DbId home,
+    AccessMeter* meter);
+
+/// Phase O at the home database: for each unsolved item, probe the GOid
+/// tables for isomeric objects in other databases whose schema can evaluate
+/// the remaining suffix, producing per-target check tasks. When `signatures`
+/// is given, single-attribute equality suffixes are screened against the
+/// replicated signature index first: provably violating assistants become
+/// local False verdicts instead of tasks.
+[[nodiscard]] CheckPlan plan_checks(const Federation& federation,
+                                    const GlobalQuery& query, DbId home,
+                                    const std::vector<UnsolvedItem>& items,
+                                    const SignatureIndex* signatures = nullptr);
+
+/// The target database's reply (step BL_C3 / PL_C3).
+struct CheckOutcome {
+  DbId db{};
+  std::vector<CheckVerdict> verdicts;
+  AccessMeter meter;  ///< fetches + comparisons spent checking
+
+  /// Cascaded checks: when evaluating a suffix on an assistant hits a *new*
+  /// unsolved site deeper on the path (data split across three or more
+  /// databases — e.g. only DB2 knows the reference and only DB3 the
+  /// attribute), the target database plans a follow-up round for the new
+  /// item, exactly as the home database did. Steps strictly increase along
+  /// cascades, so they terminate. This closes the certification rule's
+  /// "assistant objects jointly satisfy" over arbitrarily split data and is
+  /// what keeps the localized answers identical to the centralized one.
+  CheckPlan follow_up;
+};
+
+/// Executes check tasks at database `target`: fetch each assistant object
+/// and evaluate the predicate suffix on it. Newly discovered deeper
+/// unsolved items are planned into `follow_up` (signature-screened when
+/// `signatures` is given).
+[[nodiscard]] CheckOutcome run_checks(const Federation& federation,
+                                      const GlobalQuery& query, DbId target,
+                                      const std::vector<CheckTask>& tasks,
+                                      const SignatureIndex* signatures = nullptr);
+
+}  // namespace isomer

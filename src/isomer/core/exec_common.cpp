@@ -1,0 +1,186 @@
+#include "isomer/core/exec_common.hpp"
+
+#include <algorithm>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer::detail {
+
+ExecEnv::ExecEnv(const Federation& federation, const GlobalQuery& query,
+                 const StrategyOptions& options)
+    : fed_(&federation), query_(&query), options_(options) {
+  owned_sim_ = std::make_unique<Simulator>();
+  owned_cluster_ = std::make_unique<Cluster>(
+      *owned_sim_, options_.costs, federation.db_count(), options_.topology);
+  sim_ = owned_sim_.get();
+  cluster_ = owned_cluster_.get();
+}
+
+ExecEnv::ExecEnv(const Federation& federation, const GlobalQuery& query,
+                 const StrategyOptions& options, Simulator& sim,
+                 Cluster& cluster)
+    : fed_(&federation), query_(&query), options_(options), sim_(&sim),
+      cluster_(&cluster) {
+  expects(cluster.component_count() == federation.db_count(),
+          "shared cluster sized for a different federation");
+}
+
+SiteIndex ExecEnv::site_of(DbId db) const {
+  const auto& ids = fed_->db_ids();
+  const auto it = std::lower_bound(ids.begin(), ids.end(), db);
+  expects(it != ids.end() && *it == db, "unknown DbId in site mapping");
+  return static_cast<SiteIndex>(it - ids.begin()) + 1;
+}
+
+std::string ExecEnv::site_name(SiteIndex site) const {
+  if (site == kGlobalSite) return "global";
+  return "DB" + std::to_string(fed_->db_ids()[site - 1].value());
+}
+
+void ExecEnv::charge(SiteIndex site, const AccessMeter& meter, Phase phase,
+                     std::string step, Simulator::Callback done) {
+  aggregate(meter);
+  const SimTime begin = sim_->now();
+  const Bytes bytes = options_.costs.disk_bytes(meter);
+  const SimTime cpu = options_.costs.cpu_time(meter);
+  SiteNode& node = cluster_->site(site);
+  node.disk().use(options_.costs.disk_time(bytes), [this, site, cpu, phase,
+                                                    step = std::move(step),
+                                                    begin,
+                                                    done = std::move(done)]() mutable {
+    cluster_->site(site).cpu().use(cpu, [this, site, phase,
+                                         step = std::move(step), begin,
+                                         done = std::move(done)]() {
+      if (options_.record_trace)
+        trace_.record(site_name(site), step, phase, begin, sim_->now());
+      done();
+    });
+  });
+}
+
+void ExecEnv::charge_cpu(SiteIndex site, std::uint64_t comparisons,
+                         Phase phase, std::string step,
+                         Simulator::Callback done) {
+  AccessMeter meter;
+  meter.comparisons = comparisons;
+  aggregate(meter);
+  const SimTime begin = sim_->now();
+  cluster_->site(site).cpu().use(
+      options_.costs.cpu_time(comparisons),
+      [this, site, phase, step = std::move(step), begin,
+       done = std::move(done)]() {
+        if (options_.record_trace)
+          trace_.record(site_name(site), step, phase, begin, sim_->now());
+        done();
+      });
+}
+
+void ExecEnv::ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
+                   Simulator::Callback delivered) {
+  const SimTime begin = sim_->now();
+  cluster_->transfer(from, to, bytes,
+                     [this, from, to, step = std::move(step), begin,
+                      delivered = std::move(delivered)]() {
+                       if (options_.record_trace)
+                         trace_.record(site_name(from) + "->" + site_name(to),
+                                       step, Phase::Transfer, begin,
+                                       sim_->now());
+                       delivered();
+                     });
+}
+
+StrategyReport ExecEnv::finish(QueryResult result, SimTime response) {
+  StrategyReport report;
+  report.result = std::move(result);
+  report.response_ns = response;
+  report.cpu_ns = cluster_->cpu_busy();
+  report.disk_ns = cluster_->disk_busy();
+  report.net_ns = cluster_->network_busy();
+  report.total_ns = report.cpu_ns + report.disk_ns + report.net_ns;
+  report.bytes_transferred = cluster_->bytes_transferred();
+  report.messages = cluster_->messages();
+  report.work = work_;
+  report.trace = std::move(trace_);
+  return report;
+}
+
+Bytes rows_wire_bytes(const CostParams& costs,
+                      const std::vector<LocalRow>& rows) {
+  Bytes total = 0;
+  for (const LocalRow& row : rows) {
+    total += costs.loid_bytes + costs.goid_bytes;
+    for (const Value& v : row.targets) {
+      switch (v.kind()) {
+        case ValueKind::Null:
+          break;
+        case ValueKind::GlobalRef:
+        case ValueKind::LocalRef:
+          total += costs.goid_bytes;
+          break;
+        case ValueKind::GlobalRefSet:
+          total += costs.goid_bytes *
+                   static_cast<Bytes>(v.as_global_ref_set().size());
+          break;
+        case ValueKind::LocalRefSet:
+          total += costs.loid_bytes *
+                   static_cast<Bytes>(v.as_local_ref_set().size());
+          break;
+        default:
+          total += costs.attr_bytes;
+          break;
+      }
+    }
+    for (const PredStatus& status : row.preds)
+      if (is_unknown(status.truth)) total += costs.goid_bytes + 8;
+  }
+  return total;
+}
+
+Bytes check_request_wire_bytes(const CostParams& costs, std::size_t tasks) {
+  return costs.attr_bytes + static_cast<Bytes>(tasks) * costs.check_task_bytes();
+}
+
+Bytes check_response_wire_bytes(const CostParams& costs,
+                                std::size_t verdicts) {
+  return costs.attr_bytes + static_cast<Bytes>(verdicts) * costs.verdict_bytes();
+}
+
+std::map<std::string, std::set<std::size_t>> involved_attributes(
+    const GlobalSchema& schema, const GlobalQuery& query) {
+  std::map<std::string, std::set<std::size_t>> involved;
+  const auto add_path = [&](const PathExpr& path) {
+    const ResolvedPath resolved =
+        resolve_path(schema.lookup(), query.range_class, path);
+    for (const ResolvedStep& step : resolved.steps)
+      involved[step.class_name].insert(step.attr_index);
+  };
+  for (const PathExpr& target : query.targets) add_path(target);
+  for (const Predicate& pred : query.predicates) add_path(pred.path);
+  return involved;
+}
+
+Bytes ca_projected_bytes(
+    const Federation& federation, DbId db,
+    const std::map<std::string, std::set<std::size_t>>& involved,
+    const CostParams& costs) {
+  const ComponentDatabase& database = federation.db(db);
+  Bytes total = 0;
+  for (const auto& [class_name, attrs] : involved) {
+    const GlobalClass& cls = federation.schema().cls(class_name);
+    const auto constituent = cls.constituent_in(db);
+    if (!constituent) continue;
+    const std::string& local_class =
+        cls.constituents()[*constituent].local_class;
+    Bytes per_object = costs.loid_bytes;
+    for (const std::size_t a : attrs) {
+      if (cls.is_missing(*constituent, a)) continue;
+      per_object += is_complex(cls.def().attribute(a).type)
+                        ? costs.goid_bytes
+                        : costs.attr_bytes;
+    }
+    total += per_object * database.extent(local_class).size();
+  }
+  return total;
+}
+
+}  // namespace isomer::detail

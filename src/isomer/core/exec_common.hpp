@@ -1,0 +1,117 @@
+// Shared scaffolding for the strategy executors.
+//
+// Each executor drives the discrete-event simulator through callbacks; this
+// header provides the per-run environment (simulator + cluster + site
+// mapping + trace), the wire-size calculators for the protocol messages, and
+// the attribute-projection sizing the centralized approach needs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "isomer/core/checks.hpp"
+#include "isomer/core/strategy.hpp"
+#include "isomer/sim/barrier.hpp"
+
+namespace isomer::detail {
+
+/// Mutable state of one simulated strategy execution. Normally the env
+/// owns its simulator and cluster; the shared-infrastructure constructor
+/// lets several concurrent query executions contend for one cluster (see
+/// core/stream.hpp).
+class ExecEnv {
+ public:
+  ExecEnv(const Federation& federation, const GlobalQuery& query,
+          const StrategyOptions& options);
+
+  /// Shared mode: this execution runs on an externally owned simulator and
+  /// cluster (which must outlive the env); finish() still reports this
+  /// env's trace, but busy-time/bytes figures cover the whole cluster.
+  ExecEnv(const Federation& federation, const GlobalQuery& query,
+          const StrategyOptions& options, Simulator& sim, Cluster& cluster);
+
+  [[nodiscard]] const Federation& fed() const noexcept { return *fed_; }
+  [[nodiscard]] const GlobalQuery& query() const noexcept { return *query_; }
+  [[nodiscard]] const CostParams& costs() const noexcept {
+    return options_.costs;
+  }
+  [[nodiscard]] const StrategyOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] Simulator& sim() noexcept { return *sim_; }
+  [[nodiscard]] Cluster& cluster() noexcept { return *cluster_; }
+
+  [[nodiscard]] SiteIndex site_of(DbId db) const;
+  [[nodiscard]] std::string site_name(SiteIndex site) const;
+
+  /// Charges a meter's physical work at a site — disk bytes first, then CPU
+  /// comparisons+probes — and continues with `done`. Records a trace event
+  /// covering the queue-inclusive interval.
+  void charge(SiteIndex site, const AccessMeter& meter, Phase phase,
+              std::string step, Simulator::Callback done);
+
+  /// Charges CPU-only work.
+  void charge_cpu(SiteIndex site, std::uint64_t comparisons, Phase phase,
+                  std::string step, Simulator::Callback done);
+
+  /// Ships bytes between sites, recording a Transfer trace event.
+  void ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
+            Simulator::Callback delivered);
+
+  /// Folds a site-local meter into the run-wide work aggregate.
+  void aggregate(const AccessMeter& meter) { work_ += meter; }
+
+  /// Runs the simulator to completion and assembles the report.
+  [[nodiscard]] StrategyReport finish(QueryResult result, SimTime response);
+
+ private:
+  const Federation* fed_;
+  const GlobalQuery* query_;
+  StrategyOptions options_;
+  std::unique_ptr<Simulator> owned_sim_;
+  std::unique_ptr<Cluster> owned_cluster_;
+  Simulator* sim_ = nullptr;
+  Cluster* cluster_ = nullptr;
+  ExecutionTrace trace_;
+  AccessMeter work_;
+};
+
+/// Sets up one strategy execution on `env`'s simulator without running it;
+/// `on_done` fires (inside the simulation) when the answer is ready. Used
+/// directly by execute_strategy (own simulator) and by run_query_stream
+/// (shared simulator, many concurrent launches).
+void launch_ca(ExecEnv& env,
+               std::function<void(QueryResult, SimTime)> on_done);
+void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
+                      std::function<void(QueryResult, SimTime)> on_done);
+
+/// Wire size of a local-result message: per row the root LOid and entity
+/// GOid, every non-null target value, and per unsolved predicate the item
+/// GOid + step/index bookkeeping.
+[[nodiscard]] Bytes rows_wire_bytes(const CostParams& costs,
+                                    const std::vector<LocalRow>& rows);
+
+[[nodiscard]] Bytes check_request_wire_bytes(const CostParams& costs,
+                                             std::size_t tasks);
+
+[[nodiscard]] Bytes check_response_wire_bytes(const CostParams& costs,
+                                              std::size_t verdicts);
+
+/// Global attributes each global class contributes to the query (targets,
+/// predicates, and the references navigated on the way) — what the
+/// centralized approach projects before shipping (paper §3.1).
+[[nodiscard]] std::map<std::string, std::set<std::size_t>>
+involved_attributes(const GlobalSchema& schema, const GlobalQuery& query);
+
+/// Wire size of one database's projected extents for the centralized
+/// approach: per object of each involved constituent class, the LOid plus
+/// the locally present involved attributes.
+[[nodiscard]] Bytes ca_projected_bytes(
+    const Federation& federation, DbId db,
+    const std::map<std::string, std::set<std::size_t>>& involved,
+    const CostParams& costs);
+
+}  // namespace isomer::detail

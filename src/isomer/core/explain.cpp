@@ -1,0 +1,201 @@
+#include "isomer/core/explain.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isomer/core/certify.hpp"
+#include "isomer/query/printer.hpp"
+#include "isomer/schema/translate.hpp"
+
+namespace isomer {
+
+std::string_view to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::Certain:
+      return "certain";
+    case Outcome::Maybe:
+      return "maybe";
+    case Outcome::Eliminated:
+      return "eliminated";
+    case Outcome::NotFound:
+      return "not-found";
+  }
+  return "not-found";
+}
+
+namespace {
+
+std::string render_predicate(const Predicate& pred) {
+  std::ostringstream os;
+  os << "X." << pred;
+  return os.str();
+}
+
+std::string describe_site(const Federation& federation, DbId db,
+                          const LocalPredOutcome& outcome,
+                          const Predicate& pred) {
+  std::ostringstream os;
+  const std::string& attr = pred.path.step(outcome.step);
+  const ComponentDatabase& database = federation.db(db);
+  const std::string& holder_class = database.class_of(outcome.holder);
+  const GlobalClass* global_class =
+      federation.schema().global_class_of(db, holder_class);
+  bool schema_missing = false;
+  if (global_class != nullptr) {
+    const auto constituent = global_class->constituent_in(db);
+    const auto index = global_class->def().find_attribute(attr);
+    if (constituent && index)
+      schema_missing = global_class->is_missing(*constituent, *index);
+  }
+  os << "'" << attr << "' "
+     << (schema_missing ? "is a missing attribute of " : "is null on ")
+     << to_string(outcome.holder) << " (" << holder_class << "@DB"
+     << db.value() << ")";
+  return os.str();
+}
+
+}  // namespace
+
+Explanation explain(const Federation& federation, const GlobalQuery& query,
+                    GOid entity) {
+  Explanation out;
+  out.entity = entity;
+  if (entity.value() == 0 ||
+      entity.value() > federation.goids().entity_count())
+    return out;
+  const GoidTable& goids = federation.goids();
+  if (goids.class_of(entity) != query.range_class) return out;
+
+  const GlobalSchema& schema = federation.schema();
+  const GlobalClass& range = schema.cls(query.range_class);
+
+  out.predicates.resize(query.predicates.size());
+  for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+    out.predicates[p].predicate = p;
+    out.predicates[p].rendered = render_predicate(query.predicates[p]);
+  }
+
+  // --- Per-database evaluation of the entity's isomeric root objects,
+  // exactly as the localized strategies' phase P sees them.
+  std::vector<UnsolvedItem> items;
+  std::vector<std::pair<DbId, std::vector<Truth>>> per_db_truths;
+  for (const LOid& isomer : goids.isomers_of(entity)) {
+    const Object* root = federation.db(isomer.db).fetch(isomer);
+    ensures(root != nullptr, "GOid table validated at construction");
+    std::vector<Truth> truths;
+    for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+      const LocalPredOutcome outcome = eval_global_predicate_at(
+          federation, isomer.db, *root, range, query.predicates[p], 0);
+      truths.push_back(outcome.truth);
+      Evidence evidence;
+      evidence.db = isomer.db;
+      evidence.truth = outcome.truth;
+      if (is_unknown(outcome.truth)) {
+        evidence.note = describe_site(federation, isomer.db, outcome,
+                                      query.predicates[p]);
+        if (outcome.step > 0) {
+          const auto item = goids.goid_of(outcome.holder);
+          ensures(item.has_value(), "every constituent object is GOid-mapped");
+          items.push_back(UnsolvedItem{*item, p, outcome.step, *item});
+        }
+      } else {
+        evidence.note = std::string("evaluates ") +
+                        std::string(to_string(outcome.truth)) + " at DB" +
+                        std::to_string(isomer.db.value());
+      }
+      out.predicates[p].evidence.push_back(std::move(evidence));
+    }
+    // Row-absence elimination: a database whose local formula is False
+    // rejects the whole entity.
+    if (is_false(query.combine(truths))) out.eliminated_at = isomer.db;
+    per_db_truths.emplace_back(isomer.db, std::move(truths));
+  }
+
+  // --- Assistant checking for the nested unsolved items (with cascades).
+  std::sort(items.begin(), items.end());
+  std::vector<CheckVerdict> verdicts;
+  std::vector<std::pair<DbId, CheckTask>> noted_tasks;
+  {
+    // One round of planning per home database would dispatch per-home; for
+    // explanation purposes the union over homes is what matters.
+    CheckPlan plan = plan_checks(federation, query, DbId{0}, items);
+    while (plan.task_count() > 0) {
+      CheckPlan next;
+      for (const auto& [target, tasks] : plan.by_target) {
+        const CheckOutcome outcome =
+            run_checks(federation, query, target, tasks);
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+          noted_tasks.emplace_back(target, tasks[i]);
+        verdicts.insert(verdicts.end(), outcome.verdicts.begin(),
+                        outcome.verdicts.end());
+        for (const auto& [cascade_target, cascade_tasks] :
+             outcome.follow_up.by_target) {
+          auto& bucket = next.by_target[cascade_target];
+          bucket.insert(bucket.end(), cascade_tasks.begin(),
+                        cascade_tasks.end());
+        }
+      }
+      plan = std::move(next);
+    }
+  }
+  for (std::size_t i = 0; i < noted_tasks.size() && i < verdicts.size();
+       ++i) {
+    const auto& [target, task] = noted_tasks[i];
+    Evidence evidence;
+    evidence.db = target;
+    evidence.truth = verdicts[i].truth;
+    evidence.from_assistant = true;
+    std::ostringstream note;
+    note << "assistant " << to_string(task.assistant) << " reports "
+         << to_string(verdicts[i].truth);
+    evidence.note = note.str();
+    out.predicates[verdicts[i].predicate].evidence.push_back(
+        std::move(evidence));
+  }
+
+  // --- Pool the evidence per predicate (same rule as certify()).
+  std::vector<Truth> merged(query.predicates.size(), Truth::Unknown);
+  for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+    bool any_true = false, any_false = false;
+    for (const Evidence& evidence : out.predicates[p].evidence) {
+      if (is_true(evidence.truth)) any_true = true;
+      if (is_false(evidence.truth)) any_false = true;
+    }
+    merged[p] = any_false  ? Truth::False
+                : any_true ? Truth::True
+                           : Truth::Unknown;
+    out.predicates[p].merged = merged[p];
+  }
+
+  if (out.eliminated_at) {
+    out.outcome = Outcome::Eliminated;
+    return out;
+  }
+  const Truth overall = query.combine(merged);
+  out.outcome = is_false(overall)  ? Outcome::Eliminated
+                : is_true(overall) ? Outcome::Certain
+                                   : Outcome::Maybe;
+  return out;
+}
+
+std::string Explanation::to_text(const GlobalQuery& query) const {
+  std::ostringstream os;
+  os << "entity g" << entity.value() << ": " << to_string(outcome) << "\n";
+  if (outcome == Outcome::NotFound) {
+    os << "  (not an entity of range class " << query.range_class << ")\n";
+    return os.str();
+  }
+  if (eliminated_at)
+    os << "  rejected outright by DB" << eliminated_at->value()
+       << " — its isomeric object there fails the query\n";
+  for (const PredicateAccount& account : predicates) {
+    os << "  " << account.rendered << "  => " << to_string(account.merged)
+       << "\n";
+    for (const Evidence& evidence : account.evidence)
+      os << "    - " << (evidence.from_assistant ? "[check] " : "")
+         << evidence.note << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace isomer

@@ -1,0 +1,253 @@
+#include "isomer/core/local_exec.hpp"
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+namespace {
+
+/// Resolves the local attribute index implementing global attribute
+/// `global_step_name` of `global_class` for the constituent in `db`;
+/// nullopt when the attribute (or the whole constituent) is missing there.
+std::optional<std::size_t> local_attr_index(const ComponentDatabase& database,
+                                            const GlobalClass& global_class,
+                                            std::string_view global_attr) {
+  const auto constituent = global_class.constituent_in(database.db());
+  if (!constituent) return std::nullopt;
+  const auto global_index = global_class.def().find_attribute(global_attr);
+  if (!global_index) return std::nullopt;
+  const auto& local_name =
+      global_class.local_attr(*constituent, *global_index);
+  if (!local_name) return std::nullopt;
+  const ClassDef& local_class = database.schema().cls(
+      global_class.constituents()[*constituent].local_class);
+  return local_class.find_attribute(*local_name);
+}
+
+/// The global domain class of a global complex attribute.
+const GlobalClass& global_domain(const Federation& federation,
+                                 const GlobalClass& cls,
+                                 std::string_view global_attr) {
+  const auto index = cls.def().find_attribute(global_attr);
+  expects(index.has_value(), "unknown global attribute");
+  const auto* cplx = std::get_if<ComplexType>(&cls.def().attribute(*index).type);
+  if (cplx == nullptr)
+    throw QueryError("global attribute " + std::string(global_attr) +
+                     " of class " + cls.name() +
+                     " is primitive but the path continues");
+  return federation.schema().cls(cplx->domain_class);
+}
+
+LocalPredOutcome eval_pred_from(const Federation& federation,
+                                const ComponentDatabase& database,
+                                const Object& obj, const GlobalClass& cls,
+                                const Predicate& pred, std::size_t step,
+                                AccessMeter* meter, FetchCache* cache) {
+  const auto index = local_attr_index(database, cls, pred.path.step(step));
+  if (!index)  // missing attribute: this object holds the missing data
+    return LocalPredOutcome{Truth::Unknown, obj.id(), step};
+
+  const Value& v = obj.value(*index);
+  const bool last = (step + 1 == pred.path.length());
+
+  if (last) {
+    if (meter != nullptr) ++meter->comparisons;
+    const Truth t = apply(pred.op, v, pred.literal);
+    if (is_unknown(t)) return LocalPredOutcome{Truth::Unknown, obj.id(), step};
+    return LocalPredOutcome{t, LOid{}, 0};
+  }
+
+  if (v.is_null()) return LocalPredOutcome{Truth::Unknown, obj.id(), step};
+
+  const GlobalClass& domain =
+      global_domain(federation, cls, pred.path.step(step));
+
+  if (v.kind() == ValueKind::LocalRef) {
+    const Object* next = database.deref(v, meter, cache);
+    if (next == nullptr)
+      return LocalPredOutcome{Truth::Unknown, obj.id(), step};
+    return eval_pred_from(federation, database, *next, domain, pred, step + 1,
+                          meter, cache);
+  }
+  if (v.kind() == ValueKind::LocalRefSet) {
+    LocalPredOutcome acc{Truth::False, LOid{}, 0};
+    for (const LOid member : v.as_local_ref_set()) {
+      const Object* next = database.fetch(member, meter, cache);
+      const LocalPredOutcome branch =
+          next == nullptr
+              ? LocalPredOutcome{Truth::Unknown, obj.id(), step}
+              : eval_pred_from(federation, database, *next, domain, pred,
+                               step + 1, meter, cache);
+      if (is_true(branch.truth)) return branch;
+      if (is_unknown(branch.truth) && !is_unknown(acc.truth)) acc = branch;
+    }
+    return acc;
+  }
+  throw QueryError("local value for global step " + pred.path.step(step) +
+                   " is not a reference");
+}
+
+}  // namespace
+
+LocalPredOutcome eval_global_predicate_at(const Federation& federation,
+                                          DbId db, const Object& root,
+                                          const GlobalClass& root_class,
+                                          const Predicate& pred,
+                                          std::size_t start_step,
+                                          AccessMeter* meter,
+                                          FetchCache* cache) {
+  expects(start_step < pred.path.length(),
+          "start_step beyond predicate path");
+  // Rebase the predicate so the recursive walk sees a path starting at the
+  // item's class (suffix evaluation for assistant checks).
+  if (start_step == 0)
+    return eval_pred_from(federation, federation.db(db), root, root_class,
+                          pred, 0, meter, cache);
+  Predicate rebased{pred.path.suffix(start_step), pred.op, pred.literal};
+  LocalPredOutcome outcome =
+      eval_pred_from(federation, federation.db(db), root, root_class, rebased,
+                     0, meter, cache);
+  if (is_unknown(outcome.truth)) outcome.step += start_step;
+  return outcome;
+}
+
+Value eval_global_path(const Federation& federation, DbId db,
+                       const Object& root, const GlobalClass& root_class,
+                       const PathExpr& path, AccessMeter* meter,
+                       FetchCache* cache) {
+  const ComponentDatabase& database = federation.db(db);
+  const Object* obj = &root;
+  const GlobalClass* cls = &root_class;
+  for (std::size_t step = 0; step < path.length(); ++step) {
+    const auto index = local_attr_index(database, *cls, path.step(step));
+    if (!index) return Value::null();
+    const Value& v = obj->value(*index);
+    const bool last = (step + 1 == path.length());
+    if (last) return federation.goids().globalize(v, meter);
+    if (v.is_null()) return Value::null();
+    const GlobalClass& domain =
+        global_domain(federation, *cls, path.step(step));
+    if (v.kind() == ValueKind::LocalRef) {
+      obj = database.deref(v, meter, cache);
+      if (obj == nullptr) return Value::null();
+      cls = &domain;
+      continue;
+    }
+    if (v.kind() == ValueKind::LocalRefSet) {
+      for (const LOid member : v.as_local_ref_set()) {
+        const Object* next = database.fetch(member, meter, cache);
+        if (next == nullptr) continue;
+        const Value rest =
+            eval_global_path(federation, db, *next, domain,
+                             path.suffix(step + 1), meter, cache);
+        if (!rest.is_null()) return rest;
+      }
+      return Value::null();
+    }
+    throw QueryError("local value for global step " + path.step(step) +
+                     " is not a reference");
+  }
+  return Value::null();
+}
+
+LocalExecution run_local_query(const Federation& federation,
+                               const GlobalQuery& query, DbId db,
+                               const ExtentIndexes* indexes) {
+  const GlobalSchema& schema = federation.schema();
+  const GlobalClass& range = schema.cls(query.range_class);
+  const auto constituent = range.constituent_in(db);
+  if (!constituent)
+    throw QueryError("DB" + std::to_string(db.value()) +
+                     " holds no constituent of range class " +
+                     query.range_class);
+  // Resolve every path against the global schema up front so malformed
+  // queries fail before any simulated work.
+  for (const Predicate& pred : query.predicates)
+    (void)resolve_path(schema.lookup(), query.range_class, pred.path);
+  for (const PathExpr& target : query.targets)
+    (void)resolve_path(schema.lookup(), query.range_class, target);
+
+  const ComponentDatabase& database = federation.db(db);
+  const std::string& root_class_name =
+      range.constituents()[*constituent].local_class;
+
+  LocalExecution exec;
+  exec.db = db;
+
+  // One buffer pool for the whole local execution: every root and navigated
+  // object is read from disk once.
+  FetchCache cache;
+
+  // Access path: an index over one of the conjunctive equality predicates
+  // narrows the roots to matches plus the null bucket (anything else is
+  // provably False on that predicate). Disjunctive queries must scan — an
+  // object failing one alternative may pass another.
+  std::vector<const Object*> candidates;
+  bool via_index = false;
+  if (indexes != nullptr && query.disjuncts.empty()) {
+    for (const Predicate& pred : query.predicates) {
+      if (pred.path.length() != 1 || pred.op != CompOp::Eq) continue;
+      const auto lookup =
+          indexes->lookup(db, pred.path.step(0), pred.literal, &exec.meter);
+      if (!lookup) continue;
+      via_index = true;
+      candidates.reserve(lookup->size());
+      for (const std::vector<LOid>* bucket :
+           {lookup->matches, lookup->unknowns})
+        for (const LOid id : *bucket)
+          candidates.push_back(database.fetch(id, &exec.meter, &cache));
+      break;
+    }
+  }
+  if (!via_index)
+    for (const Object& obj :
+         database.scan(root_class_name, &exec.meter, &cache))
+      candidates.push_back(&obj);
+
+  for (const Object* obj_ptr : candidates) {
+    const Object& obj = *obj_ptr;
+    LocalRow row;
+    row.root = obj.id();
+    row.preds.reserve(query.predicates.size());
+
+    // Every predicate is evaluated (no short-circuiting): comparison counts
+    // stay deterministic, and under disjunctive queries a False conjunct
+    // does not decide the object's fate by itself.
+    std::vector<Truth> truths;
+    truths.reserve(query.predicates.size());
+    for (const Predicate& pred : query.predicates) {
+      const LocalPredOutcome outcome = eval_global_predicate_at(
+          federation, db, obj, range, pred, 0, &exec.meter, &cache);
+      truths.push_back(outcome.truth);
+      PredStatus status;
+      status.truth = outcome.truth;
+      if (is_unknown(outcome.truth)) {
+        const auto item_entity =
+            federation.goids().goid_of(outcome.holder, &exec.meter);
+        ensures(item_entity.has_value(),
+                "every constituent object is GOid-mapped");
+        status.item = *item_entity;
+        status.step = outcome.step;
+        status.root_level = (outcome.holder == obj.id() && outcome.step == 0);
+      }
+      row.preds.push_back(status);
+    }
+    // The object is eliminated locally when the whole matching formula is
+    // provably False here (for conjunctive queries: any False conjunct).
+    if (is_false(query.combine(truths))) continue;
+
+    const auto entity = federation.goids().goid_of(obj.id(), &exec.meter);
+    ensures(entity.has_value(), "every constituent object is GOid-mapped");
+    row.entity = *entity;
+
+    row.targets.reserve(query.targets.size());
+    for (const PathExpr& target : query.targets)
+      row.targets.push_back(eval_global_path(federation, db, obj, range,
+                                             target, &exec.meter, &cache));
+
+    exec.rows.push_back(std::move(row));
+  }
+  return exec;
+}
+
+}  // namespace isomer

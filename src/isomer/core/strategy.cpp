@@ -1,0 +1,49 @@
+#include "isomer/core/strategy.hpp"
+
+#include "isomer/federation/materializer.hpp"
+
+namespace isomer {
+
+std::string_view to_string(StrategyKind kind) noexcept {
+  switch (kind) {
+    case StrategyKind::CA:
+      return "CA";
+    case StrategyKind::BL:
+      return "BL";
+    case StrategyKind::PL:
+      return "PL";
+    case StrategyKind::BLS:
+      return "BL-S";
+    case StrategyKind::PLS:
+      return "PL-S";
+  }
+  return "CA";
+}
+
+StrategyReport execute_strategy(StrategyKind kind,
+                                const Federation& federation,
+                                const GlobalQuery& query,
+                                const StrategyOptions& options) {
+  switch (kind) {
+    case StrategyKind::CA:
+      return detail::execute_ca(federation, query, options);
+    case StrategyKind::BL:
+      return detail::execute_bl(federation, query, options, false);
+    case StrategyKind::PL:
+      return detail::execute_pl(federation, query, options, false);
+    case StrategyKind::BLS:
+      return detail::execute_bl(federation, query, options, true);
+    case StrategyKind::PLS:
+      return detail::execute_pl(federation, query, options, true);
+  }
+  throw ContractViolation("unknown strategy kind");
+}
+
+QueryResult reference_answer(const Federation& federation,
+                             const GlobalQuery& query) {
+  const MaterializedView view =
+      materialize(federation, classes_involved(federation.schema(), query));
+  return evaluate_global(view, federation.schema(), query);
+}
+
+}  // namespace isomer

@@ -1,0 +1,101 @@
+// Execution strategies (paper §3).
+//
+// | kind | phase order | description                                   |
+// |------|-------------|-----------------------------------------------|
+// | CA   | O -> I -> P | centralized: ship, outerjoin, evaluate        |
+// | BL   | P -> O -> I | localized: evaluate, then check assistants of |
+// |      |             | the local maybe results, certify globally     |
+// | PL   | O -> P -> I | localized: check assistants of *all* objects  |
+// |      |             | in parallel with local evaluation             |
+// | BLS  |             | BL with signature-screened assistant checks   |
+// | PLS  |             | PL with signature-screened assistant checks   |
+//
+// The signature variants implement the paper's §3/§5 extension: a
+// replicated auxiliary structure of object signatures lets the home
+// database discard assistants that provably violate an equality predicate
+// without shipping them (Table 1's S_s, Table 2's R_ss).
+//
+// Every strategy executes inside the discrete-event simulator and returns
+// both the logical answer and the simulated cost figures; on consistent
+// federations all strategies return the same QueryResult.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "isomer/federation/federation.hpp"
+#include "isomer/federation/indexes.hpp"
+#include "isomer/federation/signature.hpp"
+#include "isomer/query/query.hpp"
+#include "isomer/query/result.hpp"
+#include "isomer/sim/cluster.hpp"
+#include "isomer/sim/cost_params.hpp"
+#include "isomer/sim/trace.hpp"
+
+namespace isomer {
+
+enum class StrategyKind : unsigned char { CA, BL, PL, BLS, PLS };
+
+[[nodiscard]] std::string_view to_string(StrategyKind kind) noexcept;
+
+inline constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::CA, StrategyKind::BL, StrategyKind::PL, StrategyKind::BLS,
+    StrategyKind::PLS};
+inline constexpr StrategyKind kPaperStrategies[] = {
+    StrategyKind::CA, StrategyKind::BL, StrategyKind::PL};
+
+struct StrategyOptions {
+  CostParams costs{};
+  NetworkTopology topology = NetworkTopology::SharedBus;
+  /// Prebuilt signature index for BLS/PLS; when null the executor builds one
+  /// on the fly (maintenance of the auxiliary structure is not charged to
+  /// the query, matching the paper's treatment of the GOid tables).
+  const SignatureIndex* signatures = nullptr;
+  /// Optional extent indexes: the localized strategies answer their local
+  /// queries from index candidates instead of scans where possible
+  /// (federation/indexes.hpp). Not part of the paper's scan-based cost
+  /// model; an extension studied in bench_ablation.
+  const ExtentIndexes* indexes = nullptr;
+  /// Record per-step trace events (disable for large benchmark sweeps).
+  bool record_trace = true;
+};
+
+/// The simulated execution's outcome: the logical answer plus the two cost
+/// figures the paper reports and their breakdown.
+struct StrategyReport {
+  QueryResult result;
+
+  SimTime response_ns = 0;  ///< makespan: when the final answer is ready
+  SimTime total_ns = 0;     ///< sum of busy time over every resource
+  SimTime cpu_ns = 0;
+  SimTime disk_ns = 0;
+  SimTime net_ns = 0;
+
+  Bytes bytes_transferred = 0;
+  std::uint64_t messages = 0;
+  AccessMeter work;  ///< aggregated logical work across all sites
+
+  ExecutionTrace trace;
+};
+
+/// Runs `query` over `federation` under the given strategy and returns the
+/// answer with its simulated costs.
+[[nodiscard]] StrategyReport execute_strategy(
+    StrategyKind kind, const Federation& federation, const GlobalQuery& query,
+    const StrategyOptions& options = {});
+
+/// The logical answer alone, computed through the centralized reference path
+/// without the simulator — the test oracle.
+[[nodiscard]] QueryResult reference_answer(const Federation& federation,
+                                           const GlobalQuery& query);
+
+namespace detail {
+StrategyReport execute_ca(const Federation&, const GlobalQuery&,
+                          const StrategyOptions&);
+StrategyReport execute_bl(const Federation&, const GlobalQuery&,
+                          const StrategyOptions&, bool use_signatures);
+StrategyReport execute_pl(const Federation&, const GlobalQuery&,
+                          const StrategyOptions&, bool use_signatures);
+}  // namespace detail
+
+}  // namespace isomer

@@ -1,0 +1,54 @@
+// Concurrent query streams.
+//
+// The paper simulates one query at a time; a deployed federation serves
+// many. run_query_stream() executes a whole arrival schedule of global
+// queries inside ONE simulation — every execution contends for the same
+// site CPUs, disks and network — so queueing between queries is modeled,
+// not just within one. This is where strategy choice becomes a *capacity*
+// question: CA's bulk shipping monopolizes the shared medium and stalls
+// everyone behind it, while the localized strategies interleave.
+#pragma once
+
+#include <vector>
+
+#include "isomer/core/strategy.hpp"
+
+namespace isomer {
+
+/// One query of the stream.
+struct StreamQuery {
+  GlobalQuery query;
+  SimTime arrival = 0;                      ///< when it is submitted
+  StrategyKind kind = StrategyKind::BL;     ///< per-query strategy
+};
+
+/// One query's outcome.
+struct StreamOutcome {
+  QueryResult result;
+  SimTime arrival = 0;
+  SimTime completion = 0;
+
+  [[nodiscard]] SimTime latency() const noexcept {
+    return completion - arrival;
+  }
+};
+
+struct StreamReport {
+  std::vector<StreamOutcome> outcomes;  ///< aligned with the input stream
+  SimTime makespan = 0;                 ///< when the last answer was ready
+  SimTime total_busy_ns = 0;            ///< Σ busy across all resources
+  Bytes bytes_transferred = 0;
+
+  [[nodiscard]] double mean_latency_ms() const;
+  [[nodiscard]] SimTime max_latency() const;
+};
+
+/// Runs the whole stream in one shared simulation. Queries are independent
+/// read-only executions; `options.signatures`/`options.indexes` apply to
+/// every query that can use them. Throws QueryError when any query is
+/// malformed for this federation.
+[[nodiscard]] StreamReport run_query_stream(
+    const Federation& federation, const std::vector<StreamQuery>& stream,
+    const StrategyOptions& options = {});
+
+}  // namespace isomer

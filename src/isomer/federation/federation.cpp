@@ -1,0 +1,148 @@
+#include "isomer/federation/federation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+Federation::Federation(GlobalSchema schema,
+                       std::vector<std::unique_ptr<ComponentDatabase>> databases,
+                       GoidTable goids)
+    : schema_(std::move(schema)),
+      databases_(std::move(databases)),
+      goids_(std::move(goids)) {
+  for (const auto& database : databases_) {
+    expects(database != nullptr, "null database passed to Federation");
+    db_ids_.push_back(database->db());
+  }
+  std::sort(db_ids_.begin(), db_ids_.end());
+  if (std::adjacent_find(db_ids_.begin(), db_ids_.end()) != db_ids_.end())
+    throw FederationError("two component databases share a DbId");
+
+  // Validate the GOid table against the databases and the global schema.
+  for (std::size_t i = 0; i < goids_.entity_count(); ++i) {
+    const GOid entity{static_cast<std::uint64_t>(i + 1)};
+    const std::string& global_class = goids_.class_of(entity);
+    const GlobalClass* cls = schema_.find_class(global_class);
+    if (cls == nullptr)
+      throw FederationError("GOid table entity g" +
+                            std::to_string(entity.value()) +
+                            " references unknown global class " + global_class);
+    for (const LOid& isomer : goids_.isomers_of(entity)) {
+      const ComponentDatabase& database = db(isomer.db);
+      if (database.fetch(isomer) == nullptr)
+        throw FederationError("GOid table references nonexistent object " +
+                              to_string(isomer));
+      const std::string& local_class = database.class_of(isomer);
+      const GlobalClass* owner =
+          schema_.global_class_of(isomer.db, local_class);
+      if (owner == nullptr || owner->name() != global_class)
+        throw FederationError("object " + to_string(isomer) + " of class " +
+                              local_class +
+                              " is not a constituent object of global class " +
+                              global_class);
+    }
+  }
+
+  // Every attribute binding of every global class must name a real local
+  // attribute of the constituent's class (and the constituent class itself
+  // must exist). Hand-built or deserialized schemas get the same guarantee
+  // as integrate()'s output.
+  for (const GlobalClass& cls : schema_.classes()) {
+    for (std::size_t c = 0; c < cls.constituents().size(); ++c) {
+      const Constituent& constituent = cls.constituents()[c];
+      const ComponentDatabase& database = db(constituent.db);
+      const ClassDef* local_class =
+          database.schema().find_class(constituent.local_class);
+      if (local_class == nullptr)
+        throw FederationError("global class " + cls.name() +
+                              " names nonexistent constituent class " +
+                              constituent.local_class + " in DB" +
+                              std::to_string(constituent.db.value()));
+      for (std::size_t a = 0; a < cls.def().attribute_count(); ++a) {
+        const auto& local_name = cls.local_attr(c, a);
+        if (local_name && !local_class->has_attribute(*local_name))
+          throw FederationError(
+              "global attribute " + cls.def().attribute(a).name + " of " +
+              cls.name() + " is bound to nonexistent local attribute " +
+              *local_name + " of " + constituent.local_class + "@DB" +
+              std::to_string(constituent.db.value()));
+      }
+    }
+  }
+
+  // Every object of a constituent class must be GOid-mapped: the paper
+  // assigns a GOid to every object in the distributed system, and a partial
+  // mapping would let the centralized and localized strategies see different
+  // extents.
+  for (const auto& database : databases_) {
+    for (const GlobalClass& cls : schema_.classes()) {
+      const auto constituent = cls.constituent_in(database->db());
+      if (!constituent) continue;
+      const std::string& local_class =
+          cls.constituents()[*constituent].local_class;
+      for (const Object& obj : database->extent(local_class).objects())
+        if (!goids_.goid_of(obj.id()))
+          throw FederationError("object " + to_string(obj.id()) +
+                                " of constituent class " + local_class +
+                                " has no GOid");
+    }
+  }
+}
+
+const ComponentDatabase& Federation::db(DbId id) const {
+  for (const auto& database : databases_)
+    if (database->db() == id) return *database;
+  throw FederationError("federation has no database DB" +
+                        std::to_string(id.value()));
+}
+
+std::vector<std::string> Federation::check_consistency() const {
+  std::vector<std::string> violations;
+
+  for (std::size_t i = 0; i < goids_.entity_count(); ++i) {
+    const GOid entity{static_cast<std::uint64_t>(i + 1)};
+    const GlobalClass& cls = schema_.cls(goids_.class_of(entity));
+    const auto& isomers = goids_.isomers_of(entity);
+
+    for (std::size_t a = 0; a < cls.def().attribute_count(); ++a) {
+      const AttrDef& attr = cls.def().attribute(a);
+      // Collect this attribute's value from every isomer that defines it.
+      Value first_seen;
+      LOid first_holder{};
+      bool have_first = false;
+      for (const LOid& isomer : isomers) {
+        const ComponentDatabase& database = db(isomer.db);
+        const auto constituent = cls.constituent_in(isomer.db);
+        if (!constituent) continue;
+        const auto& local_name = cls.local_attr(*constituent, a);
+        if (!local_name) continue;  // missing attribute: nothing to compare
+        const Object* obj = database.fetch(isomer);
+        const auto index =
+            database.schema().cls(database.class_of(isomer)).find_attribute(
+                *local_name);
+        ensures(index.has_value(), "bound local attribute must exist");
+        const Value& raw = obj->value(*index);
+        if (raw.is_null()) continue;  // nulls never conflict
+        // Compare in global value space so references compare by entity.
+        const Value canonical = goids_.globalize(raw);
+        if (!have_first) {
+          first_seen = canonical;
+          first_holder = isomer;
+          have_first = true;
+        } else if (!(canonical == first_seen)) {
+          std::ostringstream os;
+          os << "entity g" << entity.value() << " attribute " << attr.name
+             << ": " << to_string(first_holder) << " has " << first_seen
+             << " but " << to_string(isomer) << " has " << canonical;
+          violations.push_back(os.str());
+        }
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace isomer

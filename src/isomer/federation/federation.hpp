@@ -1,0 +1,55 @@
+// The federation bundle: global schema + component databases + GOid tables.
+//
+// This is the top-level handle the execution strategies operate on. It also
+// provides the *consistency check* that underpins the strategy-equivalence
+// guarantee: isomeric objects must agree on commonly defined, non-null
+// attributes (the paper assumes clean isomerism; conflicting replicas are a
+// data-integration problem outside its scope).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isomer/federation/goid_table.hpp"
+#include "isomer/schema/global_schema.hpp"
+#include "isomer/store/database.hpp"
+
+namespace isomer {
+
+class Federation {
+ public:
+  /// Assembles a federation. Databases must have distinct DbIds; every LOid
+  /// in the GOid table must exist in its database and belong to a
+  /// constituent class of the entity's global class (FederationError
+  /// otherwise).
+  Federation(GlobalSchema schema,
+             std::vector<std::unique_ptr<ComponentDatabase>> databases,
+             GoidTable goids);
+
+  [[nodiscard]] const GlobalSchema& schema() const noexcept { return schema_; }
+  [[nodiscard]] const GoidTable& goids() const noexcept { return goids_; }
+
+  [[nodiscard]] const ComponentDatabase& db(DbId id) const;
+  [[nodiscard]] std::size_t db_count() const noexcept {
+    return databases_.size();
+  }
+  /// Ascending DbId order.
+  [[nodiscard]] const std::vector<DbId>& db_ids() const noexcept {
+    return db_ids_;
+  }
+
+  /// Verifies that isomeric objects agree on commonly defined non-null
+  /// primitive attributes, and that complex attributes of isomeric objects
+  /// reference isomeric objects. Returns human-readable descriptions of all
+  /// violations (empty when consistent).
+  [[nodiscard]] std::vector<std::string> check_consistency() const;
+
+ private:
+  GlobalSchema schema_;
+  std::vector<std::unique_ptr<ComponentDatabase>> databases_;
+  GoidTable goids_;
+  std::vector<DbId> db_ids_;
+};
+
+}  // namespace isomer

@@ -1,0 +1,82 @@
+// GOid mapping tables (paper Fig. 5).
+//
+// Every object in the federation is assigned a global object identifier;
+// isomeric objects — objects in different component databases representing
+// the same real-world entity — share one GOid. The mapping tables are kept
+// per global class and replicated at every site (paper §4.1), so both
+// component databases and the global site can probe them; probes are charged
+// to an AccessMeter as table_probes.
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isomer/common/ids.hpp"
+#include "isomer/common/value.hpp"
+#include "isomer/store/meter.hpp"
+
+namespace isomer {
+
+/// The federation-wide GOid mapping tables.
+class GoidTable {
+ public:
+  /// Registers one real-world entity of `global_class` represented by the
+  /// given isomeric LOids (at most one per database; at least one). Returns
+  /// the assigned GOid. Throws FederationError when an LOid is already
+  /// mapped or two LOids come from the same database.
+  GOid register_entity(std::string_view global_class,
+                       const std::vector<LOid>& isomers);
+
+  /// Adds another isomeric object to an existing entity.
+  void add_isomer(GOid entity, LOid isomer);
+
+  /// GOid of a local object; nullopt when unmapped.
+  [[nodiscard]] std::optional<GOid> goid_of(LOid local,
+                                            AccessMeter* meter = nullptr) const;
+
+  /// The entity's representative in database `db`; nullopt when the entity
+  /// has no isomeric object there.
+  [[nodiscard]] std::optional<LOid> loid_in(GOid entity, DbId db,
+                                            AccessMeter* meter = nullptr) const;
+
+  /// All isomeric LOids of an entity (ascending DbId order).
+  [[nodiscard]] const std::vector<LOid>& isomers_of(GOid entity) const;
+
+  /// Global class of an entity.
+  [[nodiscard]] const std::string& class_of(GOid entity) const;
+
+  /// All entities of a global class, in GOid order.
+  [[nodiscard]] const std::vector<GOid>& entities_of(
+      std::string_view global_class) const;
+
+  [[nodiscard]] std::size_t entity_count() const noexcept {
+    return entries_.size();
+  }
+
+  /// Rewrites a local value into its global form: LocalRef -> GlobalRef via
+  /// the table (null when the referenced object is unmapped), LocalRefSet ->
+  /// GlobalRefSet likewise; all other values pass through unchanged.
+  [[nodiscard]] Value globalize(const Value& v,
+                                AccessMeter* meter = nullptr) const;
+
+ private:
+  struct Entry {
+    GOid id;
+    std::string global_class;
+    std::vector<LOid> isomers;  // kept sorted by DbId
+  };
+
+  [[nodiscard]] const Entry& entry(GOid entity) const;
+
+  std::vector<Entry> entries_;
+  std::unordered_map<LOid, GOid> by_loid_;
+  std::unordered_map<std::string, std::vector<GOid>> by_class_;
+  std::uint64_t next_goid_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const GoidTable& table);
+
+}  // namespace isomer

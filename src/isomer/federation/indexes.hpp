@@ -1,0 +1,73 @@
+// Extent indexes.
+//
+// An optional access-path substrate (future-work engineering, not in the
+// paper's cost model, which is scan-based): equality indexes over the root
+// class's locally present predicate attributes let a component database
+// answer its local query from the matching objects instead of scanning the
+// extent.
+//
+// The missing-data subtlety: an object whose indexed attribute is *null*
+// does not match the key, but it is not eliminated either — it is a maybe
+// candidate. Every index therefore keeps a dedicated null bucket, and a
+// lookup returns matches ∪ nulls. Objects in neither set are provably False
+// on that equality predicate, which is only a safe elimination when the
+// query is purely conjunctive — the engine refuses to use indexes under
+// disjunctive queries.
+//
+// Like the GOid tables and the signature index, indexes are maintained
+// outside query execution; probes are comparison-priced and each candidate
+// fetch pays its normal disk cost.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isomer/federation/federation.hpp"
+#include "isomer/query/query.hpp"
+
+namespace isomer {
+
+class ExtentIndexes {
+ public:
+  /// Builds equality indexes for every (database, attribute) pair where the
+  /// query has a single-step equality predicate on the range class and the
+  /// database defines the attribute.
+  [[nodiscard]] static ExtentIndexes build(const Federation& federation,
+                                           const GlobalQuery& query);
+
+  /// Candidate sets for `global_attr = literal` at database `db`:
+  /// `matches` hold the key, `unknowns` are the null bucket. nullopt when
+  /// no index covers the pair (caller falls back to a scan).
+  struct Candidates {
+    const std::vector<LOid>* matches = nullptr;
+    const std::vector<LOid>* unknowns = nullptr;
+
+    [[nodiscard]] std::size_t size() const noexcept {
+      return (matches ? matches->size() : 0) +
+             (unknowns ? unknowns->size() : 0);
+    }
+  };
+  [[nodiscard]] std::optional<Candidates> lookup(
+      DbId db, std::string_view global_attr, const Value& literal,
+      AccessMeter* meter = nullptr) const;
+
+  /// True when some database has an index for this global attribute.
+  [[nodiscard]] bool covers(std::string_view global_attr) const;
+
+  [[nodiscard]] std::size_t index_count() const noexcept {
+    return indexes_.size();
+  }
+
+ private:
+  struct Index {
+    std::map<std::string, std::vector<LOid>> by_key;  ///< key = value repr
+    std::vector<LOid> nulls;
+    std::vector<LOid> empty;
+  };
+  /// key: "<db>/<global attr>"
+  std::map<std::string, Index> indexes_;
+};
+
+}  // namespace isomer

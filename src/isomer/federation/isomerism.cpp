@@ -1,0 +1,73 @@
+#include "isomer/federation/isomerism.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+GoidTable detect_isomerism(
+    const GlobalSchema& schema,
+    const std::vector<const ComponentDatabase*>& databases) {
+  std::vector<const ComponentDatabase*> ordered = databases;
+  for (const ComponentDatabase* database : ordered)
+    expects(database != nullptr, "null database passed to detect_isomerism");
+  std::sort(ordered.begin(), ordered.end(),
+            [](const ComponentDatabase* a, const ComponentDatabase* b) {
+              return a->db() < b->db();
+            });
+
+  GoidTable table;
+  for (const GlobalClass& cls : schema.classes()) {
+    const auto& identity = cls.def().identity_attribute();
+
+    // Identity value (as a printable key) -> isomeric LOids found so far.
+    // std::map keeps key order deterministic but entity registration order
+    // below follows first-appearance order for stable GOids.
+    std::map<std::string, std::vector<LOid>> groups;
+    std::vector<std::string> group_order;
+    std::vector<LOid> singletons;
+
+    for (const ComponentDatabase* database : ordered) {
+      const auto constituent = cls.constituent_in(database->db());
+      if (!constituent) continue;
+      const Constituent& info = cls.constituents()[*constituent];
+      const ClassDef& local_class = database->schema().cls(info.local_class);
+
+      std::optional<std::size_t> id_index;
+      if (identity) {
+        const auto global_index = cls.def().find_attribute(*identity);
+        ensures(global_index.has_value(), "identity attribute must exist");
+        if (const auto& local_name = cls.local_attr(*constituent, *global_index))
+          id_index = local_class.find_attribute(*local_name);
+      }
+
+      for (const Object& obj : database->extent(info.local_class).objects()) {
+        Value key;
+        if (id_index) key = obj.value(*id_index);
+        if (key.is_null()) {
+          singletons.push_back(obj.id());
+          continue;
+        }
+        auto [it, inserted] = groups.try_emplace(to_string(key));
+        if (inserted) group_order.push_back(it->first);
+        if (!it->second.empty() && it->second.back().db == database->db())
+          throw FederationError("database DB" +
+                                std::to_string(database->db().value()) +
+                                " has two objects of class " +
+                                info.local_class + " with identity " +
+                                to_string(key));
+        it->second.push_back(obj.id());
+      }
+    }
+
+    for (const std::string& key : group_order)
+      table.register_entity(cls.name(), groups.at(key));
+    for (const LOid& lone : singletons)
+      table.register_entity(cls.name(), {lone});
+  }
+  return table;
+}
+
+}  // namespace isomer

@@ -1,0 +1,31 @@
+// Isomerism detection.
+//
+// The paper assumes isomeric objects have been identified by the authors'
+// earlier strategy [5]. This module provides a reference implementation so
+// the system is self-contained: objects of the constituent classes of one
+// global class are matched on the global class's *identity attribute* (e.g.
+// Student.s-no); objects agreeing on a non-null identity value are declared
+// isomeric and share a GOid. Objects with a null identity value, and all
+// objects of classes without an identity attribute, become singleton
+// entities.
+#pragma once
+
+#include <vector>
+
+#include "isomer/federation/goid_table.hpp"
+#include "isomer/schema/global_schema.hpp"
+#include "isomer/store/database.hpp"
+
+namespace isomer {
+
+/// Builds the GOid mapping tables for all global classes. Databases are
+/// visited in ascending DbId order and extents in insertion order, so GOid
+/// assignment is deterministic. Throws FederationError when two objects of
+/// the *same* database claim the same identity value (isomerism is a
+/// cross-database relation; duplicates within one database indicate broken
+/// source data).
+[[nodiscard]] GoidTable detect_isomerism(
+    const GlobalSchema& schema,
+    const std::vector<const ComponentDatabase*>& databases);
+
+}  // namespace isomer

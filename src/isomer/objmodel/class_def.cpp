@@ -1,0 +1,91 @@
+#include "isomer/objmodel/class_def.hpp"
+
+#include <algorithm>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+std::string_view to_string(PrimType t) noexcept {
+  switch (t) {
+    case PrimType::Bool:
+      return "bool";
+    case PrimType::Int:
+      return "int";
+    case PrimType::Real:
+      return "real";
+    case PrimType::String:
+      return "string";
+  }
+  return "int";
+}
+
+bool is_complex(const AttrType& t) noexcept {
+  return std::holds_alternative<ComplexType>(t);
+}
+
+std::string to_string(const AttrType& t) {
+  if (const auto* prim = std::get_if<PrimType>(&t))
+    return std::string(to_string(*prim));
+  const auto& cplx = std::get<ComplexType>(t);
+  return cplx.multi_valued ? "set<" + cplx.domain_class + ">"
+                           : cplx.domain_class;
+}
+
+bool integration_compatible(const AttrType& a, const AttrType& b) {
+  if (const auto* pa = std::get_if<PrimType>(&a)) {
+    const auto* pb = std::get_if<PrimType>(&b);
+    return pb != nullptr && *pa == *pb;
+  }
+  // Complex attributes integrate when both are complex with matching
+  // multiplicity; the domain classes are unified via class correspondences.
+  const auto& ca = std::get<ComplexType>(a);
+  const auto* cb = std::get_if<ComplexType>(&b);
+  return cb != nullptr && ca.multi_valued == cb->multi_valued;
+}
+
+ClassDef& ClassDef::add_attribute(std::string attr_name, AttrType type) {
+  if (has_attribute(attr_name))
+    throw SchemaError("class " + name_ + " already has attribute " +
+                      attr_name);
+  attrs_.push_back(AttrDef{std::move(attr_name), std::move(type)});
+  return *this;
+}
+
+ClassDef& ClassDef::set_identity_attribute(const std::string& attr_name) {
+  const auto index = find_attribute(attr_name);
+  if (!index)
+    throw SchemaError("class " + name_ + " has no attribute " + attr_name +
+                      " to use as identity");
+  if (is_complex(attrs_[*index].type))
+    throw SchemaError("identity attribute " + attr_name + " of class " +
+                      name_ + " must be primitive");
+  identity_attr_ = attr_name;
+  return *this;
+}
+
+const AttrDef& ClassDef::attribute(std::size_t index) const {
+  expects(index < attrs_.size(), "ClassDef::attribute index out of range");
+  return attrs_[index];
+}
+
+std::optional<std::size_t> ClassDef::find_attribute(
+    std::string_view attr_name) const noexcept {
+  const auto it = std::find_if(
+      attrs_.begin(), attrs_.end(),
+      [&](const AttrDef& attr) { return attr.name == attr_name; });
+  if (it == attrs_.end()) return std::nullopt;
+  return static_cast<std::size_t>(it - attrs_.begin());
+}
+
+std::ostream& operator<<(std::ostream& os, const ClassDef& cls) {
+  os << "class " << cls.name() << " {";
+  const char* sep = " ";
+  for (const AttrDef& attr : cls.attributes()) {
+    os << sep << attr.name << ": " << to_string(attr.type);
+    sep = ", ";
+  }
+  return os << " }";
+}
+
+}  // namespace isomer

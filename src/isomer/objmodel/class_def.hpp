@@ -1,0 +1,98 @@
+// Class definitions for the object data model.
+//
+// A class has named attributes; each attribute is either *primitive*
+// (bool / int / real / string) or *complex* — its value is a reference to an
+// object of a domain class, forming the class composition hierarchy that the
+// paper's nested predicates traverse (e.g. Student.advisor.department.name).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace isomer {
+
+/// Primitive attribute types.
+enum class PrimType : unsigned char { Bool, Int, Real, String };
+
+[[nodiscard]] std::string_view to_string(PrimType t) noexcept;
+
+/// A complex attribute: its values are references to objects of
+/// `domain_class`. `multi_valued` marks set-valued complex attributes
+/// (paper §5 future work; supported as an extension).
+struct ComplexType {
+  std::string domain_class;
+  bool multi_valued = false;
+
+  friend bool operator==(const ComplexType&, const ComplexType&) = default;
+};
+
+/// Attribute type: primitive or complex.
+using AttrType = std::variant<PrimType, ComplexType>;
+
+[[nodiscard]] bool is_complex(const AttrType& t) noexcept;
+[[nodiscard]] std::string to_string(const AttrType& t);
+
+/// Two attribute types are integration-compatible when they are the same
+/// primitive type, or both complex (their domain classes are matched through
+/// the global schema's class correspondences, not by name).
+[[nodiscard]] bool integration_compatible(const AttrType& a, const AttrType& b);
+
+/// One attribute of a class.
+struct AttrDef {
+  std::string name;
+  AttrType type;
+
+  friend bool operator==(const AttrDef&, const AttrDef&) = default;
+};
+
+/// A class definition: ordered attributes plus an optional *identity
+/// attribute* used by the isomerism detector to recognize objects that
+/// represent the same real-world entity across databases (e.g. Student.s-no).
+class ClassDef {
+ public:
+  ClassDef() = default;
+  explicit ClassDef(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Appends an attribute; throws SchemaError on duplicate names.
+  ClassDef& add_attribute(std::string attr_name, AttrType type);
+
+  /// Declares which attribute identifies the real-world entity; throws
+  /// SchemaError if the attribute does not exist or is complex.
+  ClassDef& set_identity_attribute(const std::string& attr_name);
+
+  [[nodiscard]] std::size_t attribute_count() const noexcept {
+    return attrs_.size();
+  }
+  [[nodiscard]] const AttrDef& attribute(std::size_t index) const;
+  [[nodiscard]] const std::vector<AttrDef>& attributes() const noexcept {
+    return attrs_;
+  }
+
+  /// Index of the named attribute, or nullopt when this class does not
+  /// define it (i.e. it is a *missing attribute* of this class).
+  [[nodiscard]] std::optional<std::size_t> find_attribute(
+      std::string_view attr_name) const noexcept;
+
+  [[nodiscard]] bool has_attribute(std::string_view attr_name) const noexcept {
+    return find_attribute(attr_name).has_value();
+  }
+
+  [[nodiscard]] const std::optional<std::string>& identity_attribute()
+      const noexcept {
+    return identity_attr_;
+  }
+
+ private:
+  std::string name_;
+  std::vector<AttrDef> attrs_;
+  std::optional<std::string> identity_attr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ClassDef& cls);
+
+}  // namespace isomer

@@ -1,0 +1,27 @@
+#include "isomer/objmodel/object.hpp"
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+const Value& Object::value(std::size_t attr_index) const {
+  expects(attr_index < values_.size(), "Object::value index out of range");
+  return values_[attr_index];
+}
+
+void Object::set_value(std::size_t attr_index, Value v) {
+  expects(attr_index < values_.size(), "Object::set_value index out of range");
+  values_[attr_index] = std::move(v);
+}
+
+std::ostream& operator<<(std::ostream& os, const Object& obj) {
+  os << obj.id() << " {";
+  const char* sep = " ";
+  for (const Value& v : obj.values()) {
+    os << sep << v;
+    sep = ", ";
+  }
+  return os << " }";
+}
+
+}  // namespace isomer

@@ -1,0 +1,45 @@
+// Object instances.
+//
+// An object stores one value per attribute of its class, positionally aligned
+// with the ClassDef's attribute list. Unset attributes are null — the paper's
+// "original null values" source of missing data.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "isomer/common/ids.hpp"
+#include "isomer/common/value.hpp"
+#include "isomer/objmodel/class_def.hpp"
+
+namespace isomer {
+
+/// One object instance of a component-database class.
+class Object {
+ public:
+  Object() = default;
+  Object(LOid id, const ClassDef& cls)
+      : id_(id), values_(cls.attribute_count()) {}
+
+  [[nodiscard]] LOid id() const noexcept { return id_; }
+
+  [[nodiscard]] std::size_t attribute_count() const noexcept {
+    return values_.size();
+  }
+
+  [[nodiscard]] const Value& value(std::size_t attr_index) const;
+  void set_value(std::size_t attr_index, Value v);
+
+  [[nodiscard]] const std::vector<Value>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  LOid id_{};
+  std::vector<Value> values_;
+};
+
+/// Prints `LOid { attr values... }` for diagnostics.
+std::ostream& operator<<(std::ostream& os, const Object& obj);
+
+}  // namespace isomer

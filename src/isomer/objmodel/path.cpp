@@ -1,0 +1,114 @@
+#include "isomer/objmodel/path.hpp"
+
+#include <sstream>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+PathExpr PathExpr::parse(std::string_view dotted) {
+  if (dotted.empty()) throw QueryError("empty path expression");
+  std::vector<std::string> steps;
+  std::size_t begin = 0;
+  while (begin <= dotted.size()) {
+    const std::size_t dot = dotted.find('.', begin);
+    const std::size_t end = dot == std::string_view::npos ? dotted.size() : dot;
+    if (end == begin)
+      throw QueryError("empty step in path expression '" +
+                       std::string(dotted) + "'");
+    steps.emplace_back(dotted.substr(begin, end - begin));
+    if (dot == std::string_view::npos) break;
+    begin = dot + 1;
+  }
+  return PathExpr(std::move(steps));
+}
+
+const std::string& PathExpr::step(std::size_t i) const {
+  expects(i < steps_.size(), "PathExpr::step index out of range");
+  return steps_[i];
+}
+
+const std::string& PathExpr::last() const {
+  expects(!steps_.empty(), "PathExpr::last on empty path");
+  return steps_.back();
+}
+
+PathExpr PathExpr::prefix(std::size_t end) const {
+  expects(end <= steps_.size(), "PathExpr::prefix end out of range");
+  return PathExpr(std::vector<std::string>(steps_.begin(),
+                                           steps_.begin() + static_cast<std::ptrdiff_t>(end)));
+}
+
+PathExpr PathExpr::suffix(std::size_t begin) const {
+  expects(begin <= steps_.size(), "PathExpr::suffix begin out of range");
+  return PathExpr(std::vector<std::string>(
+      steps_.begin() + static_cast<std::ptrdiff_t>(begin), steps_.end()));
+}
+
+std::string PathExpr::dotted() const {
+  std::ostringstream os;
+  const char* sep = "";
+  for (const std::string& s : steps_) {
+    os << sep << s;
+    sep = ".";
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const PathExpr& path) {
+  return os << path.dotted();
+}
+
+const AttrType& ResolvedPath::result_type() const {
+  expects(!steps.empty(), "ResolvedPath::result_type on empty path");
+  return steps.back().attr_type;
+}
+
+std::vector<std::string> ResolvedPath::classes_on_path() const {
+  std::vector<std::string> names;
+  names.reserve(steps.size() + 1);
+  for (const ResolvedStep& step : steps) names.push_back(step.class_name);
+  // The final step may open one more class (when it is complex).
+  if (!steps.empty()) {
+    if (const auto* cplx = std::get_if<ComplexType>(&steps.back().attr_type))
+      names.push_back(cplx->domain_class);
+  }
+  return names;
+}
+
+ResolvedPath resolve_path(const ClassLookup& lookup,
+                          std::string_view root_class, const PathExpr& path) {
+  if (path.length() == 0) throw QueryError("cannot resolve an empty path");
+  const ClassDef* cls = lookup(root_class);
+  if (cls == nullptr)
+    throw QueryError("unknown range class " + std::string(root_class));
+
+  ResolvedPath resolved;
+  resolved.steps.reserve(path.length());
+  for (std::size_t i = 0; i < path.length(); ++i) {
+    const std::string& attr_name = path.step(i);
+    const auto index = cls->find_attribute(attr_name);
+    if (!index)
+      throw QueryError("class " + cls->name() + " has no attribute " +
+                       attr_name + " (path " + path.dotted() + ")");
+    const AttrDef& attr = cls->attribute(*index);
+    resolved.steps.push_back(ResolvedStep{cls->name(), *index, attr.type});
+
+    const bool last = (i + 1 == path.length());
+    if (!last) {
+      const auto* cplx = std::get_if<ComplexType>(&attr.type);
+      if (cplx == nullptr)
+        throw QueryError("attribute " + attr_name + " of class " +
+                         cls->name() + " is primitive but path " +
+                         path.dotted() + " continues past it");
+      cls = lookup(cplx->domain_class);
+      if (cls == nullptr)
+        throw QueryError("attribute " + attr_name + " of class " +
+                         resolved.steps.back().class_name +
+                         " references unknown class " + cplx->domain_class);
+    }
+  }
+  return resolved;
+}
+
+}  // namespace isomer

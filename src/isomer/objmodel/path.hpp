@@ -1,0 +1,83 @@
+// Path expressions.
+//
+// Nested attributes are written as path expressions rooted at a query's range
+// class, e.g. `advisor.department.name` on Student (paper Fig. 3). All steps
+// but the last must be complex attributes; the last may be primitive or
+// complex.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "isomer/objmodel/class_def.hpp"
+
+namespace isomer {
+
+/// A dotted attribute path. A path of length 1 is a plain attribute; longer
+/// paths are the paper's *nested* attributes.
+class PathExpr {
+ public:
+  PathExpr() = default;
+  explicit PathExpr(std::vector<std::string> steps)
+      : steps_(std::move(steps)) {}
+
+  /// Parses a dotted path such as "advisor.department.name"; throws
+  /// QueryError on empty input or empty steps.
+  [[nodiscard]] static PathExpr parse(std::string_view dotted);
+
+  [[nodiscard]] const std::vector<std::string>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] std::size_t length() const noexcept { return steps_.size(); }
+  [[nodiscard]] bool is_nested() const noexcept { return steps_.size() > 1; }
+  [[nodiscard]] const std::string& step(std::size_t i) const;
+  [[nodiscard]] const std::string& last() const;
+
+  /// The prefix of this path up to (excluding) `end`; prefix(0) is empty.
+  [[nodiscard]] PathExpr prefix(std::size_t end) const;
+
+  /// The suffix of this path starting at step `begin`.
+  [[nodiscard]] PathExpr suffix(std::size_t begin) const;
+
+  [[nodiscard]] std::string dotted() const;
+
+  friend bool operator==(const PathExpr&, const PathExpr&) = default;
+
+ private:
+  std::vector<std::string> steps_;
+};
+
+std::ostream& operator<<(std::ostream& os, const PathExpr& path);
+
+/// Maps a class name to its definition; abstracts over ComponentSchema and
+/// GlobalSchema so path resolution can be shared.
+using ClassLookup = std::function<const ClassDef*(std::string_view)>;
+
+/// One resolved step of a path.
+struct ResolvedStep {
+  std::string class_name;   ///< class the step starts from
+  std::size_t attr_index;   ///< attribute position within that class
+  AttrType attr_type;       ///< the attribute's type
+};
+
+/// A path fully resolved against a schema: every step exists and every
+/// non-final step is complex.
+struct ResolvedPath {
+  std::vector<ResolvedStep> steps;
+
+  [[nodiscard]] const AttrType& result_type() const;
+  /// Class names traversed by the path *including* the root class — i.e. the
+  /// branch classes of the query, in order.
+  [[nodiscard]] std::vector<std::string> classes_on_path() const;
+};
+
+/// Resolves `path` starting at `root_class`; throws QueryError when a step
+/// is undefined, a non-final step is primitive, or the root class is unknown.
+[[nodiscard]] ResolvedPath resolve_path(const ClassLookup& lookup,
+                                        std::string_view root_class,
+                                        const PathExpr& path);
+
+}  // namespace isomer

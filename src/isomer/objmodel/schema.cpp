@@ -1,0 +1,55 @@
+#include "isomer/objmodel/schema.hpp"
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+ClassDef& ComponentSchema::add_class(ClassDef cls) {
+  if (has_class(cls.name()))
+    throw SchemaError("schema " + db_name_ + " already defines class " +
+                      cls.name());
+  by_name_.emplace(cls.name(), classes_.size());
+  classes_.push_back(std::move(cls));
+  return classes_.back();
+}
+
+bool ComponentSchema::has_class(std::string_view class_name) const noexcept {
+  return by_name_.find(std::string(class_name)) != by_name_.end();
+}
+
+const ClassDef& ComponentSchema::cls(std::string_view class_name) const {
+  const ClassDef* found = find_class(class_name);
+  if (found == nullptr)
+    throw SchemaError("schema " + db_name_ + " has no class " +
+                      std::string(class_name));
+  return *found;
+}
+
+const ClassDef* ComponentSchema::find_class(
+    std::string_view class_name) const noexcept {
+  const auto it = by_name_.find(std::string(class_name));
+  if (it == by_name_.end()) return nullptr;
+  return &classes_[it->second];
+}
+
+void ComponentSchema::validate() const {
+  for (const ClassDef& cls : classes_) {
+    for (const AttrDef& attr : cls.attributes()) {
+      if (const auto* cplx = std::get_if<ComplexType>(&attr.type)) {
+        if (!has_class(cplx->domain_class))
+          throw SchemaError("class " + cls.name() + " attribute " + attr.name +
+                            " references undefined class " +
+                            cplx->domain_class + " in schema " + db_name_);
+      }
+    }
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, const ComponentSchema& schema) {
+  os << "schema " << schema.db_name() << " (DB" << schema.db().value()
+     << ")\n";
+  for (const ClassDef& cls : schema.classes()) os << "  " << cls << "\n";
+  return os;
+}
+
+}  // namespace isomer

@@ -1,0 +1,65 @@
+// Component database schemas.
+//
+// Each component database exposes a schema: a set of class definitions whose
+// complex attributes reference other classes of the *same* component schema
+// (class composition hierarchy, Fig. 1 of the paper).
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "isomer/common/ids.hpp"
+#include "isomer/objmodel/class_def.hpp"
+
+namespace isomer {
+
+/// The schema of one component database.
+class ComponentSchema {
+ public:
+  ComponentSchema() = default;
+  ComponentSchema(DbId db, std::string db_name)
+      : db_(db), db_name_(std::move(db_name)) {}
+
+  [[nodiscard]] DbId db() const noexcept { return db_; }
+  [[nodiscard]] const std::string& db_name() const noexcept {
+    return db_name_;
+  }
+
+  /// Adds a class; throws SchemaError on duplicate class names.
+  ClassDef& add_class(ClassDef cls);
+
+  /// Convenience: add an empty class and return it for fluent definition.
+  ClassDef& add_class(std::string class_name) {
+    return add_class(ClassDef(std::move(class_name)));
+  }
+
+  [[nodiscard]] bool has_class(std::string_view class_name) const noexcept;
+
+  /// Lookup by name; throws SchemaError when absent.
+  [[nodiscard]] const ClassDef& cls(std::string_view class_name) const;
+
+  /// Lookup by name; nullptr when absent.
+  [[nodiscard]] const ClassDef* find_class(
+      std::string_view class_name) const noexcept;
+
+  [[nodiscard]] const std::vector<ClassDef>& classes() const noexcept {
+    return classes_;
+  }
+
+  /// Checks that every complex attribute references a class defined in this
+  /// schema; throws SchemaError otherwise. Call after the schema is built.
+  void validate() const;
+
+ private:
+  DbId db_{};
+  std::string db_name_;
+  std::vector<ClassDef> classes_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ComponentSchema& schema);
+
+}  // namespace isomer

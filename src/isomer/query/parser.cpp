@@ -1,0 +1,406 @@
+#include "isomer/query/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace isomer {
+
+namespace {
+
+// ---------------------------------------------------------------- lexing --
+
+enum class Tok : unsigned char {
+  Ident,   // bareword: identifier, keyword, or unquoted string literal
+  Int,
+  Real,
+  String,  // quoted
+  Comma,
+  Dot,
+  Star,
+  LParen,
+  RParen,
+  Op,      // comparison operator
+  End,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;     // raw spelling (idents lowercased separately on use)
+  std::size_t pos = 0;  // offset in the input, for error messages
+};
+
+[[noreturn]] void fail(const std::string& message, std::size_t pos) {
+  std::ostringstream os;
+  os << "SQL/X parse error at offset " << pos << ": " << message;
+  throw ParseError(os.str());
+}
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+std::vector<Token> lex(std::string_view text) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < text.size() && ident_char(text[j])) ++j;
+      tokens.push_back(
+          Token{Tok::Ident, std::string(text.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::size_t j = i + 1;
+      bool real = false;
+      while (j < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[j])) ||
+              text[j] == '.')) {
+        if (text[j] == '.') {
+          // A digit must follow, otherwise this dot belongs to a path.
+          if (j + 1 >= text.size() ||
+              !std::isdigit(static_cast<unsigned char>(text[j + 1])))
+            break;
+          real = true;
+        }
+        ++j;
+      }
+      tokens.push_back(Token{real ? Tok::Real : Tok::Int,
+                             std::string(text.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      std::size_t j = i + 1;
+      while (j < text.size() && text[j] != c) ++j;
+      if (j >= text.size()) fail("unterminated string literal", start);
+      tokens.push_back(
+          Token{Tok::String, std::string(text.substr(i + 1, j - i - 1)),
+                start});
+      i = j + 1;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        tokens.push_back(Token{Tok::Comma, ",", start});
+        ++i;
+        continue;
+      case '.':
+        tokens.push_back(Token{Tok::Dot, ".", start});
+        ++i;
+        continue;
+      case '*':
+        tokens.push_back(Token{Tok::Star, "*", start});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back(Token{Tok::LParen, "(", start});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back(Token{Tok::RParen, ")", start});
+        ++i;
+        continue;
+      case '=':
+        tokens.push_back(Token{Tok::Op, "=", start});
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back(Token{Tok::Op, "<>", start});
+          i += 2;
+          continue;
+        }
+        fail("stray '!'", start);
+      case '<':
+        if (i + 1 < text.size() && (text[i + 1] == '=' || text[i + 1] == '>')) {
+          tokens.push_back(
+              Token{Tok::Op, std::string(text.substr(i, 2)), start});
+          i += 2;
+        } else {
+          tokens.push_back(Token{Tok::Op, "<", start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          tokens.push_back(Token{Tok::Op, ">=", start});
+          i += 2;
+        } else {
+          tokens.push_back(Token{Tok::Op, ">", start});
+          ++i;
+        }
+        continue;
+      default:
+        fail(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  tokens.push_back(Token{Tok::End, "", text.size()});
+  return tokens;
+}
+
+std::string lowered(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// --------------------------------------------------------------- parsing --
+
+/// Boolean-formula AST over predicate indices, normalized afterwards.
+struct Node {
+  enum class Kind { Pred, And, Or } kind = Kind::Pred;
+  std::size_t pred = 0;
+  std::vector<Node> children;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : tokens_(lex(text)) {}
+
+  GlobalQuery parse() {
+    keyword("select");
+    GlobalQuery query;
+    parse_targets(query);
+    keyword("from");
+    query.range_class = expect(Tok::Ident, "range class name").text;
+    const Token& declared = expect(Tok::Ident, "range variable");
+    var_ = declared.text;
+    if (!first_target_var_.empty() && first_target_var_ != var_)
+      fail("target list uses variable '" + first_target_var_ +
+               "' but the range variable is '" + var_ + "'",
+           declared.pos);
+
+    if (at_keyword("where")) {
+      advance();
+      const Node formula = parse_or(query);
+      normalize(formula, query);
+    }
+    if (peek().kind != Tok::End) fail("trailing input", peek().pos);
+    return query;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  void advance() { ++index_; }
+
+  const Token& expect(Tok kind, const char* what) {
+    if (peek().kind != kind)
+      fail(std::string("expected ") + what + ", found '" + peek().text + "'",
+           peek().pos);
+    const Token& token = peek();
+    advance();
+    return token;
+  }
+
+  bool at_keyword(const char* word) const {
+    return peek().kind == Tok::Ident && lowered(peek().text) == word;
+  }
+  void keyword(const char* word) {
+    if (!at_keyword(word))
+      fail(std::string("expected keyword '") + word + "', found '" +
+               peek().text + "'",
+           peek().pos);
+    advance();
+  }
+
+  /// `X.a.b.c` — checks the variable and returns the dotted path.
+  PathExpr parse_path() {
+    const Token& var = expect(Tok::Ident, "range variable");
+    if (!var_.empty() && var.text != var_)
+      fail("unknown range variable '" + var.text + "' (declared '" + var_ +
+               "')",
+           var.pos);
+    std::vector<std::string> steps;
+    do {
+      expect(Tok::Dot, "'.'");
+      steps.push_back(expect(Tok::Ident, "attribute name").text);
+    } while (peek().kind == Tok::Dot);
+    return PathExpr(std::move(steps));
+  }
+
+  void parse_targets(GlobalQuery& query) {
+    if (peek().kind == Tok::Star) {  // Select * — project nothing extra
+      advance();
+      return;
+    }
+    // Targets reference the range variable before it is declared; record
+    // the raw paths now and validate the variable afterwards.
+    first_target_var_.clear();
+    while (true) {
+      const Token& var = expect(Tok::Ident, "range variable");
+      if (first_target_var_.empty()) first_target_var_ = var.text;
+      if (var.text != first_target_var_)
+        fail("inconsistent range variables in the target list", var.pos);
+      std::vector<std::string> steps;
+      do {
+        expect(Tok::Dot, "'.'");
+        steps.push_back(expect(Tok::Ident, "attribute name").text);
+      } while (peek().kind == Tok::Dot);
+      query.targets.push_back(PathExpr(std::move(steps)));
+      if (peek().kind != Tok::Comma) break;
+      advance();
+    }
+  }
+
+  Value parse_literal() {
+    const Token& token = peek();
+    switch (token.kind) {
+      case Tok::Int:
+        advance();
+        return Value(static_cast<std::int64_t>(std::stoll(token.text)));
+      case Tok::Real:
+        advance();
+        return Value(std::stod(token.text));
+      case Tok::String:
+        advance();
+        return Value(token.text);
+      case Tok::Ident: {
+        const std::string word = lowered(token.text);
+        advance();
+        if (word == "true") return Value(true);
+        if (word == "false") return Value(false);
+        // Bareword string, as the paper writes `X.address.city=Taipei`.
+        return Value(token.text);
+      }
+      default:
+        fail("expected a literal, found '" + token.text + "'", token.pos);
+    }
+  }
+
+  static CompOp to_op(const Token& token) {
+    if (token.text == "=") return CompOp::Eq;
+    if (token.text == "<>") return CompOp::Ne;
+    if (token.text == "<") return CompOp::Lt;
+    if (token.text == "<=") return CompOp::Le;
+    if (token.text == ">") return CompOp::Gt;
+    if (token.text == ">=") return CompOp::Ge;
+    fail("unknown operator '" + token.text + "'", token.pos);
+  }
+
+  Node parse_or(GlobalQuery& query) {
+    Node node = parse_and(query);
+    while (at_keyword("or")) {
+      advance();
+      if (node.kind != Node::Kind::Or) {
+        Node parent;
+        parent.kind = Node::Kind::Or;
+        parent.children.push_back(std::move(node));
+        node = std::move(parent);
+      }
+      node.children.push_back(parse_and(query));
+    }
+    return node;
+  }
+
+  Node parse_and(GlobalQuery& query) {
+    Node node = parse_factor(query);
+    while (at_keyword("and")) {
+      advance();
+      if (node.kind != Node::Kind::And) {
+        Node parent;
+        parent.kind = Node::Kind::And;
+        parent.children.push_back(std::move(node));
+        node = std::move(parent);
+      }
+      node.children.push_back(parse_factor(query));
+    }
+    return node;
+  }
+
+  Node parse_factor(GlobalQuery& query) {
+    if (peek().kind == Tok::LParen) {
+      advance();
+      Node inner = parse_or(query);
+      expect(Tok::RParen, "')'");
+      return inner;
+    }
+    const std::size_t pos = peek().pos;
+    PathExpr path = parse_path();
+    const CompOp op = to_op(expect(Tok::Op, "comparison operator"));
+    Value literal = parse_literal();
+    if (literal.is_null()) fail("null literal", pos);
+    Node node;
+    node.kind = Node::Kind::Pred;
+    node.pred = query.predicates.size();
+    query.predicates.push_back(
+        Predicate{std::move(path), op, std::move(literal)});
+    return node;
+  }
+
+  /// Flattens the formula into GlobalQuery's AND-of-at-most-one-OR shape.
+  void normalize(const Node& root, GlobalQuery& query) {
+    const auto conjunct_preds =
+        [](const Node& node) -> std::optional<std::vector<std::size_t>> {
+      if (node.kind == Node::Kind::Pred) return std::vector{node.pred};
+      if (node.kind != Node::Kind::And) return std::nullopt;
+      std::vector<std::size_t> preds;
+      for (const Node& child : node.children) {
+        if (child.kind != Node::Kind::Pred) return std::nullopt;
+        preds.push_back(child.pred);
+      }
+      return preds;
+    };
+
+    const auto as_groups = [&](const Node& node) {
+      std::vector<std::vector<std::size_t>> groups;
+      for (const Node& alt : node.children) {
+        const auto preds = conjunct_preds(alt);
+        if (!preds)
+          fail("this OR nests another OR inside an alternative; rewrite the "
+               "formula as conjuncts AND one OR of conjunctions",
+               0);
+        groups.push_back(*preds);
+      }
+      return groups;
+    };
+
+    if (root.kind == Node::Kind::Pred) return;  // single conjunct
+    if (root.kind == Node::Kind::Or) {
+      query.disjuncts = as_groups(root);
+      return;
+    }
+    // AND: all children predicates, except at most one OR child.
+    bool saw_or = false;
+    for (const Node& child : root.children) {
+      if (child.kind == Node::Kind::Pred) continue;
+      if (child.kind == Node::Kind::Or && !saw_or) {
+        saw_or = true;
+        query.disjuncts = as_groups(child);
+        continue;
+      }
+      fail("at most one OR group is supported per query (the engine's "
+           "formula shape is conjuncts AND one OR of conjunctions)",
+           0);
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+  std::string var_;
+  std::string first_target_var_;
+};
+
+}  // namespace
+
+GlobalQuery parse_sqlx(std::string_view text) {
+  Parser parser(text);
+  GlobalQuery query = parser.parse();
+  return query;
+}
+
+}  // namespace isomer

@@ -1,0 +1,51 @@
+// SQL/X-subset parser.
+//
+// The paper writes global queries in UniSQL's SQL/X (Fig. 3a). This parser
+// accepts that subset — single range variable, dotted path expressions,
+// comparison predicates over string/int/real/bool literals, conjunctions —
+// plus the library's disjunctive extension (`or`, with parentheses):
+//
+//   Select X.name, X.advisor.name
+//   From Student X
+//   Where X.address.city = 'Taipei'
+//     and (X.advisor.speciality = 'database' or X.age >= 30)
+//
+// Grammar (case-insensitive keywords):
+//
+//   query     := SELECT targets FROM ident ident [WHERE formula]
+//   targets   := target (',' target)*   | '*'            ('*' = no targets)
+//   target    := var '.' path
+//   formula   := conjunct (OR conjunct)*
+//   conjunct  := factor (AND factor)*
+//   factor    := predicate | '(' formula ')'
+//   predicate := var '.' path op literal
+//   op        := '=' | '<>' | '!=' | '<' | '<=' | '>' | '>='
+//   literal   := integer | real | 'string' | "string" | TRUE | FALSE
+//                | bareword                      (bareword = unquoted string,
+//                                                 as the paper writes Taipei)
+//
+// The formula is normalized into GlobalQuery's shape: a pure conjunction
+// uses no disjunct groups; a top-level OR of conjunctions becomes one group
+// per alternative. Nested mixtures beyond that (an OR inside one AND-factor
+// of another OR) exceed GlobalQuery's AND-of-OR shape and are rejected with
+// a clear error.
+#pragma once
+
+#include <string>
+
+#include "isomer/common/error.hpp"
+#include "isomer/query/query.hpp"
+
+namespace isomer {
+
+/// Thrown on any lexical or syntactic error; the message carries the
+/// offending position and token.
+class ParseError : public QueryError {
+ public:
+  using QueryError::QueryError;
+};
+
+/// Parses one SQL/X query. Throws ParseError on malformed input.
+[[nodiscard]] GlobalQuery parse_sqlx(std::string_view text);
+
+}  // namespace isomer

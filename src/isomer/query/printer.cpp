@@ -1,0 +1,83 @@
+#include "isomer/query/printer.hpp"
+
+#include <sstream>
+
+namespace isomer {
+
+namespace {
+
+void print_predicates(std::ostringstream& os,
+                      const std::vector<Predicate>& preds) {
+  const char* sep = "";
+  for (const Predicate& pred : preds) {
+    os << sep << "X." << pred.path.dotted() << to_string(pred.op)
+       << to_string(pred.literal);
+    sep = " and ";
+  }
+}
+
+}  // namespace
+
+std::string to_sqlx(const GlobalQuery& query) {
+  std::ostringstream os;
+  os << "Select ";
+  const char* sep = "";
+  for (const PathExpr& target : query.targets) {
+    os << sep << "X." << target.dotted();
+    sep = ", ";
+  }
+  os << " From " << query.range_class << " X";
+  if (query.predicates.empty()) return os.str();
+  os << " Where ";
+
+  if (query.disjuncts.empty()) {
+    print_predicates(os, query.predicates);
+    return os.str();
+  }
+
+  // Disjunctive form: plain conjuncts first, then the OR of the groups.
+  std::vector<bool> grouped(query.predicates.size(), false);
+  for (const auto& group : query.disjuncts)
+    for (const std::size_t index : group) grouped[index] = true;
+  const char* and_sep = "";
+  for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+    if (grouped[p]) continue;
+    const Predicate& pred = query.predicates[p];
+    os << and_sep << "X." << pred.path.dotted() << to_string(pred.op)
+       << to_string(pred.literal);
+    and_sep = " and ";
+  }
+  os << and_sep << "(";
+  const char* or_sep = "";
+  for (const auto& group : query.disjuncts) {
+    os << or_sep;
+    or_sep = " or ";
+    if (group.size() > 1) os << "(";
+    const char* inner = "";
+    for (const std::size_t index : group) {
+      const Predicate& pred = query.predicates[index];
+      os << inner << "X." << pred.path.dotted() << to_string(pred.op)
+         << to_string(pred.literal);
+      inner = " and ";
+    }
+    if (group.size() > 1) os << ")";
+  }
+  os << ")";
+  return os.str();
+}
+
+std::string to_sqlx(const LocalQuery& query) {
+  std::ostringstream os;
+  os << "Select X.Oid";
+  for (const PathExpr& item : query.unsolved_item_paths)
+    os << ", X." << item.dotted();
+  for (const PathExpr& target : query.targets) os << ", X." << target.dotted();
+  os << " From " << query.root_class << "@DB" << query.db.value() << " X";
+  if (!query.local_predicates.empty()) {
+    os << " Where ";
+    print_predicates(os, query.local_predicates);
+  }
+  return os.str();
+}
+
+}  // namespace isomer

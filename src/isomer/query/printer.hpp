@@ -1,0 +1,24 @@
+// SQL/X-style query formatting.
+//
+// The paper writes queries in UniSQL's SQL/X (Fig. 3). We do not parse SQL;
+// queries are built through the AST. This printer renders the AST back into
+// the paper's notation for logs, examples and documentation.
+#pragma once
+
+#include <string>
+
+#include "isomer/query/query.hpp"
+
+namespace isomer {
+
+/// Renders a global query as
+/// `Select X.name, X.advisor.name From Student X Where X.address.city=Taipei
+///  and ...`.
+[[nodiscard]] std::string to_sqlx(const GlobalQuery& query);
+
+/// Renders a local query as
+/// `Select X.Oid, X.advisor, ... From Student@DB1 X Where ...`
+/// including the projected unsolved-item paths, mirroring Fig. 3(b).
+[[nodiscard]] std::string to_sqlx(const LocalQuery& query);
+
+}  // namespace isomer

@@ -1,0 +1,14 @@
+#include "isomer/query/result.hpp"
+
+namespace isomer {
+
+std::ostream& operator<<(std::ostream& os, const QueryResult& result) {
+  for (const ResultRow& row : result.rows) {
+    os << "g" << row.entity.value() << " [" << to_string(row.status) << "]";
+    for (const Value& v : row.targets) os << " " << v;
+    os << "\n";
+  }
+  return os;
+}
+
+}  // namespace isomer

@@ -1,0 +1,71 @@
+// Query results.
+//
+// Following Codd's maybe-result semantics the answer to a global query is
+// two sets: *certain* results (every predicate True) and *maybe* results
+// (no predicate False, at least one Unknown after certification). Rows are
+// keyed by GOid — isomeric objects collapse to one row per real-world
+// entity. Objects with any False predicate are eliminated and do not appear.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "isomer/common/ids.hpp"
+#include "isomer/common/value.hpp"
+
+namespace isomer {
+
+enum class ResultStatus : unsigned char { Certain, Maybe };
+
+[[nodiscard]] constexpr std::string_view to_string(ResultStatus s) noexcept {
+  return s == ResultStatus::Certain ? "certain" : "maybe";
+}
+
+/// One answer row: the entity, its certainty, and the projected target
+/// values (aligned with GlobalQuery::targets; references are GlobalRefs;
+/// values unavailable in any component database are null).
+struct ResultRow {
+  GOid entity;
+  ResultStatus status = ResultStatus::Maybe;
+  std::vector<Value> targets;
+
+  friend bool operator==(const ResultRow&, const ResultRow&) = default;
+};
+
+/// The full answer to a global query.
+struct QueryResult {
+  std::vector<ResultRow> rows;
+
+  /// Sorts rows by GOid; all strategies normalize before returning so that
+  /// results compare structurally.
+  void normalize() {
+    std::sort(rows.begin(), rows.end(),
+              [](const ResultRow& a, const ResultRow& b) {
+                return a.entity < b.entity;
+              });
+  }
+
+  [[nodiscard]] const ResultRow* find(GOid entity) const noexcept {
+    for (const ResultRow& row : rows)
+      if (row.entity == entity) return &row;
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t certain_count() const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(rows.begin(), rows.end(), [](const ResultRow& r) {
+          return r.status == ResultStatus::Certain;
+        }));
+  }
+  [[nodiscard]] std::size_t maybe_count() const noexcept {
+    return rows.size() - certain_count();
+  }
+
+  friend bool operator==(const QueryResult&, const QueryResult&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const QueryResult& result);
+
+}  // namespace isomer

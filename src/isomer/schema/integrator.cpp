@@ -1,0 +1,168 @@
+#include "isomer/schema/integrator.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+ClassSpec& IntegrationSpec::add_class(std::string global_name) {
+  classes.push_back(ClassSpec{std::move(global_name), {}, {}, std::nullopt});
+  return classes.back();
+}
+
+namespace {
+
+const ComponentSchema& schema_of(
+    const std::vector<const ComponentSchema*>& schemas, DbId db) {
+  for (const ComponentSchema* schema : schemas) {
+    expects(schema != nullptr, "null component schema passed to integrate");
+    if (schema->db() == db) return *schema;
+  }
+  throw SchemaError("integration references unknown database DB" +
+                    std::to_string(db.value()));
+}
+
+/// The global attribute name a local attribute contributes to (identity
+/// unless an explicit renaming applies).
+std::string global_name_of(const ClassSpec& spec, DbId db,
+                           const std::string& local_attr) {
+  for (const AttrMapping& mapping : spec.attr_mappings)
+    if (mapping.db == db && mapping.local_attr == local_attr)
+      return mapping.global_attr;
+  return local_attr;
+}
+
+/// The local attribute name implementing a global attribute in one
+/// constituent, if any.
+std::optional<std::string> local_name_of(const ClassSpec& spec, DbId db,
+                                         const ClassDef& local_class,
+                                         const std::string& global_attr) {
+  for (const AttrMapping& mapping : spec.attr_mappings)
+    if (mapping.db == db && mapping.global_attr == global_attr) {
+      if (!local_class.has_attribute(mapping.local_attr))
+        throw SchemaError("attribute mapping for global attribute " +
+                          global_attr + " names missing local attribute " +
+                          mapping.local_attr + " in class " +
+                          local_class.name());
+      return mapping.local_attr;
+    }
+  // Default: same name — but only when that local attribute is not itself
+  // renamed to a different global attribute.
+  if (local_class.has_attribute(global_attr) &&
+      global_name_of(spec, db, global_attr) == global_attr)
+    return global_attr;
+  return std::nullopt;
+}
+
+}  // namespace
+
+GlobalSchema integrate(const std::vector<const ComponentSchema*>& schemas,
+                       const IntegrationSpec& spec) {
+  GlobalSchema global;
+
+  // Pass 1: create the global classes with their constituents so that the
+  // reverse map (local class -> global class) exists before attribute types
+  // are resolved (complex domains need it).
+  for (const ClassSpec& class_spec : spec.classes) {
+    if (class_spec.constituents.empty())
+      throw SchemaError("global class " + class_spec.global_name +
+                        " has no constituents");
+    for (const Constituent& constituent : class_spec.constituents) {
+      const ComponentSchema& schema = schema_of(schemas, constituent.db);
+      if (!schema.has_class(constituent.local_class))
+        throw SchemaError("DB" + std::to_string(constituent.db.value()) +
+                          " has no class " + constituent.local_class +
+                          " (constituent of " + class_spec.global_name + ")");
+      const auto in_db = [&](const Constituent& other) {
+        return other.db == constituent.db && &other != &constituent;
+      };
+      if (std::any_of(class_spec.constituents.begin(),
+                      class_spec.constituents.end(), in_db))
+        throw SchemaError("global class " + class_spec.global_name +
+                          " has two constituents in DB" +
+                          std::to_string(constituent.db.value()));
+    }
+    global.add_class(
+        GlobalClass(class_spec.global_name, class_spec.constituents));
+  }
+
+  // Pass 2: attribute union per global class, resolving complex domains via
+  // the reverse map.
+  for (const ClassSpec& class_spec : spec.classes) {
+    // add_class returns references into a vector that pass 1 has finished
+    // growing, so taking a mutable pointer via find_class is safe here.
+    auto& global_class =
+        const_cast<GlobalClass&>(global.cls(class_spec.global_name));
+
+    for (std::size_t c = 0; c < class_spec.constituents.size(); ++c) {
+      const Constituent& constituent = class_spec.constituents[c];
+      const ComponentSchema& schema = schema_of(schemas, constituent.db);
+      const ClassDef& local_class = schema.cls(constituent.local_class);
+
+      for (const AttrDef& local_attr : local_class.attributes()) {
+        const std::string global_attr =
+            global_name_of(class_spec, constituent.db, local_attr.name);
+
+        // Resolve the global type of this local attribute.
+        AttrType global_type = local_attr.type;
+        if (const auto* cplx = std::get_if<ComplexType>(&local_attr.type)) {
+          const GlobalClass* domain =
+              global.global_class_of(constituent.db, cplx->domain_class);
+          if (domain == nullptr)
+            throw SchemaError(
+                "complex attribute " + local_attr.name + " of " +
+                local_class.name() + "@DB" +
+                std::to_string(constituent.db.value()) +
+                " references class " + cplx->domain_class +
+                " which is not integrated into any global class");
+          global_type = ComplexType{domain->name(), cplx->multi_valued};
+        }
+
+        const auto existing =
+            global_class.def().find_attribute(global_attr);
+        if (!existing) {
+          global_class.mutable_def().add_attribute(global_attr, global_type);
+        } else {
+          const AttrType& prior = global_class.def().attribute(*existing).type;
+          if (prior != global_type)
+            throw SchemaError("global attribute " + global_attr + " of " +
+                              class_spec.global_name +
+                              " has incompatible types across constituents: " +
+                              to_string(prior) + " vs " +
+                              to_string(global_type));
+        }
+      }
+    }
+
+    // Pass 2b: now that the attribute union is complete, bind each global
+    // attribute to its local name (or leave it missing) per constituent.
+    global_class.pad_local_names();
+    for (std::size_t c = 0; c < class_spec.constituents.size(); ++c) {
+      const Constituent& constituent = class_spec.constituents[c];
+      const ComponentSchema& schema = schema_of(schemas, constituent.db);
+      const ClassDef& local_class = schema.cls(constituent.local_class);
+      for (std::size_t a = 0; a < global_class.def().attribute_count(); ++a) {
+        const std::string& global_attr = global_class.def().attribute(a).name;
+        if (auto local = local_name_of(class_spec, constituent.db,
+                                       local_class, global_attr))
+          global_class.bind_local_attr(c, a, std::move(*local));
+      }
+    }
+
+    if (class_spec.identity_attribute) {
+      if (!global_class.def().has_attribute(*class_spec.identity_attribute))
+        throw SchemaError("identity attribute " +
+                          *class_spec.identity_attribute +
+                          " is not an attribute of global class " +
+                          class_spec.global_name);
+      global_class.mutable_def().set_identity_attribute(
+          *class_spec.identity_attribute);
+    }
+  }
+
+  return global;
+}
+
+}  // namespace isomer

@@ -1,0 +1,58 @@
+// Schema integration.
+//
+// The Integrator builds a GlobalSchema from component schemas and an
+// IntegrationSpec. The spec lists which local classes integrate into which
+// global class (the semantic correspondence a human or the authors' earlier
+// tooling [13] establishes); attribute correspondence defaults to matching
+// by name, with explicit mappings for renamed attributes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isomer/objmodel/schema.hpp"
+#include "isomer/schema/global_schema.hpp"
+
+namespace isomer {
+
+/// Declares that a differently-named local attribute implements a global
+/// attribute for one constituent database.
+struct AttrMapping {
+  std::string global_attr;
+  DbId db;
+  std::string local_attr;
+};
+
+/// One global class to construct.
+struct ClassSpec {
+  std::string global_name;
+  std::vector<Constituent> constituents;
+  std::vector<AttrMapping> attr_mappings;  ///< only renamed attributes
+  /// Global attribute identifying the real-world entity (for isomerism
+  /// detection); must be primitive and defined in at least one constituent.
+  std::optional<std::string> identity_attribute;
+};
+
+/// The full integration specification.
+struct IntegrationSpec {
+  std::vector<ClassSpec> classes;
+
+  ClassSpec& add_class(std::string global_name);
+};
+
+/// Integrates component schemas into a global schema.
+///
+/// * Global attributes are the set union of constituent attributes (after
+///   applying renamings), ordered by first appearance across constituents.
+/// * Primitive attributes must agree on type across constituents.
+/// * Complex attributes must reference local classes that are themselves
+///   integrated; their global domain is the corresponding global class, and
+///   all constituents must agree on it and on multiplicity.
+///
+/// Throws SchemaError on any inconsistency.
+[[nodiscard]] GlobalSchema integrate(
+    const std::vector<const ComponentSchema*>& schemas,
+    const IntegrationSpec& spec);
+
+}  // namespace isomer

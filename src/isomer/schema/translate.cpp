@@ -1,0 +1,70 @@
+#include "isomer/schema/translate.hpp"
+
+#include <algorithm>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+std::optional<LocalQuery> derive_local_query(const GlobalSchema& schema,
+                                             const GlobalQuery& query,
+                                             DbId db) {
+  const GlobalClass& range = schema.cls(query.range_class);
+  const auto constituent = range.constituent_in(db);
+  if (!constituent) return std::nullopt;
+
+  LocalQuery local;
+  local.db = db;
+  local.root_class = range.constituents()[*constituent].local_class;
+
+  for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+    const Predicate& pred = query.predicates[p];
+    PathTranslation translation =
+        schema.translate_path(query.range_class, pred.path, db);
+    if (translation.complete()) {
+      local.local_predicates.push_back(
+          Predicate{std::move(translation.local), pred.op, pred.literal});
+      local.local_predicate_origin.push_back(p);
+    } else {
+      const std::size_t missing_at = *translation.missing_at;
+      local.unsolved_predicates.push_back(UnsolvedPredicate{
+          p, pred, pred.path.prefix(missing_at), pred.path.suffix(missing_at)});
+      // When the missing attribute sits on a branch class (missing_at > 0),
+      // the object reached by the translated prefix is an unsolved item and
+      // must be projected (Fig. 3b selects X.advisor for Q1').
+      if (missing_at > 0) {
+        // translation.local holds exactly the local steps before the missing
+        // one, i.e. the path to the unsolved item.
+        const PathExpr& item_path = translation.local;
+        if (std::find(local.unsolved_item_paths.begin(),
+                      local.unsolved_item_paths.end(),
+                      item_path) == local.unsolved_item_paths.end())
+          local.unsolved_item_paths.push_back(item_path);
+      }
+    }
+  }
+
+  for (std::size_t t = 0; t < query.targets.size(); ++t) {
+    PathTranslation translation =
+        schema.translate_path(query.range_class, query.targets[t], db);
+    if (translation.complete()) {
+      local.targets.push_back(std::move(translation.local));
+      local.target_origin.push_back(t);
+    }
+  }
+
+  return local;
+}
+
+std::vector<DbId> local_query_sites(const GlobalSchema& schema,
+                                    const GlobalQuery& query) {
+  const GlobalClass& range = schema.cls(query.range_class);
+  std::vector<DbId> sites;
+  sites.reserve(range.constituents().size());
+  for (const Constituent& constituent : range.constituents())
+    sites.push_back(constituent.db);
+  std::sort(sites.begin(), sites.end());
+  return sites;
+}
+
+}  // namespace isomer

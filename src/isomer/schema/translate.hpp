@@ -1,0 +1,30 @@
+// Global-to-local query translation (paper §2.3, Fig. 3b).
+//
+// For a component database holding a constituent of the query's range class,
+// derive_local_query produces the local query: predicates whose paths fully
+// translate become *local predicates*; predicates crossing a schema-level
+// missing attribute are stripped into *unsolved predicates*, and the nested
+// complex attributes holding the missing data are projected as
+// *unsolved item paths* so their objects can be certified later.
+#pragma once
+
+#include <optional>
+
+#include "isomer/query/query.hpp"
+#include "isomer/schema/global_schema.hpp"
+
+namespace isomer {
+
+/// Derives the local query of `query` for database `db`, or nullopt when
+/// `db` holds no constituent of the query's range class (no local query is
+/// issued there). Throws QueryError when the global query does not resolve
+/// against the global schema.
+[[nodiscard]] std::optional<LocalQuery> derive_local_query(
+    const GlobalSchema& schema, const GlobalQuery& query, DbId db);
+
+/// Databases that receive a local query for `query` (those holding a
+/// constituent of the range class), in ascending DbId order.
+[[nodiscard]] std::vector<DbId> local_query_sites(const GlobalSchema& schema,
+                                                  const GlobalQuery& query);
+
+}  // namespace isomer

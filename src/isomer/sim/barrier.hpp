@@ -1,0 +1,62 @@
+// Fan-in helper for continuation-style simulation code.
+//
+// Strategies frequently wait for N parallel activities (e.g. "all component
+// databases have responded") before continuing. A Barrier counts arrivals
+// and fires its continuation exactly once when the expected number is
+// reached; it is shared_ptr-managed because the arriving callbacks outlive
+// the scope that created it.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+class Barrier : public std::enable_shared_from_this<Barrier> {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] static std::shared_ptr<Barrier> create(std::size_t expected,
+                                                       Callback on_complete) {
+    auto barrier =
+        std::shared_ptr<Barrier>(new Barrier(expected, std::move(on_complete)));
+    // A barrier over zero activities completes immediately.
+    if (barrier->expected_ == 0) barrier->fire();
+    return barrier;
+  }
+
+  void arrive() {
+    expects(arrived_ < expected_, "Barrier::arrive beyond expected count");
+    ++arrived_;
+    if (arrived_ == expected_) fire();
+  }
+
+  /// An arrival callback bound to this barrier (keeps it alive).
+  [[nodiscard]] Callback arrival() {
+    auto self = shared_from_this();
+    return [self] { self->arrive(); };
+  }
+
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return expected_ - arrived_;
+  }
+
+ private:
+  Barrier(std::size_t expected, Callback on_complete)
+      : expected_(expected), on_complete_(std::move(on_complete)) {}
+
+  void fire() {
+    ensures(on_complete_ != nullptr, "Barrier fired twice");
+    Callback cb = std::move(on_complete_);
+    on_complete_ = nullptr;
+    cb();
+  }
+
+  std::size_t expected_;
+  std::size_t arrived_ = 0;
+  Callback on_complete_;
+};
+
+}  // namespace isomer

@@ -1,0 +1,95 @@
+#include "isomer/sim/cluster.hpp"
+
+namespace isomer {
+
+std::string_view to_string(NetworkTopology t) noexcept {
+  switch (t) {
+    case NetworkTopology::SharedBus:
+      return "shared-bus";
+    case NetworkTopology::PointToPoint:
+      return "point-to-point";
+    case NetworkTopology::Contentionless:
+      return "contentionless";
+    case NetworkTopology::CollisionBus:
+      return "collision-bus";
+  }
+  return "shared-bus";
+}
+
+Cluster::Cluster(Simulator& sim, const CostParams& params,
+                 std::size_t components, NetworkTopology topology)
+    : sim_(&sim), params_(params), topology_(topology) {
+  sites_.push_back(std::make_unique<SiteNode>(sim, "global"));
+  for (std::size_t i = 1; i <= components; ++i)
+    sites_.push_back(
+        std::make_unique<SiteNode>(sim, "DB" + std::to_string(i)));
+}
+
+SiteNode& Cluster::site(SiteIndex index) {
+  expects(index < sites_.size(), "site index out of range");
+  return *sites_[index];
+}
+
+Resource& Cluster::link(SiteIndex from, SiteIndex to) {
+  const bool shared = topology_ == NetworkTopology::SharedBus ||
+                      topology_ == NetworkTopology::CollisionBus;
+  const auto key = shared ? std::pair<SiteIndex, SiteIndex>{0, 0}
+                          : std::pair<SiteIndex, SiteIndex>{from, to};
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    const std::string name =
+        shared ? std::string("net")
+               : "net." + std::to_string(from) + "->" + std::to_string(to);
+    it = links_.emplace(key, std::make_unique<Resource>(*sim_, name)).first;
+  }
+  return *it->second;
+}
+
+void Cluster::transfer(SiteIndex from, SiteIndex to, Bytes bytes,
+                       Simulator::Callback on_delivered) {
+  expects(from < sites_.size() && to < sites_.size(),
+          "transfer endpoint out of range");
+  expects(from != to, "transfer endpoints must differ");
+  bytes_transferred_ += bytes;
+  ++messages_;
+  SimTime duration = params_.net_time(bytes);
+  if (topology_ == NetworkTopology::Contentionless) {
+    contentionless_busy_ += duration;
+    sim_->schedule_after(duration, std::move(on_delivered));
+    return;
+  }
+  if (topology_ == NetworkTopology::CollisionBus) {
+    // Collisions burn bandwidth in proportion to the backlog present when
+    // this transfer starts contending for the medium.
+    duration += static_cast<SimTime>(
+        static_cast<double>(duration) * params_.collision_alpha *
+        static_cast<double>(pending_transfers_));
+    ++pending_transfers_;
+    link(from, to).use(duration, [this, cb = std::move(on_delivered)] {
+      --pending_transfers_;
+      cb();
+    });
+    return;
+  }
+  link(from, to).use(duration, std::move(on_delivered));
+}
+
+SimTime Cluster::network_busy() const noexcept {
+  SimTime total = contentionless_busy_;
+  for (const auto& [key, resource] : links_) total += resource->busy();
+  return total;
+}
+
+SimTime Cluster::cpu_busy() const noexcept {
+  SimTime total = 0;
+  for (const auto& site : sites_) total += site->cpu().busy();
+  return total;
+}
+
+SimTime Cluster::disk_busy() const noexcept {
+  SimTime total = 0;
+  for (const auto& site : sites_) total += site->disk().busy();
+  return total;
+}
+
+}  // namespace isomer

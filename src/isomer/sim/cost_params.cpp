@@ -1,0 +1,19 @@
+#include "isomer/sim/cost_params.hpp"
+
+namespace isomer {
+
+Bytes CostParams::stored_attr_bytes(const AttrType& type,
+                                    Bytes set_arity) const noexcept {
+  if (const auto* cplx = std::get_if<ComplexType>(&type))
+    return cplx->multi_valued ? set_arity * loid_bytes : loid_bytes;
+  return attr_bytes;
+}
+
+Bytes CostParams::stored_object_bytes(const ClassDef& cls) const noexcept {
+  Bytes total = loid_bytes;
+  for (const AttrDef& attr : cls.attributes())
+    total += stored_attr_bytes(attr.type);
+  return total;
+}
+
+}  // namespace isomer

@@ -1,0 +1,104 @@
+// Table 1 — the system cost parameters.
+//
+// | parameter | description                     | setting            |
+// |-----------|---------------------------------|--------------------|
+// | S_a       | average size of attributes      | 32 bytes           |
+// | S_GOid    | size of GOid                    | 16 bytes           |
+// | S_LOid    | size of LOid                    | 16 bytes           |
+// | S_s       | size of object signatures       | 32 bytes           |
+// | T_d       | average disk access time        | 15 us/byte         |
+// | T_net     | average network transfer time   | 8 us/byte          |
+// | T_c       | average cpu processing time     | 0.5 us/comparison  |
+// | N_iso     | avg isomeric objects per entity | 2                  |
+//
+// All rates are exact in nanoseconds, so simulated times are exact integers.
+#pragma once
+
+#include <cstdint>
+
+#include "isomer/objmodel/class_def.hpp"
+#include "isomer/sim/simulator.hpp"
+#include "isomer/store/meter.hpp"
+
+namespace isomer {
+
+using Bytes = std::uint64_t;
+
+struct CostParams {
+  // --- sizes (bytes) ---
+  Bytes attr_bytes = 32;  ///< S_a
+  Bytes goid_bytes = 16;  ///< S_GOid
+  Bytes loid_bytes = 16;  ///< S_LOid
+  Bytes sig_bytes = 32;   ///< S_s
+
+  // --- rates ---
+  SimTime disk_ns_per_byte = 15'000;  ///< T_d = 15 us/byte
+  SimTime net_ns_per_byte = 8'000;    ///< T_net = 8 us/byte
+  SimTime cpu_ns_per_cmp = 500;       ///< T_c = 0.5 us/comparison
+
+  // --- workload-level constant reported with Table 1 ---
+  double avg_isomers = 2.0;  ///< N_iso
+
+  /// CollisionBus only: fractional slowdown per concurrently pending
+  /// transfer (collisions / backoff on a shared CSMA/CD-style medium).
+  double collision_alpha = 0.5;
+
+  [[nodiscard]] SimTime disk_time(Bytes bytes) const noexcept {
+    return static_cast<SimTime>(bytes) * disk_ns_per_byte;
+  }
+  [[nodiscard]] SimTime net_time(Bytes bytes) const noexcept {
+    return static_cast<SimTime>(bytes) * net_ns_per_byte;
+  }
+  [[nodiscard]] SimTime cpu_time(std::uint64_t comparisons) const noexcept {
+    return static_cast<SimTime>(comparisons) * cpu_ns_per_cmp;
+  }
+  /// CPU time for the logical work in a meter (comparisons + GOid-mapping
+  /// probes; both are comparison-priced).
+  [[nodiscard]] SimTime cpu_time(const AccessMeter& meter) const noexcept {
+    return cpu_time(meter.comparisons + meter.table_probes);
+  }
+
+  /// On-disk size of one attribute value: primitives average S_a, single
+  /// references store an LOid, multi-valued references store `set_arity`
+  /// LOids on average.
+  [[nodiscard]] Bytes stored_attr_bytes(const AttrType& type,
+                                        Bytes set_arity = 2) const noexcept;
+
+  /// On-disk size of one object of `cls` (LOid + all attributes).
+  [[nodiscard]] Bytes stored_object_bytes(const ClassDef& cls) const noexcept;
+
+  /// Wire size of an object projected onto `attrs` primitive attributes and
+  /// `refs` references (paper §3.1: objects are projected onto the LOid and
+  /// the attributes involved in the query before transfer; refs travel as
+  /// GOids after mapping, per Fig. 6).
+  [[nodiscard]] Bytes projected_object_bytes(std::uint64_t attrs,
+                                             std::uint64_t refs) const noexcept {
+    return loid_bytes + attrs * attr_bytes + refs * goid_bytes;
+  }
+
+  /// Wire size of a query/control message carrying `predicates` predicates
+  /// (each roughly one attribute name plus a literal).
+  [[nodiscard]] Bytes request_bytes(std::uint64_t predicates) const noexcept {
+    return attr_bytes + predicates * 2 * attr_bytes;
+  }
+
+  /// Wire size of one assistant-check task: the assistant's LOid, the
+  /// item's GOid, and the suffix predicate (attribute + literal).
+  [[nodiscard]] Bytes check_task_bytes() const noexcept {
+    return loid_bytes + goid_bytes + 2 * attr_bytes;
+  }
+
+  /// Wire size of one tri-state check verdict (item GOid + predicate index
+  /// + truth).
+  [[nodiscard]] Bytes verdict_bytes() const noexcept { return goid_bytes + 8; }
+
+  /// Bytes read from disk for the objects recorded in a meter: every
+  /// scanned/fetched object contributes its OID plus its attribute slots
+  /// (primitive slots average S_a, reference slots store an LOid).
+  [[nodiscard]] Bytes disk_bytes(const AccessMeter& meter) const noexcept {
+    return (meter.objects_scanned + meter.objects_fetched) * loid_bytes +
+           meter.prim_slots * attr_bytes + meter.ref_slots * loid_bytes;
+  }
+};
+
+}  // namespace isomer

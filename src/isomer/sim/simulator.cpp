@@ -1,0 +1,23 @@
+#include "isomer/sim/simulator.hpp"
+
+namespace isomer {
+
+void Simulator::schedule_at(SimTime at, Callback cb) {
+  expects(cb != nullptr, "cannot schedule a null callback");
+  if (at < now_) throw SimError("cannot schedule an event in the past");
+  queue_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+void Simulator::run() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the callback must be moved out
+    // before pop, so copy the header fields and steal the callback.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.at;
+    ++processed_;
+    event.cb();
+  }
+}
+
+}  // namespace isomer

@@ -1,0 +1,114 @@
+#include "isomer/sim/trace_export.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace isomer {
+
+namespace {
+
+void json_escape(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+}
+
+char glyph(Phase phase) {
+  switch (phase) {
+    case Phase::O:
+      return 'O';
+    case Phase::I:
+      return 'I';
+    case Phase::P:
+      return 'P';
+    case Phase::Transfer:
+      return '-';
+    case Phase::Setup:
+      return '.';
+  }
+  return '?';
+}
+
+}  // namespace
+
+std::string to_chrome_json(const ExecutionTrace& trace) {
+  // Stable lane ids per site, in order of first appearance.
+  std::map<std::string, int> lanes;
+  for (const TraceEvent& event : trace.events())
+    lanes.try_emplace(event.site, static_cast<int>(lanes.size()) + 1);
+
+  std::ostringstream out;
+  out << "[";
+  const char* sep = "\n";
+  // Thread-name metadata so viewers label the lanes.
+  for (const auto& [site, lane] : lanes) {
+    out << sep
+        << R"({"name":"thread_name","ph":"M","pid":1,"tid":)" << lane
+        << R"(,"args":{"name":")";
+    json_escape(out, site);
+    out << "\"}}";
+    sep = ",\n";
+  }
+  for (const TraceEvent& event : trace.events()) {
+    out << sep << R"({"name":")";
+    json_escape(out, event.step);
+    out << R"(","cat":")" << to_string(event.phase) << R"(","ph":"X","pid":1)"
+        << R"(,"tid":)" << lanes.at(event.site) << R"(,"ts":)"
+        << static_cast<double>(event.start) / 1000.0 << R"(,"dur":)"
+        << static_cast<double>(event.end - event.start) / 1000.0 << "}";
+    sep = ",\n";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
+std::string to_gantt(const ExecutionTrace& trace, std::size_t width) {
+  if (trace.events().empty()) return "(empty trace)\n";
+  SimTime makespan = 0;
+  for (const TraceEvent& event : trace.events())
+    makespan = std::max(makespan, event.end);
+  if (makespan == 0) makespan = 1;
+
+  std::map<std::string, std::string> rows;
+  std::vector<std::string> order;
+  for (const TraceEvent& event : trace.events()) {
+    auto [it, inserted] = rows.try_emplace(event.site, std::string(width, ' '));
+    if (inserted) order.push_back(event.site);
+    const auto cell = [&](SimTime t) {
+      return std::min(width - 1, static_cast<std::size_t>(
+                                     static_cast<double>(t) /
+                                     static_cast<double>(makespan) *
+                                     static_cast<double>(width)));
+    };
+    const std::size_t from = cell(event.start);
+    const std::size_t to = std::max(from, cell(event.end));
+    for (std::size_t i = from; i <= to; ++i) it->second[i] = glyph(event.phase);
+  }
+
+  std::size_t label = 0;
+  for (const std::string& site : order) label = std::max(label, site.size());
+  std::ostringstream out;
+  for (const std::string& site : order) {
+    out << site << std::string(label - site.size(), ' ') << " |"
+        << rows.at(site) << "|\n";
+  }
+  out << std::string(label, ' ') << " 0" << std::string(width - 1, ' ')
+      << to_milliseconds(makespan) << "ms\n";
+  return out.str();
+}
+
+}  // namespace isomer

@@ -1,0 +1,169 @@
+#include "isomer/store/database.hpp"
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+namespace {
+
+/// True when value `v` may be stored under attribute type `t` (null is
+/// storable everywhere; ints are storable into real attributes).
+bool storable(const AttrType& t, const Value& v) {
+  if (v.is_null()) return true;
+  if (const auto* prim = std::get_if<PrimType>(&t)) {
+    switch (*prim) {
+      case PrimType::Bool:
+        return v.kind() == ValueKind::Bool;
+      case PrimType::Int:
+        return v.kind() == ValueKind::Int;
+      case PrimType::Real:
+        return v.is_numeric();
+      case PrimType::String:
+        return v.kind() == ValueKind::String;
+    }
+    return false;
+  }
+  const auto& cplx = std::get<ComplexType>(t);
+  if (cplx.multi_valued) return v.kind() == ValueKind::LocalRefSet;
+  return v.kind() == ValueKind::LocalRef;
+}
+
+struct SlotCounts {
+  std::uint64_t prims = 0;
+  std::uint64_t refs = 0;
+};
+
+SlotCounts slot_counts(const ClassDef& cls) {
+  SlotCounts counts;
+  for (const AttrDef& attr : cls.attributes()) {
+    if (is_complex(attr.type))
+      ++counts.refs;
+    else
+      ++counts.prims;
+  }
+  return counts;
+}
+
+}  // namespace
+
+ComponentDatabase::ComponentDatabase(ComponentSchema schema)
+    : schema_(std::move(schema)) {
+  schema_.validate();
+  for (const ClassDef& cls : schema_.classes())
+    extents_.emplace(cls.name(), Extent(cls));
+}
+
+void ComponentDatabase::check_type(const ClassDef& cls, std::size_t attr_index,
+                                   const Value& v) const {
+  const AttrDef& attr = cls.attribute(attr_index);
+  if (!storable(attr.type, v))
+    throw QueryError("value of kind " + std::string(to_string(v.kind())) +
+                     " not storable into attribute " + attr.name +
+                     " of class " + cls.name() + " (type " +
+                     to_string(attr.type) + ")");
+}
+
+LOid ComponentDatabase::insert(std::string_view class_name,
+                               std::initializer_list<NamedValue> values) {
+  return insert(class_name, std::vector<NamedValue>(values));
+}
+
+LOid ComponentDatabase::insert(std::string_view class_name,
+                               const std::vector<NamedValue>& values) {
+  Extent& ext = mutable_extent(class_name);
+  const ClassDef& cls = ext.cls();
+  const LOid id{db(), next_loid_++};
+  Object obj(id, cls);
+  for (const auto& [attr_name, value] : values) {
+    const auto index = cls.find_attribute(attr_name);
+    if (!index)
+      throw QueryError("class " + cls.name() + " has no attribute " +
+                       attr_name);
+    check_type(cls, *index, value);
+    obj.set_value(*index, value);
+  }
+  ext.insert(std::move(obj));
+  loid_to_class_.emplace(id, cls.name());
+  return id;
+}
+
+void ComponentDatabase::set_attribute(LOid id, std::string_view attr_name,
+                                      Value v) {
+  const std::string& class_name = class_of(id);
+  Extent& ext = mutable_extent(class_name);
+  Object* obj = ext.find(id);
+  ensures(obj != nullptr, "LOid registered but absent from extent");
+  const auto index = ext.cls().find_attribute(attr_name);
+  if (!index)
+    throw QueryError("class " + ext.cls().name() + " has no attribute " +
+                     std::string(attr_name));
+  check_type(ext.cls(), *index, v);
+  obj->set_value(*index, std::move(v));
+}
+
+const Extent& ComponentDatabase::extent(std::string_view class_name) const {
+  const auto it = extents_.find(std::string(class_name));
+  if (it == extents_.end())
+    throw SchemaError("database " + schema_.db_name() + " has no class " +
+                      std::string(class_name));
+  return it->second;
+}
+
+bool ComponentDatabase::has_extent(std::string_view class_name) const noexcept {
+  return extents_.find(std::string(class_name)) != extents_.end();
+}
+
+Extent& ComponentDatabase::mutable_extent(std::string_view class_name) {
+  const auto it = extents_.find(std::string(class_name));
+  if (it == extents_.end())
+    throw SchemaError("database " + schema_.db_name() + " has no class " +
+                      std::string(class_name));
+  return it->second;
+}
+
+const std::string& ComponentDatabase::class_of(LOid id) const {
+  const auto it = loid_to_class_.find(id);
+  if (it == loid_to_class_.end())
+    throw FederationError("LOid " + to_string(id) + " unknown to database " +
+                          schema_.db_name());
+  return it->second;
+}
+
+const Object* ComponentDatabase::fetch(LOid id, AccessMeter* meter,
+                                       FetchCache* cache) const {
+  const auto it = loid_to_class_.find(id);
+  if (it == loid_to_class_.end()) return nullptr;
+  const Extent& ext = extent(it->second);
+  const Object* obj = ext.find(id);
+  if (obj != nullptr && meter != nullptr &&
+      (cache == nullptr || cache->admit(id))) {
+    ++meter->objects_fetched;
+    const SlotCounts counts = slot_counts(ext.cls());
+    meter->prim_slots += counts.prims;
+    meter->ref_slots += counts.refs;
+  }
+  return obj;
+}
+
+const Object* ComponentDatabase::deref(const Value& ref, AccessMeter* meter,
+                                       FetchCache* cache) const {
+  if (ref.kind() != ValueKind::LocalRef) return nullptr;
+  return fetch(ref.as_local_ref(), meter, cache);
+}
+
+const std::vector<Object>& ComponentDatabase::scan(std::string_view class_name,
+                                                   AccessMeter* meter,
+                                                   FetchCache* cache) const {
+  const Extent& ext = extent(class_name);
+  if (meter != nullptr) {
+    meter->objects_scanned += ext.size();
+    const SlotCounts counts = slot_counts(ext.cls());
+    meter->prim_slots += counts.prims * ext.size();
+    meter->ref_slots += counts.refs * ext.size();
+  }
+  if (cache != nullptr)
+    for (const Object& obj : ext.objects()) cache->seen.insert(obj.id());
+  return ext.objects();
+}
+
+}  // namespace isomer

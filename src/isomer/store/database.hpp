@@ -1,0 +1,89 @@
+// Component databases.
+//
+// A ComponentDatabase owns one component schema and one extent per class,
+// allocates LOids, and offers the navigation primitives (point lookup,
+// reference dereference) the query evaluator and the execution strategies
+// are built on. Physical work is counted into an optional AccessMeter.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "isomer/objmodel/schema.hpp"
+#include "isomer/store/extent.hpp"
+#include "isomer/store/meter.hpp"
+
+namespace isomer {
+
+/// Named attribute value used when inserting objects:
+/// `db.insert("Student", {{"name", "John"}, {"age", 31}})`.
+using NamedValue = std::pair<std::string, Value>;
+
+/// One component database: schema + extents + LOid allocation.
+class ComponentDatabase {
+ public:
+  /// Takes ownership of the (validated) schema.
+  explicit ComponentDatabase(ComponentSchema schema);
+
+  [[nodiscard]] DbId db() const noexcept { return schema_.db(); }
+  [[nodiscard]] const ComponentSchema& schema() const noexcept {
+    return schema_;
+  }
+
+  /// Inserts a new object of `class_name` with the given attribute values;
+  /// unlisted attributes stay null. Values are type-checked against the
+  /// schema (QueryError on mismatch). Returns the allocated LOid.
+  LOid insert(std::string_view class_name,
+              std::initializer_list<NamedValue> values);
+  LOid insert(std::string_view class_name,
+              const std::vector<NamedValue>& values);
+
+  /// Inserts an object with all attributes null.
+  LOid insert(std::string_view class_name) { return insert(class_name, {}); }
+
+  /// Overwrites one attribute of an existing object (type-checked).
+  void set_attribute(LOid id, std::string_view attr_name, Value v);
+
+  [[nodiscard]] const Extent& extent(std::string_view class_name) const;
+  [[nodiscard]] bool has_extent(std::string_view class_name) const noexcept;
+
+  /// The class an LOid belongs to; throws FederationError when unknown.
+  [[nodiscard]] const std::string& class_of(LOid id) const;
+
+  /// Point lookup; nullptr when the LOid is not in this database. Charges
+  /// one fetched object to the meter when found — unless `cache` says the
+  /// object is already buffered in memory.
+  [[nodiscard]] const Object* fetch(LOid id, AccessMeter* meter = nullptr,
+                                    FetchCache* cache = nullptr) const;
+
+  /// Dereferences a local reference value; null / dangling refs yield
+  /// nullptr. Charges one fetched object when followed (cache-aware).
+  [[nodiscard]] const Object* deref(const Value& ref,
+                                    AccessMeter* meter = nullptr,
+                                    FetchCache* cache = nullptr) const;
+
+  /// Scans the extent of `class_name`, charging every object to the meter,
+  /// and returns the objects. When `cache` is given, all scanned objects
+  /// enter the buffer pool so later point lookups are memory hits.
+  [[nodiscard]] const std::vector<Object>& scan(std::string_view class_name,
+                                                AccessMeter* meter,
+                                                FetchCache* cache = nullptr) const;
+
+  [[nodiscard]] std::size_t object_count() const noexcept { return loid_to_class_.size(); }
+
+ private:
+  Extent& mutable_extent(std::string_view class_name);
+  void check_type(const ClassDef& cls, std::size_t attr_index,
+                  const Value& v) const;
+
+  ComponentSchema schema_;
+  std::unordered_map<std::string, Extent> extents_;
+  std::unordered_map<LOid, std::string> loid_to_class_;
+  std::uint32_t next_loid_ = 1;
+};
+
+}  // namespace isomer

@@ -1,0 +1,33 @@
+#include "isomer/store/extent.hpp"
+
+#include <utility>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+const ClassDef& Extent::cls() const {
+  expects(cls_ != nullptr, "Extent used before binding to a class");
+  return *cls_;
+}
+
+Object& Extent::insert(Object obj) {
+  const auto [it, inserted] = by_id_.emplace(obj.id(), objects_.size());
+  if (!inserted)
+    throw FederationError("duplicate LOid " + to_string(obj.id()) +
+                          " in extent of class " + cls().name());
+  objects_.push_back(std::move(obj));
+  return objects_.back();
+}
+
+const Object* Extent::find(LOid id) const noexcept {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return nullptr;
+  return &objects_[it->second];
+}
+
+Object* Extent::find(LOid id) noexcept {
+  return const_cast<Object*>(std::as_const(*this).find(id));
+}
+
+}  // namespace isomer

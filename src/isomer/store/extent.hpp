@@ -1,0 +1,45 @@
+// Class extents.
+//
+// An extent holds every object of one class in one component database, with
+// an LOid index for point lookups.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "isomer/objmodel/class_def.hpp"
+#include "isomer/objmodel/object.hpp"
+
+namespace isomer {
+
+/// All objects of one class within one component database. The extent does
+/// not own the class definition; it lives in the database's schema and must
+/// outlive the extent.
+class Extent {
+ public:
+  Extent() = default;
+  explicit Extent(const ClassDef& cls) : cls_(&cls) {}
+
+  [[nodiscard]] const ClassDef& cls() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return objects_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return objects_.empty(); }
+
+  /// Appends an object; throws FederationError when the LOid already exists.
+  Object& insert(Object obj);
+
+  [[nodiscard]] const Object* find(LOid id) const noexcept;
+  [[nodiscard]] Object* find(LOid id) noexcept;
+
+  [[nodiscard]] const std::vector<Object>& objects() const noexcept {
+    return objects_;
+  }
+  [[nodiscard]] std::vector<Object>& objects() noexcept { return objects_; }
+
+ private:
+  const ClassDef* cls_ = nullptr;
+  std::vector<Object> objects_;
+  std::unordered_map<LOid, std::size_t> by_id_;
+};
+
+}  // namespace isomer

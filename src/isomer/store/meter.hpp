@@ -1,0 +1,56 @@
+// Access metering.
+//
+// The simulation charges time per byte read from disk, per byte shipped over
+// the network, and per comparison (Table 1). The store and the query
+// evaluator do not know those rates; they only count *what* they did into an
+// AccessMeter — objects, attribute slots, comparisons, mapping-table probes —
+// and the execution strategies convert counts into simulated time via
+// sim::CostParams.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "isomer/common/ids.hpp"
+
+namespace isomer {
+
+/// Counters of physical work performed by a store / evaluator.
+struct AccessMeter {
+  std::uint64_t objects_scanned = 0;  ///< objects touched by extent scans
+  std::uint64_t objects_fetched = 0;  ///< objects fetched by LOid lookup
+  std::uint64_t comparisons = 0;      ///< predicate / join comparisons
+  std::uint64_t table_probes = 0;     ///< GOid-mapping-table probes
+
+  /// Attribute slots of every scanned/fetched object, split by kind so byte
+  /// sizes can be derived (primitive slots average S_a bytes, reference
+  /// slots store an OID). Multi-valued references count as one slot.
+  std::uint64_t prim_slots = 0;
+  std::uint64_t ref_slots = 0;
+
+  AccessMeter& operator+=(const AccessMeter& other) noexcept {
+    objects_scanned += other.objects_scanned;
+    objects_fetched += other.objects_fetched;
+    comparisons += other.comparisons;
+    table_probes += other.table_probes;
+    prim_slots += other.prim_slots;
+    ref_slots += other.ref_slots;
+    return *this;
+  }
+
+  friend bool operator==(const AccessMeter&, const AccessMeter&) = default;
+};
+
+/// Models a site's buffer pool within one unit of work (paper §4.1 gives
+/// every component DBMS a memory): the first access to an object reads it
+/// from disk and is charged to the meter; repeated accesses hit memory and
+/// charge nothing. Pass one cache per logical execution (a local query, a
+/// check batch) to the store's fetch/deref/scan.
+struct FetchCache {
+  std::unordered_set<LOid> seen;
+
+  /// True when `id` was not yet cached (caller must charge the read).
+  bool admit(LOid id) { return seen.insert(id).second; }
+};
+
+}  // namespace isomer

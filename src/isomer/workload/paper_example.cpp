@@ -1,0 +1,199 @@
+#include "isomer/workload/paper_example.hpp"
+
+#include "isomer/common/error.hpp"
+#include "isomer/schema/integrator.hpp"
+
+namespace isomer::paper {
+
+namespace {
+
+constexpr DbId kDb1{1};
+constexpr DbId kDb2{2};
+constexpr DbId kDb3{3};
+
+ComponentSchema schema_db1() {
+  ComponentSchema schema(kDb1, "DB1");
+  schema.add_class("Student")
+      .add_attribute("s-no", PrimType::Int)
+      .add_attribute("name", PrimType::String)
+      .add_attribute("age", PrimType::Int)
+      .add_attribute("advisor", ComplexType{"Teacher"})
+      .add_attribute("sex", PrimType::String);
+  schema.add_class("Teacher")
+      .add_attribute("name", PrimType::String)
+      .add_attribute("department", ComplexType{"Department"});
+  schema.add_class("Department").add_attribute("name", PrimType::String);
+  schema.validate();
+  return schema;
+}
+
+ComponentSchema schema_db2() {
+  ComponentSchema schema(kDb2, "DB2");
+  schema.add_class("Student")
+      .add_attribute("s-no", PrimType::Int)
+      .add_attribute("name", PrimType::String)
+      .add_attribute("sex", PrimType::String)
+      .add_attribute("address", ComplexType{"Address"})
+      .add_attribute("advisor", ComplexType{"Teacher"});
+  schema.add_class("Teacher")
+      .add_attribute("name", PrimType::String)
+      .add_attribute("speciality", PrimType::String);
+  schema.add_class("Address")
+      .add_attribute("city", PrimType::String)
+      .add_attribute("street", PrimType::String)
+      .add_attribute("zipcode", PrimType::Int);
+  schema.validate();
+  return schema;
+}
+
+ComponentSchema schema_db3() {
+  ComponentSchema schema(kDb3, "DB3");
+  schema.add_class("Department")
+      .add_attribute("name", PrimType::String)
+      .add_attribute("location", PrimType::String);
+  schema.add_class("Teacher")
+      .add_attribute("name", PrimType::String)
+      .add_attribute("department", ComplexType{"Department"});
+  schema.validate();
+  return schema;
+}
+
+IntegrationSpec integration_spec() {
+  IntegrationSpec spec;
+  auto& student = spec.add_class("Student");
+  student.constituents = {{kDb1, "Student"}, {kDb2, "Student"}};
+  student.identity_attribute = "s-no";
+  auto& teacher = spec.add_class("Teacher");
+  teacher.constituents = {{kDb1, "Teacher"}, {kDb2, "Teacher"},
+                          {kDb3, "Teacher"}};
+  teacher.identity_attribute = "name";
+  auto& department = spec.add_class("Department");
+  department.constituents = {{kDb1, "Department"}, {kDb3, "Department"}};
+  department.identity_attribute = "name";
+  auto& address = spec.add_class("Address");
+  address.constituents = {{kDb2, "Address"}};
+  return spec;
+}
+
+}  // namespace
+
+GOid UniversityExample::entity(LOid id) const {
+  const auto goid = federation->goids().goid_of(id);
+  expects(goid.has_value(), "notable object must be mapped");
+  return *goid;
+}
+
+UniversityExample make_university() {
+  auto db1 = std::make_unique<ComponentDatabase>(schema_db1());
+  auto db2 = std::make_unique<ComponentDatabase>(schema_db2());
+  auto db3 = std::make_unique<ComponentDatabase>(schema_db3());
+
+  UniversityIds ids;
+
+  // --- DB1 instances (Fig. 4a). '-' entries are nulls.
+  ids.d1 = db1->insert("Department", {{"name", "CS"}});
+  ids.d2 = db1->insert("Department", {{"name", "EE"}});
+  ids.t1 = db1->insert("Teacher",
+                       {{"name", "Jeffery"}, {"department", LocalRef{ids.d1}}});
+  ids.t2 = db1->insert("Teacher", {{"name", "Abel"}});  // department null
+  ids.t3 = db1->insert("Teacher",
+                       {{"name", "Haley"}, {"department", LocalRef{ids.d1}}});
+  ids.s1 = db1->insert("Student", {{"s-no", 804301},
+                                   {"name", "John"},
+                                   {"age", 31},
+                                   {"advisor", LocalRef{ids.t1}}});  // sex null
+  ids.s2 = db1->insert("Student", {{"s-no", 798302},
+                                   {"name", "Tony"},
+                                   {"age", 28},
+                                   {"advisor", LocalRef{ids.t3}},
+                                   {"sex", "male"}});
+  ids.s3 = db1->insert("Student", {{"s-no", 808301},
+                                   {"name", "Mary"},
+                                   {"age", 24},
+                                   {"advisor", LocalRef{ids.t2}},
+                                   {"sex", "female"}});
+
+  // --- DB2 instances (Fig. 4b).
+  ids.a1p = db2->insert(
+      "Address", {{"city", "Taipei"}, {"street", "Park"}, {"zipcode", 100}});
+  ids.a2p = db2->insert("Address", {{"city", "HsinChu"},
+                                    {"street", "Horber"},
+                                    {"zipcode", 800}});
+  ids.t1p = db2->insert("Teacher",
+                        {{"name", "Kelly"}, {"speciality", "database"}});
+  ids.t2p = db2->insert("Teacher",
+                        {{"name", "Jeffery"}, {"speciality", "network"}});
+  ids.s1p = db2->insert("Student", {{"s-no", 762315},
+                                    {"name", "Hedy"},
+                                    {"sex", "female"},
+                                    {"address", LocalRef{ids.a1p}},
+                                    {"advisor", LocalRef{ids.t1p}}});
+  ids.s2p = db2->insert("Student", {{"s-no", 804301},
+                                    {"name", "John"},
+                                    {"sex", "male"},
+                                    {"address", LocalRef{ids.a2p}},
+                                    {"advisor", LocalRef{ids.t2p}}});
+  ids.s3p = db2->insert("Student", {{"s-no", 828307},
+                                    {"name", "Fanny"},
+                                    {"sex", "female"},
+                                    {"address", LocalRef{ids.a1p}},
+                                    {"advisor", LocalRef{ids.t2p}}});
+
+  // --- DB3 instances (Fig. 4c).
+  ids.d1pp = db3->insert("Department",
+                         {{"name", "EE"}, {"location", "building E"}});
+  ids.d2pp = db3->insert("Department", {{"name", "CS"}});  // location null
+  ids.d3pp = db3->insert("Department",
+                         {{"name", "PH"}, {"location", "building D"}});
+  ids.t1pp = db3->insert(
+      "Teacher", {{"name", "Abel"}, {"department", LocalRef{ids.d1pp}}});
+  ids.t2pp = db3->insert(
+      "Teacher", {{"name", "Kelly"}, {"department", LocalRef{ids.d2pp}}});
+
+  // --- Global schema (Fig. 2) by integration.
+  GlobalSchema schema = integrate(
+      {&db1->schema(), &db2->schema(), &db3->schema()}, integration_spec());
+
+  // --- GOid mapping tables (Fig. 5), asserted to match the paper.
+  GoidTable goids;
+  const GOid gs1 = goids.register_entity("Student", {ids.s1, ids.s2p});
+  const GOid gs2 = goids.register_entity("Student", {ids.s2});
+  const GOid gs3 = goids.register_entity("Student", {ids.s3});
+  const GOid gs4 = goids.register_entity("Student", {ids.s1p});
+  const GOid gs5 = goids.register_entity("Student", {ids.s3p});
+  const GOid gt1 = goids.register_entity("Teacher", {ids.t1, ids.t2p});
+  const GOid gt2 = goids.register_entity("Teacher", {ids.t2, ids.t1pp});
+  const GOid gt3 = goids.register_entity("Teacher", {ids.t3});
+  const GOid gt4 = goids.register_entity("Teacher", {ids.t1p, ids.t2pp});
+  const GOid gd1 = goids.register_entity("Department", {ids.d1, ids.d2pp});
+  const GOid gd2 = goids.register_entity("Department", {ids.d2, ids.d1pp});
+  const GOid gd3 = goids.register_entity("Department", {ids.d3pp});
+  const GOid ga1 = goids.register_entity("Address", {ids.a1p});
+  const GOid ga2 = goids.register_entity("Address", {ids.a2p});
+  (void)gs1; (void)gs2; (void)gs3; (void)gs4; (void)gs5;
+  (void)gt1; (void)gt2; (void)gt3; (void)gt4;
+  (void)gd1; (void)gd2; (void)gd3; (void)ga1; (void)ga2;
+
+  std::vector<std::unique_ptr<ComponentDatabase>> databases;
+  databases.push_back(std::move(db1));
+  databases.push_back(std::move(db2));
+  databases.push_back(std::move(db3));
+
+  UniversityExample example;
+  example.federation = std::make_unique<Federation>(
+      std::move(schema), std::move(databases), std::move(goids));
+  example.ids = ids;
+  return example;
+}
+
+GlobalQuery q1() {
+  GlobalQuery query;
+  query.range_class = "Student";
+  query.select("name").select("advisor.name");
+  query.where("address.city", CompOp::Eq, "Taipei");
+  query.where("advisor.speciality", CompOp::Eq, "database");
+  query.where("advisor.department.name", CompOp::Eq, "CS");
+  return query;
+}
+
+}  // namespace isomer::paper

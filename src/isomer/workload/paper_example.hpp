@@ -1,0 +1,50 @@
+// The paper's running example (Figures 1-7).
+//
+// Three component databases storing personal information at the same school:
+//   DB1: Student(s-no, name, age, advisor, sex), Teacher(name, department),
+//        Department(name)
+//   DB2: Student(s-no, name, sex, address, advisor), Teacher(name,
+//        speciality), Address(city, street, zipcode)
+//   DB3: Department(name, location), Teacher(name, department)
+// integrated into the global classes Student, Teacher, Department, Address,
+// with the GOid mapping tables of Fig. 5 and the instances of Fig. 4.
+//
+// Query Q1 (Fig. 3a): "Retrieve the name and the name of the advisor for the
+// students living in Taipei, whose advisors are teachers in department of
+// computer science and specialize in database."
+#pragma once
+
+#include <memory>
+
+#include "isomer/federation/federation.hpp"
+#include "isomer/query/query.hpp"
+
+namespace isomer::paper {
+
+/// Notable object ids of the running example, for assertions and printing.
+struct UniversityIds {
+  // DB1
+  LOid s1, s2, s3, t1, t2, t3, d1, d2;
+  // DB2 (primes in the paper)
+  LOid s1p, s2p, s3p, t1p, t2p, a1p, a2p;
+  // DB3 (double primes)
+  LOid d1pp, d2pp, d3pp, t1pp, t2pp;
+};
+
+struct UniversityExample {
+  std::unique_ptr<Federation> federation;
+  UniversityIds ids;
+
+  /// GOid of a notable object.
+  [[nodiscard]] GOid entity(LOid id) const;
+};
+
+/// Builds the federation of Figures 1-5. The GOid tables are reproduced via
+/// assertion (matching the paper's Fig. 5), not via the detector, so the
+/// example is byte-for-byte the paper's.
+[[nodiscard]] UniversityExample make_university();
+
+/// Q1 of Fig. 3(a).
+[[nodiscard]] GlobalQuery q1();
+
+}  // namespace isomer::paper

@@ -1,0 +1,76 @@
+#include "isomer/workload/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace isomer {
+
+double ParamConfig::iso_ratio() const noexcept {
+  if (n_db <= 1) return 0;
+  return 1.0 - std::pow(iso_decay, static_cast<double>(n_db - 1));
+}
+
+double ParamConfig::per_predicate_selectivity(int n) const noexcept {
+  if (n <= 0) return 1.0;
+  // Combined selectivity of n predicates is base^sqrt(n); with independent
+  // equally selective predicates each must select base^(1/sqrt(n)).
+  return std::pow(pred_selectivity_base,
+                  1.0 / std::sqrt(static_cast<double>(n)));
+}
+
+SampleParams draw_sample(const ParamConfig& config, Rng& rng) {
+  SampleParams sample;
+  sample.n_db = config.n_db;
+  sample.iso_ratio = config.iso_ratio();
+  sample.n_targets = static_cast<int>(
+      rng.uniform_int(config.n_targets.first, config.n_targets.second));
+  sample.materialize_seed = rng();
+
+  const int n_classes = static_cast<int>(
+      rng.uniform_int(config.n_classes.first, config.n_classes.second));
+  sample.classes.resize(static_cast<std::size_t>(n_classes));
+  bool is_root = true;
+  for (auto& cls : sample.classes) {
+    cls.n_preds = static_cast<int>(
+        rng.uniform_int(config.n_preds.first, config.n_preds.second));
+    cls.pred_selectivity = config.per_predicate_selectivity(cls.n_preds);
+    if (is_root && config.forced_root_selectivity) {
+      // Fig. 11: pin the selectivity of the root class's local predicates.
+      cls.n_preds = std::max(cls.n_preds, 1);
+      cls.pred_selectivity = *config.forced_root_selectivity;
+    }
+    is_root = false;
+    cls.ref_ratio =
+        rng.uniform_real(config.ref_ratio.first, config.ref_ratio.second);
+    cls.dbs.resize(config.n_db);
+    for (auto& db : cls.dbs) {
+      db.n_objects = static_cast<int>(
+          rng.uniform_int(config.n_objects.first, config.n_objects.second));
+      // N_pa: how many of the class's predicate attributes this database
+      // defines; the remaining ones are schema-level missing attributes.
+      const auto n_pa = rng.uniform_int(0, cls.n_preds);
+      db.present_preds = rng.sample_indices(
+          static_cast<std::size_t>(cls.n_preds),
+          static_cast<std::size_t>(n_pa));
+      db.extra_missing =
+          n_pa == cls.n_preds
+              ? rng.uniform_real(config.extra_missing.first,
+                                 config.extra_missing.second)
+              : 0.0;
+    }
+    // Every predicate attribute must exist in at least one constituent, or
+    // the global attribute union would not contain it and the predicate
+    // would be meaningless (Table 2 implicitly assumes this).
+    for (std::size_t j = 0; j < static_cast<std::size_t>(cls.n_preds); ++j) {
+      const auto defines = [j](const SampleParams::PerDb& db) {
+        return std::find(db.present_preds.begin(), db.present_preds.end(),
+                         j) != db.present_preds.end();
+      };
+      if (std::none_of(cls.dbs.begin(), cls.dbs.end(), defines))
+        cls.dbs[rng.index(cls.dbs.size())].present_preds.push_back(j);
+    }
+  }
+  return sample;
+}
+
+}  // namespace isomer

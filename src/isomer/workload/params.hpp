@@ -1,0 +1,94 @@
+// Table 2 — the database and query parameters.
+//
+// | parameter  | description                                  | default                    |
+// |------------|----------------------------------------------|----------------------------|
+// | N_db       | number of component databases involved       | 3                          |
+// | N_c        | number of global classes involved            | 1 ~ 4                      |
+// | N_p^k      | predicates on class k                        | 0 ~ 3                      |
+// | R_ps^k     | selectivity of the predicates on class k     | 0.45^sqrt(N_p^k)           |
+// | R_r^k      | ratio of objects to be referenced            | 0.5 ~ 1                    |
+// | R_iso^k    | ratio of objects having isomeric objects     | 1 - 0.9^(N_db - 1)         |
+// | N_o^{i,k}  | number of objects                            | 5000 ~ 6000                |
+// | N_qa^{i,k} | attributes involved in the subquery          | max(N_pa,N_ta)~(N_pa+N_ta) |
+// | N_pa^{i,k} | attributes involved in the local predicates  | 0 ~ N_p^k                  |
+// | N_ta^{i,k} | target attributes in the subquery            | 0 ~ 2                      |
+// | R_pps^{i,k}| selectivity of the local predicates          | 0.45^sqrt(N_pa^{i,k})      |
+// | R_m^{i,k}  | ratio of objects which have missing data     | 1 if N_p^k > N_pa^{i,k},   |
+// |            |                                              | else 0 ~ 0.2               |
+// | R_as^{i,k} | selectivity on the assistant objects         | 0.55^sqrt(N_p^k-N_pa^{i,k})|
+// | R_ss^{i,k} | selectivity on assistants' signatures        | 0.6^sqrt(N_p^k-N_pa^{i,k}) |
+//
+// The involved global classes form a composition chain rooted at the range
+// class; predicates on class k are nested predicates whose path navigates
+// k-1 references. Generated target paths are root-class attributes (nested
+// targets are supported by the engine — see the running example — but kept
+// out of the generated workloads so that all strategies' merged target
+// values are provably identical; see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "isomer/common/rng.hpp"
+
+namespace isomer {
+
+/// Sampling ranges (the right column of Table 2).
+struct ParamConfig {
+  std::size_t n_db = 3;                        ///< N_db
+  std::pair<int, int> n_classes{1, 4};         ///< N_c
+  std::pair<int, int> n_preds{0, 3};           ///< N_p^k
+  std::pair<double, double> ref_ratio{0.5, 1}; ///< R_r^k
+  std::pair<int, int> n_objects{5000, 6000};   ///< N_o^{i,k}
+  std::pair<int, int> n_targets{0, 2};         ///< N_ta
+  std::pair<double, double> extra_missing{0, 0.2};  ///< R_m when N_pa == N_p
+  double pred_selectivity_base = 0.45;         ///< R_ps / R_pps base
+  double iso_decay = 0.9;                      ///< R_iso = 1 - decay^(N_db-1)
+  /// Primitive attributes per class beyond the query-involved ones; they
+  /// size the stored objects (disk) but are projected away before transfer.
+  std::size_t extra_attrs = 3;
+
+  /// Fig. 11's knob: when set, the root class carries at least one
+  /// predicate and its per-predicate selectivity is forced to this value
+  /// ("the selectivity of one local predicate is adjusted").
+  std::optional<double> forced_root_selectivity;
+
+  /// R_iso for this configuration.
+  [[nodiscard]] double iso_ratio() const noexcept;
+
+  /// Per-predicate selectivity when a class carries `n` predicates, chosen
+  /// so the combined selectivity is base^sqrt(n) as in Table 2.
+  [[nodiscard]] double per_predicate_selectivity(int n) const noexcept;
+};
+
+/// One drawn parameter set (one of the paper's 500 samples per setting).
+struct SampleParams {
+  struct PerDb {
+    int n_objects = 0;                        ///< N_o^{i,k}
+    std::vector<std::size_t> present_preds;   ///< attrs NOT missing here
+    double extra_missing = 0;                 ///< nulls when nothing missing
+  };
+  struct PerClass {
+    int n_preds = 0;
+    double pred_selectivity = 1;  ///< per predicate
+    double ref_ratio = 1;
+    std::vector<PerDb> dbs;       ///< one entry per database
+  };
+
+  std::size_t n_db = 0;
+  int n_targets = 0;                    ///< root-class target attributes
+  double iso_ratio = 0;
+  std::vector<PerClass> classes;        ///< chain, root first
+  std::uint64_t materialize_seed = 0;   ///< seed for object generation
+
+  [[nodiscard]] std::size_t n_classes() const noexcept {
+    return classes.size();
+  }
+};
+
+/// Draws one sample from the configuration.
+[[nodiscard]] SampleParams draw_sample(const ParamConfig& config, Rng& rng);
+
+}  // namespace isomer

@@ -1,0 +1,40 @@
+// Synthetic federation materializer.
+//
+// Turns a drawn SampleParams (Table 2) into a concrete federation — schemas,
+// objects, GOid tables — plus the global query, such that the realized
+// statistics match the drawn parameters:
+//
+//  * the involved global classes form a composition chain C1 -> C2 -> ...
+//    via a `ref` attribute, all constituents present in every database;
+//  * class k carries N_p^k predicate attributes; database i defines only
+//    the drawn subset (the rest are schema-level missing attributes there);
+//  * predicate attributes are zero-inflated so that `p_j = 0` selects with
+//    exactly the drawn per-predicate selectivity — equality predicates,
+//    which also makes them signature-screenable for the BLS/PLS variants;
+//  * a fraction R_iso of objects belong to two-database entities (Table 1's
+//    N_iso = 2); isomeric objects carry identical canonical values, so the
+//    generated federation always passes Federation::check_consistency;
+//  * references are entity-level (isomeric parents reference isomeric
+//    children); a parent's reference is non-null with probability R_r and
+//    resolves to the child's constituent in the same database when one
+//    exists (null otherwise — a genuine source of maybe results).
+#pragma once
+
+#include <memory>
+
+#include "isomer/federation/federation.hpp"
+#include "isomer/query/query.hpp"
+#include "isomer/workload/params.hpp"
+
+namespace isomer {
+
+struct SynthFederation {
+  std::unique_ptr<Federation> federation;
+  GlobalQuery query;
+};
+
+/// Materializes one sample. Deterministic in sample.materialize_seed.
+[[nodiscard]] SynthFederation materialize_sample(const SampleParams& sample,
+                                                 std::size_t extra_attrs = 3);
+
+}  // namespace isomer

@@ -1,0 +1,165 @@
+// Disjunctive queries — the paper's §5 first future-work item, implemented
+// as an extension: predicates grouped into OR-alternatives, evaluated in
+// Kleene logic by every strategy, with certification pooling evidence per
+// predicate before applying the formula.
+#include <gtest/gtest.h>
+
+#include "isomer/core/strategy.hpp"
+#include "isomer/query/printer.hpp"
+#include "isomer/workload/paper_example.hpp"
+#include "isomer/workload/synth.hpp"
+
+namespace isomer {
+namespace {
+
+TEST(DisjunctiveCombine, DefaultsToConjunction) {
+  GlobalQuery q;
+  q.range_class = "C";
+  q.where("a", CompOp::Eq, 1).where("b", CompOp::Eq, 2);
+  EXPECT_EQ(q.combine({Truth::True, Truth::True}), Truth::True);
+  EXPECT_EQ(q.combine({Truth::True, Truth::False}), Truth::False);
+  EXPECT_EQ(q.combine({Truth::True, Truth::Unknown}), Truth::Unknown);
+}
+
+TEST(DisjunctiveCombine, OrGroups) {
+  GlobalQuery q;
+  q.range_class = "C";
+  q.where("a", CompOp::Eq, 1).where("b", CompOp::Eq, 2).where("c", CompOp::Eq,
+                                                              3);
+  q.or_group({1}).or_group({2});  // a AND (b OR c)
+  EXPECT_EQ(q.combine({Truth::True, Truth::False, Truth::True}), Truth::True);
+  EXPECT_EQ(q.combine({Truth::True, Truth::False, Truth::False}),
+            Truth::False);
+  EXPECT_EQ(q.combine({Truth::False, Truth::True, Truth::True}),
+            Truth::False);
+  EXPECT_EQ(q.combine({Truth::True, Truth::Unknown, Truth::False}),
+            Truth::Unknown);
+  EXPECT_EQ(q.combine({Truth::True, Truth::Unknown, Truth::True}),
+            Truth::True)
+      << "a True alternative overrides an Unknown one";
+}
+
+TEST(DisjunctiveCombine, GroupConjunction) {
+  GlobalQuery q;
+  q.range_class = "C";
+  q.where("a", CompOp::Eq, 1).where("b", CompOp::Eq, 2).where("c", CompOp::Eq,
+                                                              3);
+  q.or_group({0, 1}).or_group({2});  // (a AND b) OR c
+  EXPECT_EQ(q.combine({Truth::True, Truth::False, Truth::False}),
+            Truth::False);
+  EXPECT_EQ(q.combine({Truth::True, Truth::True, Truth::False}), Truth::True);
+  EXPECT_EQ(q.combine({Truth::False, Truth::False, Truth::True}),
+            Truth::True);
+}
+
+TEST(DisjunctiveCombine, ContractViolations) {
+  GlobalQuery q;
+  q.range_class = "C";
+  q.where("a", CompOp::Eq, 1);
+  EXPECT_THROW((void)q.combine({}), ContractViolation);
+  q.or_group({5});
+  EXPECT_THROW((void)q.combine({Truth::True}), ContractViolation);
+}
+
+TEST(DisjunctivePrinter, RendersGroups) {
+  GlobalQuery q;
+  q.range_class = "Student";
+  q.select("name");
+  q.where("age", CompOp::Ge, 21);
+  q.where("sex", CompOp::Eq, "male");
+  q.where("sex", CompOp::Eq, "female");
+  q.or_group({1}).or_group({2});
+  EXPECT_EQ(to_sqlx(q),
+            "Select X.name From Student X Where X.age>=21 and "
+            "(X.sex=male or X.sex=female)");
+}
+
+TEST(DisjunctivePaperExample, TaipeiOrDatabaseSpecialist) {
+  // "Students living in Taipei OR advised by a database specialist."
+  const paper::UniversityExample example = paper::make_university();
+  GlobalQuery q;
+  q.range_class = "Student";
+  q.select("name");
+  q.where("address.city", CompOp::Eq, "Taipei");
+  q.where("advisor.speciality", CompOp::Eq, "database");
+  q.or_group({0}).or_group({1});
+
+  const QueryResult expected = reference_answer(*example.federation, q);
+  // Hedy: Taipei (True) -> certain. Fanny: Taipei -> certain.
+  // John: HsinChu (False) but advisor Jeffery speciality network (False)
+  //   -> eliminated.
+  // Tony/Mary: address unknown, speciality unknown -> maybe.
+  EXPECT_EQ(expected.find(example.entity(example.ids.s1p))->status,
+            ResultStatus::Certain);
+  EXPECT_EQ(expected.find(example.entity(example.ids.s3p))->status,
+            ResultStatus::Certain);
+  EXPECT_EQ(expected.find(example.entity(example.ids.s1)), nullptr);
+  EXPECT_EQ(expected.find(example.entity(example.ids.s2))->status,
+            ResultStatus::Maybe);
+  EXPECT_EQ(expected.find(example.entity(example.ids.s3))->status,
+            ResultStatus::Maybe);
+
+  for (const StrategyKind kind : kAllStrategies) {
+    const StrategyReport report =
+        execute_strategy(kind, *example.federation, q);
+    EXPECT_EQ(report.result, expected) << to_string(kind);
+  }
+}
+
+TEST(DisjunctivePaperExample, FalseConjunctSurvivesInADisjunct) {
+  // Tony's advisor Haley IS in CS (True) but his city is unknown; with
+  // "city=Taipei OR department=EE" the department alternative is False and
+  // the city unknown: the OR stays Unknown -> maybe, not eliminated.
+  const paper::UniversityExample example = paper::make_university();
+  GlobalQuery q;
+  q.range_class = "Student";
+  q.select("name");
+  q.where("address.city", CompOp::Eq, "Taipei");
+  q.where("advisor.department.name", CompOp::Eq, "EE");
+  q.or_group({0}).or_group({1});
+  const QueryResult result = reference_answer(*example.federation, q);
+  const ResultRow* tony = result.find(example.entity(example.ids.s2));
+  ASSERT_NE(tony, nullptr);
+  EXPECT_EQ(tony->status, ResultStatus::Maybe);
+  for (const StrategyKind kind : kPaperStrategies) {
+    const StrategyReport report =
+        execute_strategy(kind, *example.federation, q);
+    EXPECT_EQ(report.result, result) << to_string(kind);
+  }
+}
+
+// Property: strategy equivalence extends to randomized disjunctive shapes.
+class DisjunctiveEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DisjunctiveEquivalence, AllStrategiesAgree) {
+  Rng rng(GetParam());
+  ParamConfig config;
+  config.n_db = 2 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  config.n_objects = {30, 50};
+  const SampleParams sample = draw_sample(config, rng);
+  SynthFederation synth = materialize_sample(sample);
+  if (synth.query.predicates.size() < 2) return;  // nothing to group
+
+  // Randomly partition the predicates into 2 OR-groups.
+  GlobalQuery& q = synth.query;
+  std::vector<std::vector<std::size_t>> groups(2);
+  for (std::size_t p = 0; p < q.predicates.size(); ++p)
+    groups[rng.index(2)].push_back(p);
+  for (auto& group : groups)
+    if (!group.empty()) q.disjuncts.push_back(group);
+
+  const QueryResult expected = reference_answer(*synth.federation, q);
+  for (const StrategyKind kind : kAllStrategies) {
+    const StrategyReport report =
+        execute_strategy(kind, *synth.federation, q);
+    EXPECT_EQ(report.result, expected)
+        << to_string(kind) << " diverged on seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisjunctiveEquivalence,
+                         ::testing::Range<std::uint64_t>(700, 725));
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,113 @@
+// explain(): narrated accounts of why an entity is certain/maybe/eliminated.
+#include <gtest/gtest.h>
+
+#include "isomer/core/explain.hpp"
+#include "isomer/workload/paper_example.hpp"
+#include "isomer/workload/synth.hpp"
+
+namespace isomer {
+namespace {
+
+class ExplainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    example_ = paper::make_university();
+    query_ = paper::q1();
+  }
+  const Federation& fed() { return *example_.federation; }
+  GOid g(LOid id) { return example_.entity(id); }
+  paper::UniversityExample example_;
+  GlobalQuery query_;
+};
+
+TEST_F(ExplainFixture, HedyIsCertainThroughAnAssistant) {
+  const Explanation e = explain(fed(), query_, g(example_.ids.s1p));
+  EXPECT_EQ(e.outcome, Outcome::Certain);
+  ASSERT_EQ(e.predicates.size(), 3u);
+  EXPECT_EQ(e.predicates[0].merged, Truth::True);   // address.city
+  EXPECT_EQ(e.predicates[1].merged, Truth::True);   // advisor.speciality
+  EXPECT_EQ(e.predicates[2].merged, Truth::True);   // advisor.department.name
+  // The department predicate was settled by a checked assistant (t2''@DB3).
+  bool assistant_settled = false;
+  for (const Evidence& evidence : e.predicates[2].evidence)
+    if (evidence.from_assistant && is_true(evidence.truth))
+      assistant_settled = true;
+  EXPECT_TRUE(assistant_settled);
+}
+
+TEST_F(ExplainFixture, TonyIsMaybeWithNamedMissingData) {
+  const Explanation e = explain(fed(), query_, g(example_.ids.s2));
+  EXPECT_EQ(e.outcome, Outcome::Maybe);
+  EXPECT_EQ(e.predicates[0].merged, Truth::Unknown);
+  EXPECT_EQ(e.predicates[1].merged, Truth::Unknown);
+  EXPECT_EQ(e.predicates[2].merged, Truth::True);
+  // The narration names the missing attribute and its holder.
+  const std::string text = e.to_text(query_);
+  EXPECT_NE(text.find("address"), std::string::npos) << text;
+  EXPECT_NE(text.find("missing attribute"), std::string::npos) << text;
+}
+
+TEST_F(ExplainFixture, JohnIsEliminatedByHisDb2Isomer) {
+  const Explanation e = explain(fed(), query_, g(example_.ids.s1));
+  EXPECT_EQ(e.outcome, Outcome::Eliminated);
+  ASSERT_TRUE(e.eliminated_at.has_value());
+  EXPECT_EQ(*e.eliminated_at, DbId{2}) << "s2' fails address.city at DB2";
+}
+
+TEST_F(ExplainFixture, MaryIsEliminatedByAViolatingAssistant) {
+  const Explanation e = explain(fed(), query_, g(example_.ids.s3));
+  EXPECT_EQ(e.outcome, Outcome::Eliminated);
+  EXPECT_EQ(e.predicates[2].merged, Truth::False)
+      << "t1''@DB3's department is EE, not CS";
+}
+
+TEST_F(ExplainFixture, UnknownEntitiesAreNotFound) {
+  EXPECT_EQ(explain(fed(), query_, GOid{0}).outcome, Outcome::NotFound);
+  EXPECT_EQ(explain(fed(), query_, GOid{99999}).outcome, Outcome::NotFound);
+  // A teacher is not an entity of the range class Student.
+  EXPECT_EQ(explain(fed(), query_, g(example_.ids.t1)).outcome,
+            Outcome::NotFound);
+}
+
+TEST_F(ExplainFixture, TextRendering) {
+  const std::string text =
+      explain(fed(), query_, g(example_.ids.s1p)).to_text(query_);
+  EXPECT_NE(text.find("certain"), std::string::npos);
+  EXPECT_NE(text.find("X.address.city=Taipei"), std::string::npos);
+  EXPECT_NE(text.find("[check]"), std::string::npos);
+}
+
+// Property: explain()'s outcome always matches the strategies' answer.
+class ExplainMatchesStrategies : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ExplainMatchesStrategies, OnRandomWorkloads) {
+  Rng rng(GetParam());
+  ParamConfig config;
+  config.n_objects = {25, 45};
+  const SampleParams sample = draw_sample(config, rng);
+  const SynthFederation synth = materialize_sample(sample);
+  const QueryResult result =
+      reference_answer(*synth.federation, synth.query);
+  const GoidTable& goids = synth.federation->goids();
+  for (const GOid entity : goids.entities_of(synth.query.range_class)) {
+    const Explanation e = explain(*synth.federation, synth.query, entity);
+    const ResultRow* row = result.find(entity);
+    if (row == nullptr) {
+      EXPECT_EQ(e.outcome, Outcome::Eliminated)
+          << "g" << entity.value() << " seed " << GetParam();
+    } else if (row->status == ResultStatus::Certain) {
+      EXPECT_EQ(e.outcome, Outcome::Certain)
+          << "g" << entity.value() << " seed " << GetParam();
+    } else {
+      EXPECT_EQ(e.outcome, Outcome::Maybe)
+          << "g" << entity.value() << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExplainMatchesStrategies,
+                         ::testing::Range<std::uint64_t>(800, 812));
+
+}  // namespace
+}  // namespace isomer

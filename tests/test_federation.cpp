@@ -1,0 +1,252 @@
+// GOid mapping tables, isomerism detection, federation validation and the
+// consistency checker.
+#include <gtest/gtest.h>
+
+#include "isomer/common/error.hpp"
+#include "isomer/federation/federation.hpp"
+#include "isomer/federation/isomerism.hpp"
+#include "isomer/schema/integrator.hpp"
+
+namespace isomer {
+namespace {
+
+TEST(GoidTable, RegisterAssignsSequentialGOids) {
+  GoidTable table;
+  const GOid a = table.register_entity("C", {LOid{DbId{1}, 1}});
+  const GOid b = table.register_entity("C", {LOid{DbId{1}, 2}});
+  EXPECT_EQ(a, GOid{1});
+  EXPECT_EQ(b, GOid{2});
+  EXPECT_EQ(table.entity_count(), 2u);
+}
+
+TEST(GoidTable, IsomersSortedByDb) {
+  GoidTable table;
+  const GOid g = table.register_entity(
+      "C", {LOid{DbId{3}, 1}, LOid{DbId{1}, 5}, LOid{DbId{2}, 9}});
+  const auto& isomers = table.isomers_of(g);
+  ASSERT_EQ(isomers.size(), 3u);
+  EXPECT_EQ(isomers[0].db, DbId{1});
+  EXPECT_EQ(isomers[1].db, DbId{2});
+  EXPECT_EQ(isomers[2].db, DbId{3});
+}
+
+TEST(GoidTable, Probes) {
+  GoidTable table;
+  const GOid g =
+      table.register_entity("C", {LOid{DbId{1}, 1}, LOid{DbId{2}, 7}});
+  AccessMeter meter;
+  EXPECT_EQ(table.goid_of(LOid{DbId{1}, 1}, &meter), g);
+  EXPECT_EQ(table.goid_of(LOid{DbId{1}, 99}, &meter), std::nullopt);
+  EXPECT_EQ(table.loid_in(g, DbId{2}, &meter), (LOid{DbId{2}, 7}));
+  EXPECT_EQ(table.loid_in(g, DbId{3}, &meter), std::nullopt);
+  EXPECT_EQ(meter.table_probes, 4u);
+  EXPECT_EQ(table.class_of(g), "C");
+}
+
+TEST(GoidTable, RejectsDuplicatesAndConflicts) {
+  GoidTable table;
+  (void)table.register_entity("C", {LOid{DbId{1}, 1}});
+  EXPECT_THROW((void)table.register_entity("C", {LOid{DbId{1}, 1}}),
+               FederationError)
+      << "an LOid maps to exactly one entity";
+  EXPECT_THROW(
+      (void)table.register_entity("C", {LOid{DbId{1}, 2}, LOid{DbId{1}, 3}}),
+      FederationError)
+      << "one entity cannot have two objects in the same database";
+  EXPECT_THROW((void)table.register_entity("C", {}), FederationError);
+}
+
+TEST(GoidTable, AddIsomer) {
+  GoidTable table;
+  const GOid g = table.register_entity("C", {LOid{DbId{1}, 1}});
+  table.add_isomer(g, LOid{DbId{2}, 4});
+  EXPECT_EQ(table.isomers_of(g).size(), 2u);
+  EXPECT_THROW(table.add_isomer(g, LOid{DbId{2}, 5}), FederationError);
+  EXPECT_THROW(table.add_isomer(g, LOid{DbId{2}, 4}), FederationError);
+}
+
+TEST(GoidTable, EntitiesOfClass) {
+  GoidTable table;
+  const GOid a = table.register_entity("C", {LOid{DbId{1}, 1}});
+  (void)table.register_entity("D", {LOid{DbId{1}, 2}});
+  const GOid c = table.register_entity("C", {LOid{DbId{1}, 3}});
+  EXPECT_EQ(table.entities_of("C"), (std::vector<GOid>{a, c}));
+  EXPECT_TRUE(table.entities_of("Nope").empty());
+}
+
+TEST(GoidTable, Globalize) {
+  GoidTable table;
+  const GOid g = table.register_entity("C", {LOid{DbId{1}, 1}});
+  EXPECT_EQ(table.globalize(Value(LocalRef{LOid{DbId{1}, 1}})),
+            Value(GlobalRef{g}));
+  EXPECT_TRUE(table.globalize(Value(LocalRef{LOid{DbId{1}, 99}})).is_null())
+      << "unmapped refs globalize to null";
+  EXPECT_EQ(table.globalize(Value(42)), Value(42));
+  EXPECT_EQ(
+      table.globalize(Value(LocalRefSet{{LOid{DbId{1}, 1}}})),
+      Value(GlobalRefSet{{g}}));
+}
+
+// --- isomerism detection ---
+
+struct TwoDbFixture {
+  std::unique_ptr<ComponentDatabase> db1, db2;
+  GlobalSchema global;
+
+  explicit TwoDbFixture(bool with_identity = true) {
+    ComponentSchema s1(DbId{1}, "DB1");
+    s1.add_class("P")
+        .add_attribute("key", PrimType::Int)
+        .add_attribute("a", PrimType::Int);
+    ComponentSchema s2(DbId{2}, "DB2");
+    s2.add_class("P")
+        .add_attribute("key", PrimType::Int)
+        .add_attribute("b", PrimType::Int);
+    db1 = std::make_unique<ComponentDatabase>(std::move(s1));
+    db2 = std::make_unique<ComponentDatabase>(std::move(s2));
+    IntegrationSpec spec;
+    ClassSpec& p = spec.add_class("P");
+    p.constituents = {{DbId{1}, "P"}, {DbId{2}, "P"}};
+    if (with_identity) p.identity_attribute = "key";
+    global = integrate({&db1->schema(), &db2->schema()}, spec);
+  }
+};
+
+TEST(Isomerism, MatchesOnIdentityValue) {
+  TwoDbFixture fix;
+  const LOid a = fix.db1->insert("P", {{"key", 7}, {"a", 1}});
+  const LOid b = fix.db2->insert("P", {{"key", 7}, {"b", 2}});
+  const LOid lone = fix.db2->insert("P", {{"key", 8}});
+  const GoidTable table =
+      detect_isomerism(fix.global, {fix.db1.get(), fix.db2.get()});
+  EXPECT_EQ(table.entity_count(), 2u);
+  EXPECT_EQ(table.goid_of(a), table.goid_of(b));
+  EXPECT_NE(table.goid_of(a), table.goid_of(lone));
+}
+
+TEST(Isomerism, NullIdentityMakesSingletons) {
+  TwoDbFixture fix;
+  const LOid a = fix.db1->insert("P", {});
+  const LOid b = fix.db2->insert("P", {});
+  const GoidTable table =
+      detect_isomerism(fix.global, {fix.db1.get(), fix.db2.get()});
+  EXPECT_EQ(table.entity_count(), 2u);
+  EXPECT_NE(table.goid_of(a), table.goid_of(b));
+}
+
+TEST(Isomerism, NoIdentityAttributeMakesSingletons) {
+  TwoDbFixture fix(false);
+  (void)fix.db1->insert("P", {{"key", 7}});
+  (void)fix.db2->insert("P", {{"key", 7}});
+  const GoidTable table =
+      detect_isomerism(fix.global, {fix.db1.get(), fix.db2.get()});
+  EXPECT_EQ(table.entity_count(), 2u);
+}
+
+TEST(Isomerism, DuplicateIdentityWithinOneDatabaseThrows) {
+  TwoDbFixture fix;
+  (void)fix.db1->insert("P", {{"key", 7}});
+  (void)fix.db1->insert("P", {{"key", 7}});
+  EXPECT_THROW(
+      (void)detect_isomerism(fix.global, {fix.db1.get(), fix.db2.get()}),
+      FederationError);
+}
+
+TEST(Isomerism, EveryObjectIsMapped) {
+  TwoDbFixture fix;
+  for (int i = 0; i < 10; ++i) (void)fix.db1->insert("P", {{"key", i}});
+  for (int i = 5; i < 15; ++i) (void)fix.db2->insert("P", {{"key", i}});
+  const GoidTable table =
+      detect_isomerism(fix.global, {fix.db1.get(), fix.db2.get()});
+  EXPECT_EQ(table.entity_count(), 15u);  // 5 shared + 5 + 5 exclusive
+  for (const Object& obj : fix.db1->extent("P").objects())
+    EXPECT_TRUE(table.goid_of(obj.id()).has_value());
+}
+
+// --- federation validation ---
+
+TEST(Federation, RejectsUnmappedConstituentObjects) {
+  TwoDbFixture fix;
+  (void)fix.db1->insert("P", {{"key", 1}});
+  GoidTable empty;
+  std::vector<std::unique_ptr<ComponentDatabase>> dbs;
+  dbs.push_back(std::move(fix.db1));
+  dbs.push_back(std::move(fix.db2));
+  EXPECT_THROW(Federation(std::move(fix.global), std::move(dbs),
+                          std::move(empty)),
+               FederationError);
+}
+
+TEST(Federation, RejectsGOidForNonexistentObject) {
+  TwoDbFixture fix;
+  GoidTable table;
+  (void)table.register_entity("P", {LOid{DbId{1}, 42}});
+  std::vector<std::unique_ptr<ComponentDatabase>> dbs;
+  dbs.push_back(std::move(fix.db1));
+  dbs.push_back(std::move(fix.db2));
+  EXPECT_THROW(
+      Federation(std::move(fix.global), std::move(dbs), std::move(table)),
+      FederationError);
+}
+
+TEST(Federation, RejectsDuplicateDbIds) {
+  TwoDbFixture fix1, fix2;
+  std::vector<std::unique_ptr<ComponentDatabase>> dbs;
+  dbs.push_back(std::move(fix1.db1));
+  dbs.push_back(std::move(fix2.db1));  // also DbId{1}
+  EXPECT_THROW(
+      Federation(std::move(fix1.global), std::move(dbs), GoidTable{}),
+      FederationError);
+}
+
+TEST(Federation, ConsistencyCheckerFlagsConflicts) {
+  TwoDbFixture fix;
+  ComponentSchema s1b(DbId{1}, "x");  // unused; keep structure simple
+  (void)s1b;
+  const LOid a = fix.db1->insert("P", {{"key", 7}, {"a", 1}});
+  const LOid b = fix.db2->insert("P", {{"key", 8}, {"b", 2}});
+  GoidTable table;
+  (void)table.register_entity("P", {a, b});  // assert isomerism by hand
+  std::vector<std::unique_ptr<ComponentDatabase>> dbs;
+  dbs.push_back(std::move(fix.db1));
+  dbs.push_back(std::move(fix.db2));
+  const Federation federation(std::move(fix.global), std::move(dbs),
+                              std::move(table));
+  const auto violations = federation.check_consistency();
+  ASSERT_EQ(violations.size(), 1u) << "key differs: 7 vs 8";
+  EXPECT_NE(violations[0].find("key"), std::string::npos);
+}
+
+TEST(Federation, ConsistencyAcceptsNullsAndDisjointAttributes) {
+  TwoDbFixture fix;
+  const LOid a = fix.db1->insert("P", {{"key", 7}, {"a", 1}});
+  const LOid b = fix.db2->insert("P", {{"key", 7}, {"b", 2}});
+  GoidTable table;
+  (void)table.register_entity("P", {a, b});
+  std::vector<std::unique_ptr<ComponentDatabase>> dbs;
+  dbs.push_back(std::move(fix.db1));
+  dbs.push_back(std::move(fix.db2));
+  const Federation federation(std::move(fix.global), std::move(dbs),
+                              std::move(table));
+  EXPECT_TRUE(federation.check_consistency().empty())
+      << "a and b are exclusive; key agrees; nothing conflicts";
+}
+
+TEST(Federation, DbAccessors) {
+  TwoDbFixture fix;
+  const LOid a = fix.db1->insert("P", {{"key", 1}});
+  GoidTable table;
+  (void)table.register_entity("P", {a});
+  std::vector<std::unique_ptr<ComponentDatabase>> dbs;
+  dbs.push_back(std::move(fix.db2));
+  dbs.push_back(std::move(fix.db1));  // intentionally unsorted
+  const Federation federation(std::move(fix.global), std::move(dbs),
+                              std::move(table));
+  EXPECT_EQ(federation.db_count(), 2u);
+  EXPECT_EQ(federation.db_ids(), (std::vector<DbId>{DbId{1}, DbId{2}}));
+  EXPECT_EQ(federation.db(DbId{1}).db(), DbId{1});
+  EXPECT_THROW((void)federation.db(DbId{9}), FederationError);
+}
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,156 @@
+// Strong identifiers and the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "isomer/common/ids.hpp"
+#include "isomer/common/rng.hpp"
+
+namespace isomer {
+namespace {
+
+TEST(Ids, StrongIdsAreDistinctTypes) {
+  static_assert(!std::is_same_v<DbId, GOid>);
+  static_assert(!std::is_convertible_v<DbId, GOid>);
+  static_assert(!std::is_convertible_v<std::uint64_t, GOid>);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(GOid{1}, GOid{2});
+  EXPECT_EQ(DbId{3}, DbId{3});
+  EXPECT_LT((LOid{DbId{1}, 9}), (LOid{DbId{2}, 1}));
+  EXPECT_LT((LOid{DbId{1}, 1}), (LOid{DbId{1}, 2}));
+}
+
+TEST(Ids, LOidHashSpreadsAcrossDatabases) {
+  std::unordered_set<std::size_t> hashes;
+  for (std::uint16_t db = 1; db <= 8; ++db)
+    for (std::uint32_t local = 1; local <= 64; ++local)
+      hashes.insert(std::hash<LOid>{}(LOid{DbId{db}, local}));
+  EXPECT_EQ(hashes.size(), 8u * 64u);  // no collisions on this small set
+}
+
+TEST(Ids, Printing) {
+  EXPECT_EQ(to_string(LOid{DbId{2}, 7}), "o7@DB2");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto x = rng.uniform_int(-5, 17);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 17);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(8);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(9);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.uniform_int(2, 1), ContractViolation);
+}
+
+TEST(Rng, UniformRealInHalfOpenRange) {
+  Rng rng(10);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform_real(0.25, 0.75);
+    EXPECT_GE(x, 0.25);
+    EXPECT_LT(x, 0.75);
+  }
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 10> buckets{};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    ++buckets[static_cast<std::size_t>(rng.uniform_int(0, 9))];
+  for (const int count : buckets) {
+    EXPECT_GT(count, n / 10 - n / 50);
+    EXPECT_LT(count, n / 10 + n / 50);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliClamps) {
+  Rng rng(13);
+  EXPECT_FALSE(rng.bernoulli(-1.0));
+  EXPECT_TRUE(rng.bernoulli(2.0));
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(14);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_indices(20, 7);
+    EXPECT_EQ(sample.size(), 7u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (const std::size_t index : sample) EXPECT_LT(index, 20u);
+  }
+}
+
+TEST(Rng, SampleIndicesFullPermutation) {
+  Rng rng(15);
+  const auto sample = rng.sample_indices(5, 5);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesRejectsOversample) {
+  Rng rng(16);
+  EXPECT_THROW((void)rng.sample_indices(3, 4), ContractViolation);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.fork();
+  // The child is deterministic given the parent's state...
+  Rng parent2(17);
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(child(), child2());
+  // ...and consuming the child does not perturb the parent's stream.
+  Rng parent3(17);
+  (void)parent3.fork();
+  EXPECT_EQ(parent2(), parent3());
+}
+
+TEST(Rng, IndexRequiresNonEmpty) {
+  Rng rng(18);
+  EXPECT_THROW((void)rng.index(0), ContractViolation);
+  EXPECT_EQ(rng.index(1), 0u);
+}
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,129 @@
+// Multi-valued complex attributes — the paper's §5 third future-work item:
+// a global set-valued attribute whose members come from different component
+// databases, merged by union in the centralized materializer.
+#include <gtest/gtest.h>
+
+#include "isomer/federation/materializer.hpp"
+#include "isomer/schema/integrator.hpp"
+
+namespace isomer {
+namespace {
+
+/// Two research databases: each knows *some* of a professor's projects.
+struct ProjectsFixture {
+  std::unique_ptr<Federation> federation;
+  LOid prof1, prof2, pa, pb, pc;
+  GOid gprof, gpa, gpb, gpc;
+
+  ProjectsFixture() {
+    ComponentSchema s1(DbId{1}, "DB1");
+    s1.add_class("Project").add_attribute("title", PrimType::String);
+    s1.add_class("Prof")
+        .add_attribute("name", PrimType::String)
+        .add_attribute("projects", ComplexType{"Project", true});
+    ComponentSchema s2(DbId{2}, "DB2");
+    s2.add_class("Project").add_attribute("title", PrimType::String);
+    s2.add_class("Prof")
+        .add_attribute("name", PrimType::String)
+        .add_attribute("projects", ComplexType{"Project", true});
+
+    auto db1 = std::make_unique<ComponentDatabase>(std::move(s1));
+    auto db2 = std::make_unique<ComponentDatabase>(std::move(s2));
+    pa = db1->insert("Project", {{"title", "alpha"}});
+    pb = db1->insert("Project", {{"title", "beta"}});
+    prof1 = db1->insert(
+        "Prof", {{"name", "Ada"}, {"projects", LocalRefSet{{pa, pb}}}});
+    pc = db2->insert("Project", {{"title", "gamma"}});
+    // DB2 also knows beta, under its own LOid.
+    const LOid pb2 = db2->insert("Project", {{"title", "beta"}});
+    prof2 = db2->insert(
+        "Prof", {{"name", "Ada"}, {"projects", LocalRefSet{{pc, pb2}}}});
+
+    IntegrationSpec spec;
+    ClassSpec& prof = spec.add_class("Prof");
+    prof.constituents = {{DbId{1}, "Prof"}, {DbId{2}, "Prof"}};
+    prof.identity_attribute = "name";
+    ClassSpec& project = spec.add_class("Project");
+    project.constituents = {{DbId{1}, "Project"}, {DbId{2}, "Project"}};
+    project.identity_attribute = "title";
+    GlobalSchema schema = integrate({&db1->schema(), &db2->schema()}, spec);
+
+    GoidTable goids;
+    gprof = goids.register_entity("Prof", {prof1, prof2});
+    gpa = goids.register_entity("Project", {pa});
+    gpb = goids.register_entity("Project", {pb, pb2});
+    gpc = goids.register_entity("Project", {pc});
+
+    std::vector<std::unique_ptr<ComponentDatabase>> dbs;
+    dbs.push_back(std::move(db1));
+    dbs.push_back(std::move(db2));
+    federation = std::make_unique<Federation>(std::move(schema),
+                                              std::move(dbs),
+                                              std::move(goids));
+  }
+};
+
+TEST(MultiValued, FirstNonNullTakesOneDatabasesView) {
+  const ProjectsFixture fix;
+  const MaterializedView view = materialize(*fix.federation, {"Prof"});
+  const MaterializedObject* ada = view.extent("Prof").find(fix.gprof);
+  ASSERT_NE(ada, nullptr);
+  const auto projects =
+      fix.federation->schema().cls("Prof").def().find_attribute("projects");
+  // DB1's set wins wholesale: {alpha, beta}.
+  EXPECT_EQ(ada->values[*projects],
+            Value(GlobalRefSet{{fix.gpa, fix.gpb}}));
+}
+
+TEST(MultiValued, UnionSetsMergesAcrossDatabases) {
+  const ProjectsFixture fix;
+  const MaterializedView view = materialize(
+      *fix.federation, {"Prof"}, nullptr, MergePolicy::UnionSets);
+  const MaterializedObject* ada = view.extent("Prof").find(fix.gprof);
+  const auto projects =
+      fix.federation->schema().cls("Prof").def().find_attribute("projects");
+  // Union over isomers, deduplicated through the GOid space: beta appears
+  // once even though both databases store it under different LOids.
+  GlobalRefSet expected{{fix.gpa, fix.gpb, fix.gpc}};
+  std::sort(expected.targets.begin(), expected.targets.end());
+  EXPECT_EQ(ada->values[*projects], Value(expected));
+}
+
+TEST(MultiValued, UnionEnablesCrossDatabaseExistentialQueries) {
+  const ProjectsFixture fix;
+  GlobalQuery q;
+  q.range_class = "Prof";
+  q.select("name");
+  q.where("projects.title", CompOp::Eq, "gamma");
+
+  // Under first-non-null the merged set lacks gamma: Ada is eliminated.
+  {
+    const MaterializedView view = materialize(
+        *fix.federation, classes_involved(fix.federation->schema(), q));
+    const QueryResult result =
+        evaluate_global(view, fix.federation->schema(), q);
+    EXPECT_EQ(result.find(fix.gprof), nullptr);
+  }
+  // Under union merge DB2's gamma membership surfaces: Ada matches.
+  {
+    const MaterializedView view = materialize(
+        *fix.federation, classes_involved(fix.federation->schema(), q),
+        nullptr, MergePolicy::UnionSets);
+    const QueryResult result =
+        evaluate_global(view, fix.federation->schema(), q);
+    const ResultRow* ada = result.find(fix.gprof);
+    ASSERT_NE(ada, nullptr);
+    EXPECT_EQ(ada->status, ResultStatus::Certain);
+  }
+}
+
+TEST(MultiValued, ConsistencyCheckerComparesSetsByEntity) {
+  const ProjectsFixture fix;
+  // DB1 {alpha,beta} vs DB2 {gamma,beta}: different sets -> flagged. This
+  // documents that union-merged federations are intentionally outside the
+  // strict-consistency regime the strategy-equivalence guarantee needs.
+  EXPECT_FALSE(fix.federation->check_consistency().empty());
+}
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,199 @@
+// Class definitions, component schemas, objects, and path expressions.
+#include <gtest/gtest.h>
+
+#include "isomer/common/error.hpp"
+#include "isomer/objmodel/object.hpp"
+#include "isomer/objmodel/path.hpp"
+#include "isomer/objmodel/schema.hpp"
+
+namespace isomer {
+namespace {
+
+ClassDef teacher() {
+  ClassDef cls("Teacher");
+  cls.add_attribute("name", PrimType::String)
+      .add_attribute("department", ComplexType{"Department"});
+  return cls;
+}
+
+TEST(ClassDef, AttributesAreOrdered) {
+  const ClassDef cls = teacher();
+  EXPECT_EQ(cls.attribute_count(), 2u);
+  EXPECT_EQ(cls.attribute(0).name, "name");
+  EXPECT_EQ(cls.attribute(1).name, "department");
+}
+
+TEST(ClassDef, FindAttribute) {
+  const ClassDef cls = teacher();
+  EXPECT_EQ(cls.find_attribute("name"), 0u);
+  EXPECT_EQ(cls.find_attribute("department"), 1u);
+  EXPECT_EQ(cls.find_attribute("nope"), std::nullopt);
+  EXPECT_TRUE(cls.has_attribute("name"));
+  EXPECT_FALSE(cls.has_attribute("Name"));  // case-sensitive
+}
+
+TEST(ClassDef, DuplicateAttributeThrows) {
+  ClassDef cls("C");
+  cls.add_attribute("a", PrimType::Int);
+  EXPECT_THROW(cls.add_attribute("a", PrimType::String), SchemaError);
+}
+
+TEST(ClassDef, IdentityAttribute) {
+  ClassDef cls = teacher();
+  cls.set_identity_attribute("name");
+  EXPECT_EQ(cls.identity_attribute(), "name");
+  EXPECT_THROW(cls.set_identity_attribute("nope"), SchemaError);
+  EXPECT_THROW(cls.set_identity_attribute("department"), SchemaError)
+      << "complex attributes cannot identify entities";
+}
+
+TEST(ClassDef, AttributeIndexOutOfRange) {
+  EXPECT_THROW((void)teacher().attribute(2), ContractViolation);
+}
+
+TEST(AttrType, Compatibility) {
+  EXPECT_TRUE(integration_compatible(AttrType{PrimType::Int},
+                                     AttrType{PrimType::Int}));
+  EXPECT_FALSE(integration_compatible(AttrType{PrimType::Int},
+                                      AttrType{PrimType::String}));
+  EXPECT_TRUE(integration_compatible(AttrType{ComplexType{"A"}},
+                                     AttrType{ComplexType{"B"}}))
+      << "complex domains unify through class correspondences, not names";
+  EXPECT_FALSE(integration_compatible(AttrType{ComplexType{"A", true}},
+                                      AttrType{ComplexType{"A", false}}))
+      << "multiplicity must agree";
+  EXPECT_FALSE(integration_compatible(AttrType{PrimType::Int},
+                                      AttrType{ComplexType{"A"}}));
+}
+
+TEST(AttrType, Printing) {
+  EXPECT_EQ(to_string(AttrType{PrimType::Real}), "real");
+  EXPECT_EQ(to_string(AttrType{ComplexType{"Dept"}}), "Dept");
+  EXPECT_EQ(to_string(AttrType{ComplexType{"Dept", true}}), "set<Dept>");
+}
+
+TEST(ComponentSchema, AddAndLookup) {
+  ComponentSchema schema(DbId{1}, "DB1");
+  schema.add_class(teacher());
+  EXPECT_TRUE(schema.has_class("Teacher"));
+  EXPECT_EQ(schema.cls("Teacher").name(), "Teacher");
+  EXPECT_EQ(schema.find_class("Nope"), nullptr);
+  EXPECT_THROW((void)schema.cls("Nope"), SchemaError);
+}
+
+TEST(ComponentSchema, DuplicateClassThrows) {
+  ComponentSchema schema(DbId{1}, "DB1");
+  schema.add_class(teacher());
+  EXPECT_THROW(schema.add_class(teacher()), SchemaError);
+}
+
+TEST(ComponentSchema, ValidateCatchesDanglingDomain) {
+  ComponentSchema schema(DbId{1}, "DB1");
+  schema.add_class(teacher());  // references Department, not defined
+  EXPECT_THROW(schema.validate(), SchemaError);
+  schema.add_class("Department").add_attribute("name", PrimType::String);
+  EXPECT_NO_THROW(schema.validate());
+}
+
+TEST(Object, ValuesStartNull) {
+  const ClassDef cls = teacher();
+  const Object obj(LOid{DbId{1}, 1}, cls);
+  EXPECT_EQ(obj.attribute_count(), 2u);
+  EXPECT_TRUE(obj.value(0).is_null());
+  EXPECT_TRUE(obj.value(1).is_null());
+}
+
+TEST(Object, SetAndGet) {
+  const ClassDef cls = teacher();
+  Object obj(LOid{DbId{1}, 1}, cls);
+  obj.set_value(0, Value("Kelly"));
+  EXPECT_EQ(obj.value(0), Value("Kelly"));
+  EXPECT_THROW(obj.set_value(5, Value(1)), ContractViolation);
+  EXPECT_THROW((void)obj.value(5), ContractViolation);
+}
+
+// --- path expressions ---
+
+TEST(PathExpr, Parse) {
+  const PathExpr path = PathExpr::parse("advisor.department.name");
+  EXPECT_EQ(path.length(), 3u);
+  EXPECT_EQ(path.step(0), "advisor");
+  EXPECT_EQ(path.step(2), "name");
+  EXPECT_TRUE(path.is_nested());
+  EXPECT_EQ(path.dotted(), "advisor.department.name");
+}
+
+TEST(PathExpr, ParseSingleStep) {
+  const PathExpr path = PathExpr::parse("name");
+  EXPECT_EQ(path.length(), 1u);
+  EXPECT_FALSE(path.is_nested());
+}
+
+TEST(PathExpr, ParseRejectsMalformed) {
+  EXPECT_THROW((void)PathExpr::parse(""), QueryError);
+  EXPECT_THROW((void)PathExpr::parse("a..b"), QueryError);
+  EXPECT_THROW((void)PathExpr::parse(".a"), QueryError);
+  EXPECT_THROW((void)PathExpr::parse("a."), QueryError);
+}
+
+TEST(PathExpr, PrefixSuffix) {
+  const PathExpr path = PathExpr::parse("a.b.c");
+  EXPECT_EQ(path.prefix(0).length(), 0u);
+  EXPECT_EQ(path.prefix(2).dotted(), "a.b");
+  EXPECT_EQ(path.suffix(1).dotted(), "b.c");
+  EXPECT_EQ(path.suffix(3).length(), 0u);
+  EXPECT_THROW((void)path.prefix(4), ContractViolation);
+  EXPECT_THROW((void)path.suffix(4), ContractViolation);
+}
+
+class PathResolution : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = ComponentSchema(DbId{1}, "DB1");
+    schema_.add_class("Student")
+        .add_attribute("name", PrimType::String)
+        .add_attribute("advisor", ComplexType{"Teacher"});
+    schema_.add_class(teacher());
+    schema_.add_class("Department").add_attribute("name", PrimType::String);
+    lookup_ = [this](std::string_view name) {
+      return schema_.find_class(name);
+    };
+  }
+  ComponentSchema schema_;
+  ClassLookup lookup_;
+};
+
+TEST_F(PathResolution, ResolvesNestedPath) {
+  const ResolvedPath resolved = resolve_path(
+      lookup_, "Student", PathExpr::parse("advisor.department.name"));
+  ASSERT_EQ(resolved.steps.size(), 3u);
+  EXPECT_EQ(resolved.steps[0].class_name, "Student");
+  EXPECT_EQ(resolved.steps[1].class_name, "Teacher");
+  EXPECT_EQ(resolved.steps[2].class_name, "Department");
+  EXPECT_EQ(to_string(resolved.result_type()), "string");
+  EXPECT_EQ(resolved.classes_on_path(),
+            (std::vector<std::string>{"Student", "Teacher", "Department"}));
+}
+
+TEST_F(PathResolution, ClassesOnPathIncludesFinalComplexDomain) {
+  const ResolvedPath resolved =
+      resolve_path(lookup_, "Student", PathExpr::parse("advisor"));
+  EXPECT_EQ(resolved.classes_on_path(),
+            (std::vector<std::string>{"Student", "Teacher"}));
+}
+
+TEST_F(PathResolution, Errors) {
+  EXPECT_THROW(
+      (void)resolve_path(lookup_, "Nope", PathExpr::parse("name")),
+      QueryError);
+  EXPECT_THROW(
+      (void)resolve_path(lookup_, "Student", PathExpr::parse("nope")),
+      QueryError);
+  EXPECT_THROW(
+      (void)resolve_path(lookup_, "Student", PathExpr::parse("name.more")),
+      QueryError)
+      << "cannot continue past a primitive attribute";
+}
+
+}  // namespace
+}  // namespace isomer

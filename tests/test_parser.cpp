@@ -1,0 +1,160 @@
+// The SQL/X-subset parser.
+#include <gtest/gtest.h>
+
+#include "isomer/core/strategy.hpp"
+#include "isomer/query/parser.hpp"
+#include "isomer/query/printer.hpp"
+#include "isomer/workload/paper_example.hpp"
+
+namespace isomer {
+namespace {
+
+TEST(Parser, ParsesQ1Verbatim) {
+  // Fig. 3(a), exactly as printed in the paper.
+  const GlobalQuery q = parse_sqlx(
+      "Select X.name, X.advisor.name From Student X "
+      "Where X.address.city=Taipei and X.advisor.speciality=database "
+      "and X.advisor.department.name=CS");
+  EXPECT_EQ(q.range_class, "Student");
+  ASSERT_EQ(q.targets.size(), 2u);
+  EXPECT_EQ(q.targets[0].dotted(), "name");
+  EXPECT_EQ(q.targets[1].dotted(), "advisor.name");
+  ASSERT_EQ(q.predicates.size(), 3u);
+  EXPECT_EQ(q.predicates[0].path.dotted(), "address.city");
+  EXPECT_EQ(q.predicates[0].op, CompOp::Eq);
+  EXPECT_EQ(q.predicates[0].literal, Value("Taipei"));
+  EXPECT_TRUE(q.disjuncts.empty());
+}
+
+TEST(Parser, ParsedQ1AnswersLikeTheBuiltQ1) {
+  const paper::UniversityExample example = paper::make_university();
+  const GlobalQuery parsed = parse_sqlx(to_sqlx(paper::q1()));
+  EXPECT_EQ(reference_answer(*example.federation, parsed),
+            reference_answer(*example.federation, paper::q1()));
+}
+
+TEST(Parser, RoundTripsThroughThePrinter) {
+  for (const char* text : {
+           "Select X.name From Student X",
+           "Select X.name From Student X Where X.age>=30",
+           "Select X.name, X.advisor.name From Student X Where "
+           "X.address.city=Taipei and X.advisor.speciality=database",
+       }) {
+    const GlobalQuery q = parse_sqlx(text);
+    EXPECT_EQ(parse_sqlx(to_sqlx(q)).predicates, q.predicates);
+  }
+}
+
+TEST(Parser, Literals) {
+  const GlobalQuery q = parse_sqlx(
+      "Select X.a From C X Where X.i=42 and X.r<3.25 and X.s='two words' "
+      "and X.q=\"dquoted\" and X.b=true and X.neg>-7");
+  ASSERT_EQ(q.predicates.size(), 6u);
+  EXPECT_EQ(q.predicates[0].literal, Value(42));
+  EXPECT_EQ(q.predicates[1].literal, Value(3.25));
+  EXPECT_EQ(q.predicates[2].literal, Value("two words"));
+  EXPECT_EQ(q.predicates[3].literal, Value("dquoted"));
+  EXPECT_EQ(q.predicates[4].literal, Value(true));
+  EXPECT_EQ(q.predicates[5].literal, Value(-7));
+}
+
+TEST(Parser, Operators) {
+  const GlobalQuery q = parse_sqlx(
+      "Select * From C X Where X.a=1 and X.b<>1 and X.c!=1 and X.d<1 and "
+      "X.e<=1 and X.f>1 and X.g>=1");
+  ASSERT_EQ(q.predicates.size(), 7u);
+  EXPECT_EQ(q.predicates[0].op, CompOp::Eq);
+  EXPECT_EQ(q.predicates[1].op, CompOp::Ne);
+  EXPECT_EQ(q.predicates[2].op, CompOp::Ne);
+  EXPECT_EQ(q.predicates[3].op, CompOp::Lt);
+  EXPECT_EQ(q.predicates[4].op, CompOp::Le);
+  EXPECT_EQ(q.predicates[5].op, CompOp::Gt);
+  EXPECT_EQ(q.predicates[6].op, CompOp::Ge);
+  EXPECT_TRUE(q.targets.empty()) << "Select * projects nothing extra";
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  const GlobalQuery q =
+      parse_sqlx("SELECT x.name FROM Student x WHERE x.age > 21 AND "
+                 "x.sex = female");
+  EXPECT_EQ(q.predicates.size(), 2u);
+}
+
+TEST(Parser, TopLevelOrBecomesGroups) {
+  const GlobalQuery q = parse_sqlx(
+      "Select X.name From Student X Where X.age<20 or X.age>60");
+  ASSERT_EQ(q.disjuncts.size(), 2u);
+  EXPECT_EQ(q.disjuncts[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(q.disjuncts[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(Parser, AndWithParenthesizedOr) {
+  const GlobalQuery q = parse_sqlx(
+      "Select X.name From Student X Where X.age>=18 and "
+      "(X.sex=male or X.sex=female)");
+  ASSERT_EQ(q.predicates.size(), 3u);
+  ASSERT_EQ(q.disjuncts.size(), 2u);
+  EXPECT_EQ(q.disjuncts[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(q.disjuncts[1], (std::vector<std::size_t>{2}));
+  // age>=18 stays a plain conjunct:
+  EXPECT_EQ(q.combine({Truth::True, Truth::False, Truth::True}), Truth::True);
+  EXPECT_EQ(q.combine({Truth::False, Truth::True, Truth::True}),
+            Truth::False);
+}
+
+TEST(Parser, OrOfConjunctions) {
+  const GlobalQuery q = parse_sqlx(
+      "Select * From C X Where (X.a=1 and X.b=2) or X.c=3");
+  ASSERT_EQ(q.disjuncts.size(), 2u);
+  EXPECT_EQ(q.disjuncts[0], (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(q.disjuncts[1], (std::vector<std::size_t>{2}));
+}
+
+TEST(Parser, RejectsUnsupportedShapes) {
+  // Two OR groups under one AND exceed the engine's formula shape.
+  EXPECT_THROW(
+      (void)parse_sqlx("Select * From C X Where (X.a=1 or X.b=2) and "
+                       "(X.c=3 or X.d=4)"),
+      ParseError);
+  // OR nested inside an alternative of another OR.
+  EXPECT_THROW(
+      (void)parse_sqlx("Select * From C X Where X.a=1 or "
+                       "(X.b=2 and (X.c=3 or X.d=4))"),
+      ParseError);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW((void)parse_sqlx(""), ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select From C X"), ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C"), ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C X Where"), ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C X Where X.a="), ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C X Where X.a 1"),
+               ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C X Where X.a=1 garbage"),
+               ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C X Where X.a='oops"),
+               ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C X Where Y.a=1"),
+               ParseError)
+      << "undeclared range variable";
+  EXPECT_THROW((void)parse_sqlx("Select Y.a From C X"), ParseError)
+      << "target variable must match the range variable";
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C X Where X.a=1 and"),
+               ParseError);
+  EXPECT_THROW((void)parse_sqlx("Select X.a From C X Where (X.a=1"),
+               ParseError);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  try {
+    (void)parse_sqlx("Select X.a From C X Where X.a @ 1");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset 30"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,231 @@
+// The query AST and three-valued evaluation over a component database.
+#include <gtest/gtest.h>
+
+#include "isomer/common/error.hpp"
+#include "isomer/query/eval.hpp"
+#include "isomer/query/printer.hpp"
+
+namespace isomer {
+namespace {
+
+/// A small school database with deliberate missing data:
+///  - t_nodept has a null department,
+///  - t_dangling references a department that does not exist,
+///  - the Teacher class itself lacks a `speciality` attribute.
+class EvalFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ComponentSchema schema(DbId{1}, "DB1");
+    schema.add_class("Department")
+        .add_attribute("name", PrimType::String)
+        .add_attribute("budget", PrimType::Int);
+    schema.add_class("Teacher")
+        .add_attribute("name", PrimType::String)
+        .add_attribute("department", ComplexType{"Department"})
+        .add_attribute("committees", ComplexType{"Department", true});
+    db_ = std::make_unique<ComponentDatabase>(std::move(schema));
+    cs_ = db_->insert("Department", {{"name", "CS"}, {"budget", 100}});
+    ee_ = db_->insert("Department", {{"name", "EE"}, {"budget", 50}});
+    t_cs_ = db_->insert("Teacher",
+                        {{"name", "Ann"}, {"department", LocalRef{cs_}}});
+    t_nodept_ = db_->insert("Teacher", {{"name", "Bob"}});
+    t_dangling_ = db_->insert(
+        "Teacher",
+        {{"name", "Cid"}, {"department", LocalRef{LOid{DbId{1}, 999}}}});
+    t_committees_ = db_->insert(
+        "Teacher", {{"name", "Dot"}, {"committees", LocalRefSet{{ee_, cs_}}}});
+  }
+
+  const Object& obj(LOid id) { return *db_->fetch(id); }
+
+  std::unique_ptr<ComponentDatabase> db_;
+  LOid cs_, ee_, t_cs_, t_nodept_, t_dangling_, t_committees_;
+};
+
+Predicate pred(const char* path, CompOp op, Value literal) {
+  return Predicate{PathExpr::parse(path), op, std::move(literal)};
+}
+
+TEST_F(EvalFixture, SimplePredicate) {
+  EXPECT_EQ(eval_predicate(*db_, obj(t_cs_), pred("name", CompOp::Eq, "Ann"))
+                .truth,
+            Truth::True);
+  EXPECT_EQ(eval_predicate(*db_, obj(t_cs_), pred("name", CompOp::Eq, "Zed"))
+                .truth,
+            Truth::False);
+}
+
+TEST_F(EvalFixture, NestedPredicate) {
+  EXPECT_EQ(eval_predicate(*db_, obj(t_cs_),
+                           pred("department.name", CompOp::Eq, "CS"))
+                .truth,
+            Truth::True);
+  EXPECT_EQ(eval_predicate(*db_, obj(t_cs_),
+                           pred("department.budget", CompOp::Gt, 200))
+                .truth,
+            Truth::False);
+}
+
+TEST_F(EvalFixture, NullRefYieldsUnknownWithSite) {
+  const PredicateOutcome outcome = eval_predicate(
+      *db_, obj(t_nodept_), pred("department.name", CompOp::Eq, "CS"));
+  EXPECT_EQ(outcome.truth, Truth::Unknown);
+  ASSERT_TRUE(outcome.site.has_value());
+  EXPECT_EQ(outcome.site->holder, t_nodept_);
+  EXPECT_EQ(outcome.site->step, 0u);
+}
+
+TEST_F(EvalFixture, DanglingRefYieldsUnknown) {
+  const PredicateOutcome outcome = eval_predicate(
+      *db_, obj(t_dangling_), pred("department.name", CompOp::Eq, "CS"));
+  EXPECT_EQ(outcome.truth, Truth::Unknown);
+  ASSERT_TRUE(outcome.site.has_value());
+  EXPECT_EQ(outcome.site->holder, t_dangling_);
+}
+
+TEST_F(EvalFixture, MissingAttributeYieldsUnknown) {
+  // `speciality` is not an attribute of Teacher at all.
+  const PredicateOutcome outcome = eval_predicate(
+      *db_, obj(t_cs_), pred("speciality", CompOp::Eq, "db"));
+  EXPECT_EQ(outcome.truth, Truth::Unknown);
+  ASSERT_TRUE(outcome.site.has_value());
+  EXPECT_EQ(outcome.site->holder, t_cs_);
+  EXPECT_EQ(outcome.site->step, 0u);
+}
+
+TEST_F(EvalFixture, NullFinalValueYieldsUnknownAtFinalStep) {
+  const LOid nameless = db_->insert("Teacher", {});
+  const PredicateOutcome outcome =
+      eval_predicate(*db_, obj(nameless), pred("name", CompOp::Eq, "Ann"));
+  EXPECT_EQ(outcome.truth, Truth::Unknown);
+  ASSERT_TRUE(outcome.site.has_value());
+  EXPECT_EQ(outcome.site->holder, nameless);
+}
+
+TEST_F(EvalFixture, RefSetHasExistentialSemantics) {
+  // Dot sits on the EE and CS committees: exists one named CS.
+  EXPECT_EQ(eval_predicate(*db_, obj(t_committees_),
+                           pred("committees.name", CompOp::Eq, "CS"))
+                .truth,
+            Truth::True);
+  EXPECT_EQ(eval_predicate(*db_, obj(t_committees_),
+                           pred("committees.name", CompOp::Eq, "PH"))
+                .truth,
+            Truth::False);
+}
+
+TEST_F(EvalFixture, PredicateContractChecks) {
+  EXPECT_THROW((void)eval_predicate(*db_, obj(t_cs_),
+                                    pred("name", CompOp::Eq, Value::null())),
+               ContractViolation)
+      << "null literals are rejected";
+  EXPECT_THROW(
+      (void)eval_predicate(*db_, obj(t_cs_),
+                           pred("name.more", CompOp::Eq, "x")),
+      QueryError)
+      << "paths continuing past primitives are malformed";
+}
+
+TEST_F(EvalFixture, ComparisonsAreMetered) {
+  AccessMeter meter;
+  (void)eval_predicate(*db_, obj(t_cs_),
+                       pred("department.name", CompOp::Eq, "CS"), &meter);
+  EXPECT_EQ(meter.comparisons, 1u);
+  EXPECT_EQ(meter.objects_fetched, 1u);  // the department
+}
+
+TEST_F(EvalFixture, ConjunctionCollectsAllUnknownSites) {
+  const std::vector<Predicate> preds = {
+      pred("name", CompOp::Eq, "Bob"),
+      pred("department.name", CompOp::Eq, "CS"),
+      pred("speciality", CompOp::Eq, "db"),
+  };
+  const ObjectEval eval = eval_conjunction(*db_, obj(t_nodept_), preds);
+  EXPECT_EQ(eval.truth, Truth::Unknown);
+  ASSERT_EQ(eval.unknowns.size(), 2u);
+  EXPECT_EQ(eval.unknowns[0].predicate_index, 1u);
+  EXPECT_EQ(eval.unknowns[1].predicate_index, 2u);
+}
+
+TEST_F(EvalFixture, ConjunctionFalseDominates) {
+  const std::vector<Predicate> preds = {
+      pred("name", CompOp::Eq, "NotBob"),
+      pred("speciality", CompOp::Eq, "db"),
+  };
+  EXPECT_EQ(eval_conjunction(*db_, obj(t_nodept_), preds).truth,
+            Truth::False);
+}
+
+TEST_F(EvalFixture, EmptyConjunctionIsTrue) {
+  EXPECT_EQ(eval_conjunction(*db_, obj(t_cs_), {}).truth, Truth::True);
+}
+
+TEST_F(EvalFixture, EvalPath) {
+  EXPECT_EQ(eval_path(*db_, obj(t_cs_), PathExpr::parse("department.name")),
+            Value("CS"));
+  EXPECT_TRUE(eval_path(*db_, obj(t_nodept_),
+                        PathExpr::parse("department.name"))
+                  .is_null());
+  EXPECT_TRUE(
+      eval_path(*db_, obj(t_cs_), PathExpr::parse("speciality")).is_null());
+  EXPECT_EQ(eval_path(*db_, obj(t_cs_), PathExpr::parse("department")),
+            Value(LocalRef{cs_}));
+}
+
+TEST_F(EvalFixture, WalkPrefix) {
+  const Object* reached =
+      walk_prefix(*db_, obj(t_cs_), PathExpr::parse("department"));
+  ASSERT_NE(reached, nullptr);
+  EXPECT_EQ(reached->id(), cs_);
+  EXPECT_EQ(walk_prefix(*db_, obj(t_nodept_), PathExpr::parse("department")),
+            nullptr);
+  EXPECT_EQ(walk_prefix(*db_, obj(t_cs_), PathExpr::parse("name")), nullptr)
+      << "primitive steps reach no object";
+}
+
+// --- operators ---
+
+TEST(CompOp, AppliesAllOperators) {
+  EXPECT_EQ(apply(CompOp::Eq, Value(1), Value(1)), Truth::True);
+  EXPECT_EQ(apply(CompOp::Ne, Value(1), Value(1)), Truth::False);
+  EXPECT_EQ(apply(CompOp::Lt, Value(1), Value(2)), Truth::True);
+  EXPECT_EQ(apply(CompOp::Le, Value(2), Value(2)), Truth::True);
+  EXPECT_EQ(apply(CompOp::Gt, Value(3), Value(2)), Truth::True);
+  EXPECT_EQ(apply(CompOp::Ge, Value(1), Value(2)), Truth::False);
+}
+
+TEST(CompOp, NullPropagatesThroughAllOperators) {
+  for (const CompOp op : {CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le,
+                          CompOp::Gt, CompOp::Ge})
+    EXPECT_EQ(apply(op, Value::null(), Value(1)), Truth::Unknown);
+}
+
+TEST(CompOp, Names) {
+  EXPECT_EQ(to_string(CompOp::Eq), "=");
+  EXPECT_EQ(to_string(CompOp::Ne), "<>");
+  EXPECT_EQ(to_string(CompOp::Ge), ">=");
+}
+
+// --- builders and printing ---
+
+TEST(GlobalQueryBuilder, FluentConstruction) {
+  GlobalQuery query;
+  query.range_class = "Student";
+  query.select("name").select("advisor.name");
+  query.where("age", CompOp::Ge, 21);
+  ASSERT_EQ(query.targets.size(), 2u);
+  ASSERT_EQ(query.predicates.size(), 1u);
+  EXPECT_EQ(query.predicates[0].path.dotted(), "age");
+  EXPECT_EQ(to_sqlx(query),
+            "Select X.name, X.advisor.name From Student X Where X.age>=21");
+}
+
+TEST(GlobalQueryBuilder, NoPredicates) {
+  GlobalQuery query;
+  query.range_class = "Student";
+  query.select("name");
+  EXPECT_EQ(to_sqlx(query), "Select X.name From Student X");
+}
+
+}  // namespace
+}  // namespace isomer

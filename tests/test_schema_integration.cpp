@@ -1,0 +1,233 @@
+// Schema integration: attribute union, renaming, missing attributes, path
+// translation, and local-query derivation.
+#include <gtest/gtest.h>
+
+#include "isomer/common/error.hpp"
+#include "isomer/schema/integrator.hpp"
+#include "isomer/schema/translate.hpp"
+
+namespace isomer {
+namespace {
+
+/// Two databases with overlapping Person classes; DB2 renames "years" for
+/// what DB1 calls "age" and holds "email" that DB1 lacks.
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = ComponentSchema(DbId{1}, "DB1");
+    a_.add_class("Person")
+        .add_attribute("pid", PrimType::Int)
+        .add_attribute("name", PrimType::String)
+        .add_attribute("age", PrimType::Int)
+        .add_attribute("employer", ComplexType{"Company"});
+    a_.add_class("Company").add_attribute("name", PrimType::String);
+    a_.validate();
+
+    b_ = ComponentSchema(DbId{2}, "DB2");
+    b_.add_class("Citizen")
+        .add_attribute("pid", PrimType::Int)
+        .add_attribute("name", PrimType::String)
+        .add_attribute("years", PrimType::Int)
+        .add_attribute("email", PrimType::String);
+    b_.validate();
+
+    spec_ = IntegrationSpec{};
+    ClassSpec& person = spec_.add_class("Person");
+    person.constituents = {{DbId{1}, "Person"}, {DbId{2}, "Citizen"}};
+    person.attr_mappings.push_back(AttrMapping{"age", DbId{2}, "years"});
+    person.identity_attribute = "pid";
+    ClassSpec& company = spec_.add_class("Company");
+    company.constituents = {{DbId{1}, "Company"}};
+  }
+
+  ComponentSchema a_, b_;
+  IntegrationSpec spec_;
+};
+
+TEST_F(IntegrationFixture, AttributeUnionInFirstAppearanceOrder) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  const GlobalClass& person = global.cls("Person");
+  ASSERT_EQ(person.def().attribute_count(), 5u);
+  EXPECT_EQ(person.def().attribute(0).name, "pid");
+  EXPECT_EQ(person.def().attribute(1).name, "name");
+  EXPECT_EQ(person.def().attribute(2).name, "age");
+  EXPECT_EQ(person.def().attribute(3).name, "employer");
+  EXPECT_EQ(person.def().attribute(4).name, "email");
+}
+
+TEST_F(IntegrationFixture, RenamedAttributeBindsToLocalName) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  const GlobalClass& person = global.cls("Person");
+  const auto db2 = person.constituent_in(DbId{2});
+  ASSERT_TRUE(db2.has_value());
+  const auto age = person.def().find_attribute("age");
+  EXPECT_EQ(person.local_attr(*db2, *age), "years");
+  // And "years" is not duplicated as its own global attribute.
+  EXPECT_FALSE(person.def().has_attribute("years"));
+}
+
+TEST_F(IntegrationFixture, MissingAttributesPerConstituent) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  const GlobalClass& person = global.cls("Person");
+  EXPECT_EQ(person.missing_attributes(*person.constituent_in(DbId{1})),
+            std::vector<std::string>{"email"});
+  EXPECT_EQ(person.missing_attributes(*person.constituent_in(DbId{2})),
+            std::vector<std::string>{"employer"});
+}
+
+TEST_F(IntegrationFixture, ComplexDomainResolvesToGlobalClass) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  const auto employer =
+      global.cls("Person").def().find_attribute("employer");
+  const auto& type = global.cls("Person").def().attribute(*employer).type;
+  EXPECT_EQ(std::get<ComplexType>(type).domain_class, "Company");
+}
+
+TEST_F(IntegrationFixture, ReverseLookup) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  EXPECT_EQ(global.global_class_of(DbId{2}, "Citizen")->name(), "Person");
+  EXPECT_EQ(global.global_class_of(DbId{1}, "Company")->name(), "Company");
+  EXPECT_EQ(global.global_class_of(DbId{2}, "Company"), nullptr);
+}
+
+TEST_F(IntegrationFixture, IdentityAttributePropagates) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  EXPECT_EQ(global.cls("Person").def().identity_attribute(), "pid");
+}
+
+TEST_F(IntegrationFixture, IncompatibleTypesRejected) {
+  ComponentSchema c(DbId{3}, "DB3");
+  c.add_class("Person")
+      .add_attribute("pid", PrimType::Int)
+      .add_attribute("age", PrimType::String);  // string vs int
+  spec_.classes[0].constituents.push_back({DbId{3}, "Person"});
+  EXPECT_THROW((void)integrate({&a_, &b_, &c}, spec_), SchemaError);
+}
+
+TEST_F(IntegrationFixture, UnintegratedDomainRejected) {
+  IntegrationSpec bad;
+  ClassSpec& person = bad.add_class("Person");
+  person.constituents = {{DbId{1}, "Person"}};
+  // Company is referenced by Person.employer but not integrated.
+  EXPECT_THROW((void)integrate({&a_, &b_}, bad), SchemaError);
+}
+
+TEST_F(IntegrationFixture, StructuralErrors) {
+  {
+    IntegrationSpec bad = spec_;
+    bad.classes[0].constituents.push_back({DbId{1}, "Person"});
+    EXPECT_THROW((void)integrate({&a_, &b_}, bad), SchemaError)
+        << "two constituents in one database";
+  }
+  {
+    IntegrationSpec bad = spec_;
+    bad.classes[0].constituents[1].local_class = "Nope";
+    EXPECT_THROW((void)integrate({&a_, &b_}, bad), SchemaError);
+  }
+  {
+    IntegrationSpec bad = spec_;
+    bad.classes[1].constituents.clear();
+    EXPECT_THROW((void)integrate({&a_, &b_}, bad), SchemaError)
+        << "a global class needs at least one constituent";
+  }
+  {
+    IntegrationSpec bad = spec_;
+    bad.classes[0].identity_attribute = "nope";
+    EXPECT_THROW((void)integrate({&a_, &b_}, bad), SchemaError);
+  }
+}
+
+TEST_F(IntegrationFixture, SameLocalClassCannotJoinTwoGlobalClasses) {
+  IntegrationSpec bad = spec_;
+  ClassSpec& dup = bad.add_class("PersonCopy");
+  dup.constituents = {{DbId{1}, "Person"}};
+  EXPECT_THROW((void)integrate({&a_, &b_}, bad), SchemaError);
+}
+
+// --- path translation ---
+
+TEST_F(IntegrationFixture, TranslateCompletePath) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  const PathTranslation t =
+      global.translate_path("Person", PathExpr::parse("age"), DbId{2});
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.local.dotted(), "years");
+}
+
+TEST_F(IntegrationFixture, TranslateNestedPath) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  const PathTranslation t = global.translate_path(
+      "Person", PathExpr::parse("employer.name"), DbId{1});
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.local.dotted(), "employer.name");
+}
+
+TEST_F(IntegrationFixture, TranslateStopsAtMissingAttribute) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  const PathTranslation t = global.translate_path(
+      "Person", PathExpr::parse("employer.name"), DbId{2});
+  EXPECT_FALSE(t.complete());
+  EXPECT_EQ(t.missing_at, 0u);
+  EXPECT_EQ(t.local.length(), 0u);
+}
+
+TEST_F(IntegrationFixture, TranslateRejectsUnresolvablePath) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  EXPECT_THROW((void)global.translate_path("Person",
+                                           PathExpr::parse("nope"), DbId{1}),
+               QueryError);
+}
+
+// --- local query derivation ---
+
+TEST_F(IntegrationFixture, DeriveLocalQuerySplitsPredicates) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  GlobalQuery query;
+  query.range_class = "Person";
+  query.select("name");
+  query.where("age", CompOp::Ge, 30);
+  query.where("email", CompOp::Eq, "x@y");
+  query.where("employer.name", CompOp::Eq, "ACME");
+
+  const auto local1 = derive_local_query(global, query, DbId{1});
+  ASSERT_TRUE(local1.has_value());
+  EXPECT_EQ(local1->root_class, "Person");
+  ASSERT_EQ(local1->local_predicates.size(), 2u);  // age, employer.name
+  EXPECT_EQ(local1->local_predicate_origin, (std::vector<std::size_t>{0, 2}));
+  ASSERT_EQ(local1->unsolved_predicates.size(), 1u);  // email
+  EXPECT_EQ(local1->unsolved_predicates[0].predicate_index, 1u);
+  EXPECT_TRUE(local1->unsolved_item_paths.empty())
+      << "email is missing on the root itself, no item projection";
+
+  const auto local2 = derive_local_query(global, query, DbId{2});
+  ASSERT_TRUE(local2.has_value());
+  EXPECT_EQ(local2->root_class, "Citizen");
+  ASSERT_EQ(local2->local_predicates.size(), 2u);  // years, email
+  EXPECT_EQ(local2->local_predicates[0].path.dotted(), "years")
+      << "paths are translated into local attribute names";
+  ASSERT_EQ(local2->unsolved_predicates.size(), 1u);  // employer.name
+  EXPECT_EQ(local2->target_origin, (std::vector<std::size_t>{0}));
+}
+
+TEST_F(IntegrationFixture, DeriveLocalQueryAbsentConstituent) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  GlobalQuery query;
+  query.range_class = "Company";
+  query.select("name");
+  EXPECT_FALSE(derive_local_query(global, query, DbId{2}).has_value());
+  EXPECT_EQ(local_query_sites(global, query), (std::vector<DbId>{DbId{1}}));
+}
+
+TEST_F(IntegrationFixture, DeriveDropsUntranslatableTargets) {
+  const GlobalSchema global = integrate({&a_, &b_}, spec_);
+  GlobalQuery query;
+  query.range_class = "Person";
+  query.select("email").select("name");
+  const auto local1 = derive_local_query(global, query, DbId{1});
+  ASSERT_EQ(local1->targets.size(), 1u);
+  EXPECT_EQ(local1->targets[0].dotted(), "name");
+  EXPECT_EQ(local1->target_origin, (std::vector<std::size_t>{1}));
+}
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,76 @@
+// The load-bearing property: CA, BL, PL (and the signature variants) return
+// identical answers on every consistent federation — they differ only in
+// where and when the work happens. Exercised over randomized Table-2
+// workloads at reduced scale.
+#include <gtest/gtest.h>
+
+#include "isomer/core/strategy.hpp"
+#include "isomer/workload/synth.hpp"
+
+namespace isomer {
+namespace {
+
+ParamConfig small_config(std::size_t n_db) {
+  ParamConfig config;
+  config.n_db = n_db;
+  config.n_objects = {30, 60};  // scaled down; structure unchanged
+  return config;
+}
+
+class StrategyEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrategyEquivalence, AllStrategiesAgreeOnRandomWorkloads) {
+  Rng rng(GetParam());
+  const std::size_t n_db = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  const SampleParams sample = draw_sample(small_config(n_db), rng);
+  const SynthFederation synth = materialize_sample(sample);
+
+  ASSERT_TRUE(synth.federation->check_consistency().empty());
+
+  const QueryResult expected =
+      reference_answer(*synth.federation, synth.query);
+  for (const StrategyKind kind : kAllStrategies) {
+    const StrategyReport report =
+        execute_strategy(kind, *synth.federation, synth.query);
+    EXPECT_EQ(report.result, expected)
+        << to_string(kind) << " diverged on seed " << GetParam();
+    EXPECT_GE(report.total_ns, report.response_ns) << to_string(kind);
+    EXPECT_GT(report.response_ns, 0) << to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(StrategyDeterminism, RepeatedRunsAreBitIdentical) {
+  Rng rng(7);
+  const SampleParams sample = draw_sample(small_config(3), rng);
+  const SynthFederation synth = materialize_sample(sample);
+  for (const StrategyKind kind : kPaperStrategies) {
+    const StrategyReport a =
+        execute_strategy(kind, *synth.federation, synth.query);
+    const StrategyReport b =
+        execute_strategy(kind, *synth.federation, synth.query);
+    EXPECT_EQ(a.result, b.result);
+    EXPECT_EQ(a.response_ns, b.response_ns) << to_string(kind);
+    EXPECT_EQ(a.total_ns, b.total_ns) << to_string(kind);
+    EXPECT_EQ(a.bytes_transferred, b.bytes_transferred) << to_string(kind);
+  }
+}
+
+TEST(StrategySignatures, SignatureVariantsNeverShipMoreBytes) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const SampleParams sample = draw_sample(small_config(3), rng);
+    const SynthFederation synth = materialize_sample(sample);
+    const auto bl = execute_strategy(StrategyKind::BL, *synth.federation,
+                                     synth.query);
+    const auto bls = execute_strategy(StrategyKind::BLS, *synth.federation,
+                                      synth.query);
+    EXPECT_LE(bls.bytes_transferred, bl.bytes_transferred);
+    EXPECT_EQ(bls.result, bl.result);
+  }
+}
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,88 @@
+// Trace export: Chrome trace-event JSON and the ASCII Gantt chart.
+#include <gtest/gtest.h>
+
+#include "isomer/core/strategy.hpp"
+#include "isomer/sim/trace_export.hpp"
+#include "isomer/workload/paper_example.hpp"
+
+namespace isomer {
+namespace {
+
+ExecutionTrace sample_trace() {
+  ExecutionTrace trace;
+  trace.record("DB1", "eval", Phase::P, 0, 10);
+  trace.record("DB1->global", "rows", Phase::Transfer, 10, 14);
+  trace.record("global", "certify \"q\"", Phase::I, 14, 20);
+  return trace;
+}
+
+TEST(TraceExport, ChromeJsonShape) {
+  const std::string json = to_chrome_json(sample_trace());
+  EXPECT_EQ(json.front(), '[');
+  // Thread-name metadata for every site lane.
+  EXPECT_NE(json.find(R"("name":"thread_name")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"eval")"), std::string::npos);
+  // Complete events with microsecond timestamps: 14 us start, 6 us dur.
+  EXPECT_NE(json.find(R"("ph":"X")"), std::string::npos);
+  EXPECT_NE(json.find(R"("ts":0.014)"), std::string::npos);
+  EXPECT_NE(json.find(R"("dur":0.006)"), std::string::npos);
+  // Quotes in step names are escaped.
+  EXPECT_NE(json.find(R"(certify \"q\")"), std::string::npos);
+}
+
+TEST(TraceExport, ChromeJsonIsWellBracketed) {
+  const std::string json = to_chrome_json(sample_trace());
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceExport, GanttRowsPerSite) {
+  const std::string chart = to_gantt(sample_trace(), 40);
+  // One row per site, phases rendered with their glyphs.
+  EXPECT_NE(chart.find("DB1"), std::string::npos);
+  EXPECT_NE(chart.find("global"), std::string::npos);
+  EXPECT_NE(chart.find('P'), std::string::npos);
+  EXPECT_NE(chart.find('I'), std::string::npos);
+  EXPECT_NE(chart.find('-'), std::string::npos);
+}
+
+TEST(TraceExport, GanttEmptyTrace) {
+  EXPECT_EQ(to_gantt(ExecutionTrace{}), "(empty trace)\n");
+}
+
+TEST(TraceExport, RealStrategyTraceExports) {
+  const paper::UniversityExample example = paper::make_university();
+  for (const StrategyKind kind : kPaperStrategies) {
+    const StrategyReport report =
+        execute_strategy(kind, *example.federation, paper::q1());
+    const std::string json = to_chrome_json(report.trace);
+    EXPECT_GT(json.size(), 100u) << to_string(kind);
+    const std::string chart = to_gantt(report.trace);
+    EXPECT_NE(chart.find("global"), std::string::npos) << to_string(kind);
+  }
+}
+
+TEST(TraceExport, GanttOrderReflectsPhaseOrder) {
+  // In a BL trace the P glyphs at component sites precede the global I.
+  const paper::UniversityExample example = paper::make_university();
+  const StrategyReport report =
+      execute_strategy(StrategyKind::BL, *example.federation, paper::q1());
+  const std::string chart = to_gantt(report.trace, 60);
+  const std::size_t first_p = chart.find('P');
+  ASSERT_NE(first_p, std::string::npos);
+  // The global row's I block sits to the right of the first P column.
+  std::istringstream in(chart);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("global ", 0) == 0) {  // the site row, not a transfer lane
+      const std::size_t i_pos = line.find('I');
+      ASSERT_NE(i_pos, std::string::npos);
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,131 @@
+// Kleene three-valued logic: truth tables and algebraic laws.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "isomer/common/truth.hpp"
+
+namespace isomer {
+namespace {
+
+constexpr std::array<Truth, 3> kAll = {Truth::False, Truth::Unknown,
+                                       Truth::True};
+
+TEST(Truth, AndTruthTable) {
+  EXPECT_EQ(Truth::True && Truth::True, Truth::True);
+  EXPECT_EQ(Truth::True && Truth::Unknown, Truth::Unknown);
+  EXPECT_EQ(Truth::True && Truth::False, Truth::False);
+  EXPECT_EQ(Truth::Unknown && Truth::Unknown, Truth::Unknown);
+  EXPECT_EQ(Truth::Unknown && Truth::False, Truth::False);
+  EXPECT_EQ(Truth::False && Truth::False, Truth::False);
+}
+
+TEST(Truth, OrTruthTable) {
+  EXPECT_EQ(Truth::True || Truth::True, Truth::True);
+  EXPECT_EQ(Truth::True || Truth::Unknown, Truth::True);
+  EXPECT_EQ(Truth::True || Truth::False, Truth::True);
+  EXPECT_EQ(Truth::Unknown || Truth::Unknown, Truth::Unknown);
+  EXPECT_EQ(Truth::Unknown || Truth::False, Truth::Unknown);
+  EXPECT_EQ(Truth::False || Truth::False, Truth::False);
+}
+
+TEST(Truth, NotTruthTable) {
+  EXPECT_EQ(!Truth::True, Truth::False);
+  EXPECT_EQ(!Truth::False, Truth::True);
+  EXPECT_EQ(!Truth::Unknown, Truth::Unknown);
+}
+
+TEST(Truth, FromBool) {
+  EXPECT_EQ(truth_of(true), Truth::True);
+  EXPECT_EQ(truth_of(false), Truth::False);
+}
+
+class TruthPairs : public ::testing::TestWithParam<std::pair<Truth, Truth>> {};
+
+TEST_P(TruthPairs, Commutativity) {
+  const auto [a, b] = GetParam();
+  EXPECT_EQ(a && b, b && a);
+  EXPECT_EQ(a || b, b || a);
+}
+
+TEST_P(TruthPairs, DeMorgan) {
+  const auto [a, b] = GetParam();
+  EXPECT_EQ(!(a && b), (!a) || (!b));
+  EXPECT_EQ(!(a || b), (!a) && (!b));
+}
+
+TEST_P(TruthPairs, Absorption) {
+  const auto [a, b] = GetParam();
+  EXPECT_EQ(a && (a || b), a);
+  EXPECT_EQ(a || (a && b), a);
+}
+
+TEST_P(TruthPairs, Monotone) {
+  // Conjunction never exceeds either operand in the information order.
+  const auto [a, b] = GetParam();
+  EXPECT_LE(static_cast<int>(a && b), static_cast<int>(a));
+  EXPECT_GE(static_cast<int>(a || b), static_cast<int>(a));
+}
+
+std::vector<std::pair<Truth, Truth>> all_pairs() {
+  std::vector<std::pair<Truth, Truth>> pairs;
+  for (const Truth a : kAll)
+    for (const Truth b : kAll) pairs.emplace_back(a, b);
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, TruthPairs,
+                         ::testing::ValuesIn(all_pairs()));
+
+class TruthSingles : public ::testing::TestWithParam<Truth> {};
+
+TEST_P(TruthSingles, DoubleNegation) {
+  EXPECT_EQ(!!GetParam(), GetParam());
+}
+
+TEST_P(TruthSingles, Idempotence) {
+  EXPECT_EQ(GetParam() && GetParam(), GetParam());
+  EXPECT_EQ(GetParam() || GetParam(), GetParam());
+}
+
+TEST_P(TruthSingles, IdentityElements) {
+  EXPECT_EQ(GetParam() && Truth::True, GetParam());
+  EXPECT_EQ(GetParam() || Truth::False, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TruthSingles, ::testing::ValuesIn(kAll));
+
+TEST(Truth, ConjunctionFold) {
+  EXPECT_EQ(conjunction(std::vector<Truth>{}), Truth::True);
+  EXPECT_EQ(conjunction(std::vector<Truth>{Truth::True, Truth::True}),
+            Truth::True);
+  EXPECT_EQ(conjunction(std::vector<Truth>{Truth::True, Truth::Unknown}),
+            Truth::Unknown);
+  EXPECT_EQ(conjunction(std::vector<Truth>{Truth::Unknown, Truth::False}),
+            Truth::False);
+}
+
+TEST(Truth, DisjunctionFold) {
+  EXPECT_EQ(disjunction(std::vector<Truth>{}), Truth::False);
+  EXPECT_EQ(disjunction(std::vector<Truth>{Truth::False, Truth::Unknown}),
+            Truth::Unknown);
+  EXPECT_EQ(disjunction(std::vector<Truth>{Truth::Unknown, Truth::True}),
+            Truth::True);
+}
+
+TEST(Truth, Printing) {
+  EXPECT_EQ(to_string(Truth::True), "true");
+  EXPECT_EQ(to_string(Truth::False), "false");
+  EXPECT_EQ(to_string(Truth::Unknown), "unknown");
+}
+
+TEST(Truth, Predicates) {
+  EXPECT_TRUE(is_true(Truth::True));
+  EXPECT_TRUE(is_false(Truth::False));
+  EXPECT_TRUE(is_unknown(Truth::Unknown));
+  EXPECT_FALSE(is_true(Truth::Unknown));
+  EXPECT_FALSE(is_false(Truth::Unknown));
+}
+
+}  // namespace
+}  // namespace isomer

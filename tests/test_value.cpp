@@ -1,0 +1,128 @@
+// The Value variant: construction, accessors, three-valued comparison.
+#include <gtest/gtest.h>
+
+#include "isomer/common/error.hpp"
+#include "isomer/common/value.hpp"
+
+namespace isomer {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  const Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::Null);
+  EXPECT_EQ(Value::null(), v);
+}
+
+TEST(Value, Kinds) {
+  EXPECT_EQ(Value(true).kind(), ValueKind::Bool);
+  EXPECT_EQ(Value(42).kind(), ValueKind::Int);
+  EXPECT_EQ(Value(4.5).kind(), ValueKind::Real);
+  EXPECT_EQ(Value("hi").kind(), ValueKind::String);
+  EXPECT_EQ(Value(LocalRef{LOid{DbId{1}, 2}}).kind(), ValueKind::LocalRef);
+  EXPECT_EQ(Value(GlobalRef{GOid{3}}).kind(), ValueKind::GlobalRef);
+  EXPECT_EQ(Value(LocalRefSet{{LOid{DbId{1}, 2}}}).kind(),
+            ValueKind::LocalRefSet);
+  EXPECT_EQ(Value(GlobalRefSet{{GOid{3}}}).kind(), ValueKind::GlobalRefSet);
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(42).as_int(), 42);
+  EXPECT_DOUBLE_EQ(Value(4.5).as_real(), 4.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_EQ(Value(LocalRef{LOid{DbId{1}, 2}}).as_local_ref(),
+            (LOid{DbId{1}, 2}));
+  EXPECT_EQ(Value(GlobalRef{GOid{3}}).as_global_ref(), GOid{3});
+}
+
+TEST(Value, AccessorContractViolations) {
+  EXPECT_THROW((void)Value(42).as_bool(), ContractViolation);
+  EXPECT_THROW((void)Value("x").as_int(), ContractViolation);
+  EXPECT_THROW((void)Value().as_string(), ContractViolation);
+  EXPECT_THROW((void)Value(1).as_local_ref(), ContractViolation);
+}
+
+TEST(Value, NumericView) {
+  EXPECT_DOUBLE_EQ(Value(3).as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_number(), 2.5);
+  EXPECT_TRUE(Value(3).is_numeric());
+  EXPECT_FALSE(Value("3").is_numeric());
+  EXPECT_THROW((void)Value("3").as_number(), ContractViolation);
+}
+
+TEST(Value, ClassificationHelpers) {
+  EXPECT_TRUE(Value(1).is_primitive());
+  EXPECT_TRUE(Value(LocalRef{LOid{DbId{1}, 1}}).is_ref());
+  EXPECT_TRUE(Value(LocalRefSet{}).is_ref_set());
+  EXPECT_FALSE(Value().is_primitive());
+  EXPECT_FALSE(Value().is_ref());
+}
+
+// --- three-valued equality ---
+
+TEST(ValueCompare, NullMakesEqualityUnknown) {
+  EXPECT_EQ(compare_eq(Value(), Value(1)), Truth::Unknown);
+  EXPECT_EQ(compare_eq(Value(1), Value()), Truth::Unknown);
+  EXPECT_EQ(compare_eq(Value(), Value()), Truth::Unknown);
+}
+
+TEST(ValueCompare, PrimitiveEquality) {
+  EXPECT_EQ(compare_eq(Value(1), Value(1)), Truth::True);
+  EXPECT_EQ(compare_eq(Value(1), Value(2)), Truth::False);
+  EXPECT_EQ(compare_eq(Value("a"), Value("a")), Truth::True);
+  EXPECT_EQ(compare_eq(Value("a"), Value("b")), Truth::False);
+  EXPECT_EQ(compare_eq(Value(true), Value(false)), Truth::False);
+}
+
+TEST(ValueCompare, MixedNumericComparesNumerically) {
+  EXPECT_EQ(compare_eq(Value(2), Value(2.0)), Truth::True);
+  EXPECT_EQ(compare_less(Value(1), Value(1.5)), Truth::True);
+}
+
+TEST(ValueCompare, RefEquality) {
+  const LOid a{DbId{1}, 1}, b{DbId{1}, 2};
+  EXPECT_EQ(compare_eq(Value(LocalRef{a}), Value(LocalRef{a})), Truth::True);
+  EXPECT_EQ(compare_eq(Value(LocalRef{a}), Value(LocalRef{b})), Truth::False);
+  EXPECT_EQ(compare_eq(Value(GlobalRef{GOid{1}}), Value(GlobalRef{GOid{1}})),
+            Truth::True);
+}
+
+TEST(ValueCompare, IncompatibleKindsThrow) {
+  EXPECT_THROW((void)compare_eq(Value(1), Value("1")), QueryError);
+  EXPECT_THROW((void)compare_eq(Value(true), Value(1)), QueryError);
+  EXPECT_THROW((void)compare_less(Value(true), Value(false)), QueryError);
+  EXPECT_THROW(
+      (void)compare_less(Value(LocalRef{LOid{}}), Value(LocalRef{LOid{}})),
+      QueryError);
+}
+
+TEST(ValueCompare, Ordering) {
+  EXPECT_EQ(compare_less(Value(1), Value(2)), Truth::True);
+  EXPECT_EQ(compare_less(Value(2), Value(1)), Truth::False);
+  EXPECT_EQ(compare_less(Value("abc"), Value("abd")), Truth::True);
+  EXPECT_EQ(compare_less(Value(), Value(1)), Truth::Unknown);
+}
+
+TEST(Value, ExactEqualityTreatsNullAsEqual) {
+  // operator== is container equality, not SQL equality.
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value(0));
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(to_string(Value()), "-");
+  EXPECT_EQ(to_string(Value(42)), "42");
+  EXPECT_EQ(to_string(Value("x")), "x");
+  EXPECT_EQ(to_string(Value(GlobalRef{GOid{7}})), "g7");
+  EXPECT_EQ(to_string(Value(LocalRef{LOid{DbId{2}, 3}})), "o3@DB2");
+  EXPECT_EQ(to_string(Value(GlobalRefSet{{GOid{1}, GOid{2}}})), "{g1, g2}");
+}
+
+TEST(Value, KindNames) {
+  EXPECT_EQ(to_string(ValueKind::Null), "null");
+  EXPECT_EQ(to_string(ValueKind::LocalRefSet), "local-ref-set");
+}
+
+}  // namespace
+}  // namespace isomer

@@ -1,0 +1,98 @@
+// The executors' message sizing (exec_common): row messages, check
+// requests/responses, and the centralized approach's projected extents.
+#include <gtest/gtest.h>
+
+#include "isomer/core/exec_common.hpp"
+#include "isomer/workload/paper_example.hpp"
+
+namespace isomer {
+namespace {
+
+TEST(WireSizes, EmptyRowsCostNothing) {
+  EXPECT_EQ(detail::rows_wire_bytes(CostParams{}, {}), 0u);
+}
+
+TEST(WireSizes, RowCarriesIdsTargetsAndUnknowns) {
+  const CostParams costs;
+  LocalRow row;
+  row.root = LOid{DbId{1}, 1};
+  row.entity = GOid{1};
+  row.targets = {Value("Tony"), Value::null(), Value(GlobalRef{GOid{2}}),
+                 Value(GlobalRefSet{{GOid{3}, GOid{4}}})};
+  row.preds = {
+      PredStatus{Truth::True, GOid{}, 0, false},
+      PredStatus{Truth::Unknown, GOid{9}, 1, false},
+  };
+  // LOid+GOid header, one string target (S_a), null free, one GOid ref,
+  // a two-element GOid set, and one unknown predicate (GOid + 8).
+  const Bytes expected = (16 + 16) + 32 + 0 + 16 + 2 * 16 + (16 + 8);
+  EXPECT_EQ(detail::rows_wire_bytes(costs, {row}), expected);
+}
+
+TEST(WireSizes, RowBytesScaleLinearly) {
+  const CostParams costs;
+  LocalRow row;
+  row.targets = {Value(1)};
+  row.preds = {PredStatus{Truth::True, GOid{}, 0, false}};
+  const Bytes one = detail::rows_wire_bytes(costs, {row});
+  EXPECT_EQ(detail::rows_wire_bytes(costs, {row, row, row}), 3 * one);
+}
+
+TEST(WireSizes, CheckMessages) {
+  const CostParams costs;
+  // Header + per-task LOid + GOid + predicate (2 attrs).
+  EXPECT_EQ(detail::check_request_wire_bytes(costs, 0), costs.attr_bytes);
+  EXPECT_EQ(detail::check_request_wire_bytes(costs, 3),
+            costs.attr_bytes + 3 * (16 + 16 + 64));
+  EXPECT_EQ(detail::check_response_wire_bytes(costs, 2),
+            costs.attr_bytes + 2 * (16 + 8));
+}
+
+TEST(WireSizes, InvolvedAttributesFollowQueryPaths) {
+  const paper::UniversityExample example = paper::make_university();
+  const auto involved =
+      detail::involved_attributes(example.federation->schema(), paper::q1());
+  // Student: name (target), advisor (nav), address (nav) => 3 attributes.
+  ASSERT_TRUE(involved.count("Student"));
+  EXPECT_EQ(involved.at("Student").size(), 3u);
+  // Teacher: name (target), speciality (pred), department (nav).
+  EXPECT_EQ(involved.at("Teacher").size(), 3u);
+  // Address: city; Department: name.
+  EXPECT_EQ(involved.at("Address").size(), 1u);
+  EXPECT_EQ(involved.at("Department").size(), 1u);
+}
+
+TEST(WireSizes, CaProjectionSkipsMissingAttributes) {
+  const paper::UniversityExample example = paper::make_university();
+  const CostParams costs;
+  const auto involved =
+      detail::involved_attributes(example.federation->schema(), paper::q1());
+  // DB3 ships Teacher (name prim + department ref, speciality missing) and
+  // Department (name prim); per object: LOid + attrs.
+  const Bytes teacher_obj = 16 + 32 + 16;     // loid + name + department ref
+  const Bytes department_obj = 16 + 32;       // loid + name
+  const Bytes expected = 2 * teacher_obj + 3 * department_obj;
+  EXPECT_EQ(detail::ca_projected_bytes(*example.federation, DbId{3}, involved,
+                                       costs),
+            expected);
+}
+
+TEST(WireSizes, CaProjectionOmitsUninvolvedDatabases) {
+  const paper::UniversityExample example = paper::make_university();
+  const CostParams costs;
+  GlobalQuery narrow;
+  narrow.range_class = "Address";
+  narrow.select("city");
+  const auto involved =
+      detail::involved_attributes(example.federation->schema(), narrow);
+  EXPECT_EQ(detail::ca_projected_bytes(*example.federation, DbId{1}, involved,
+                                       costs),
+            0u)
+      << "DB1 holds no Address constituent";
+  EXPECT_GT(detail::ca_projected_bytes(*example.federation, DbId{2}, involved,
+                                       costs),
+            0u);
+}
+
+}  // namespace
+}  // namespace isomer

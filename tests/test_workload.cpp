@@ -1,0 +1,202 @@
+// The Table-2 workload generator: sampling conformance and realized
+// statistics of materialized federations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "isomer/common/error.hpp"
+#include "isomer/workload/synth.hpp"
+
+namespace isomer {
+namespace {
+
+TEST(ParamConfig, IsoRatioFormula) {
+  ParamConfig config;
+  config.n_db = 3;
+  EXPECT_NEAR(config.iso_ratio(), 1.0 - 0.81, 1e-12);
+  config.n_db = 1;
+  EXPECT_EQ(config.iso_ratio(), 0.0);
+  config.n_db = 8;
+  EXPECT_NEAR(config.iso_ratio(), 1.0 - std::pow(0.9, 7), 1e-12);
+}
+
+TEST(ParamConfig, PerPredicateSelectivityCombinesToTable2) {
+  ParamConfig config;
+  for (int n = 1; n <= 3; ++n) {
+    const double per = config.per_predicate_selectivity(n);
+    EXPECT_NEAR(std::pow(per, n), std::pow(0.45, std::sqrt(double(n))),
+                1e-12);
+  }
+  EXPECT_EQ(config.per_predicate_selectivity(0), 1.0);
+}
+
+TEST(DrawSample, RespectsRanges) {
+  ParamConfig config;
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const SampleParams sample = draw_sample(config, rng);
+    EXPECT_GE(sample.n_classes(), 1u);
+    EXPECT_LE(sample.n_classes(), 4u);
+    EXPECT_GE(sample.n_targets, 0);
+    EXPECT_LE(sample.n_targets, 2);
+    for (const auto& cls : sample.classes) {
+      EXPECT_GE(cls.n_preds, 0);
+      EXPECT_LE(cls.n_preds, 3);
+      EXPECT_EQ(cls.dbs.size(), 3u);
+      for (const auto& db : cls.dbs) {
+        EXPECT_GE(db.n_objects, 5000);
+        EXPECT_LE(db.n_objects, 6000);
+      }
+    }
+  }
+}
+
+TEST(DrawSample, EveryPredicateAttributeExistsSomewhere) {
+  ParamConfig config;
+  Rng rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    const SampleParams sample = draw_sample(config, rng);
+    for (const auto& cls : sample.classes)
+      for (std::size_t j = 0; j < static_cast<std::size_t>(cls.n_preds);
+           ++j) {
+        bool somewhere = false;
+        for (const auto& db : cls.dbs)
+          for (const std::size_t present : db.present_preds)
+            if (present == j) somewhere = true;
+        EXPECT_TRUE(somewhere);
+      }
+  }
+}
+
+TEST(DrawSample, ForcedRootSelectivityPinsRoot) {
+  ParamConfig config;
+  config.forced_root_selectivity = 0.77;
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const SampleParams sample = draw_sample(config, rng);
+    EXPECT_GE(sample.classes[0].n_preds, 1);
+    EXPECT_DOUBLE_EQ(sample.classes[0].pred_selectivity, 0.77);
+  }
+}
+
+TEST(Materialize, DeterministicInSeed) {
+  ParamConfig config;
+  config.n_objects = {40, 60};
+  Rng rng(8);
+  const SampleParams sample = draw_sample(config, rng);
+  const SynthFederation a = materialize_sample(sample);
+  const SynthFederation b = materialize_sample(sample);
+  EXPECT_EQ(a.federation->goids().entity_count(),
+            b.federation->goids().entity_count());
+  EXPECT_EQ(a.query.predicates, b.query.predicates);
+}
+
+TEST(Materialize, FederationIsConsistentAndFullyMapped) {
+  ParamConfig config;
+  config.n_objects = {40, 60};
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SampleParams sample = draw_sample(config, rng);
+    const SynthFederation synth = materialize_sample(sample);
+    EXPECT_TRUE(synth.federation->check_consistency().empty());
+  }
+}
+
+TEST(Materialize, ExtentSizesMatchDrawnCounts) {
+  ParamConfig config;
+  config.n_objects = {40, 60};
+  Rng rng(10);
+  const SampleParams sample = draw_sample(config, rng);
+  const SynthFederation synth = materialize_sample(sample);
+  for (std::size_t k = 0; k < sample.n_classes(); ++k)
+    for (std::size_t i = 0; i < sample.n_db; ++i) {
+      const std::string cls = "C" + std::to_string(k + 1);
+      const DbId db{static_cast<std::uint16_t>(i + 1)};
+      EXPECT_EQ(synth.federation->db(db).extent(cls).size(),
+                static_cast<std::size_t>(sample.classes[k].dbs[i].n_objects));
+    }
+}
+
+TEST(Materialize, SchemaMissingAttributesFollowPresentPreds) {
+  ParamConfig config;
+  config.n_objects = {30, 40};
+  Rng rng(11);
+  const SampleParams sample = draw_sample(config, rng);
+  const SynthFederation synth = materialize_sample(sample);
+  for (std::size_t k = 0; k < sample.n_classes(); ++k) {
+    const GlobalClass& cls =
+        synth.federation->schema().cls("C" + std::to_string(k + 1));
+    for (std::size_t i = 0; i < sample.n_db; ++i) {
+      const auto constituent =
+          cls.constituent_in(DbId{static_cast<std::uint16_t>(i + 1)});
+      ASSERT_TRUE(constituent.has_value());
+      const auto missing = cls.missing_attributes(*constituent);
+      const std::size_t expected_missing =
+          static_cast<std::size_t>(sample.classes[k].n_preds) -
+          sample.classes[k].dbs[i].present_preds.size();
+      EXPECT_EQ(missing.size(), expected_missing);
+    }
+  }
+}
+
+TEST(Materialize, QueryResolvesAgainstGlobalSchema) {
+  ParamConfig config;
+  config.n_objects = {30, 40};
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    const SampleParams sample = draw_sample(config, rng);
+    const SynthFederation synth = materialize_sample(sample);
+    const ClassLookup lookup = synth.federation->schema().lookup();
+    for (const Predicate& pred : synth.query.predicates)
+      EXPECT_NO_THROW(
+          (void)resolve_path(lookup, synth.query.range_class, pred.path));
+    for (const PathExpr& target : synth.query.targets)
+      EXPECT_NO_THROW(
+          (void)resolve_path(lookup, synth.query.range_class, target));
+  }
+}
+
+TEST(Materialize, IsomerPairsNeverShareADatabase) {
+  ParamConfig config;
+  config.n_db = 5;
+  config.n_objects = {30, 40};
+  Rng rng(13);
+  const SampleParams sample = draw_sample(config, rng);
+  const SynthFederation synth = materialize_sample(sample);
+  const GoidTable& goids = synth.federation->goids();
+  for (std::size_t e = 0; e < goids.entity_count(); ++e) {
+    const auto& isomers =
+        goids.isomers_of(GOid{static_cast<std::uint64_t>(e + 1)});
+    EXPECT_LE(isomers.size(), 2u) << "Table 1: N_iso = 2 (pairs)";
+    if (isomers.size() == 2) EXPECT_NE(isomers[0].db, isomers[1].db);
+  }
+}
+
+TEST(Materialize, RealizedIsomerismTracksRiso) {
+  ParamConfig config;
+  config.n_db = 4;
+  config.n_objects = {400, 500};
+  Rng rng(14);
+  const SampleParams sample = draw_sample(config, rng);
+  const SynthFederation synth = materialize_sample(sample);
+  const GoidTable& goids = synth.federation->goids();
+  std::uint64_t paired_objects = 0, total_objects = 0;
+  for (std::size_t e = 0; e < goids.entity_count(); ++e) {
+    const auto& isomers =
+        goids.isomers_of(GOid{static_cast<std::uint64_t>(e + 1)});
+    total_objects += isomers.size();
+    if (isomers.size() > 1) paired_objects += isomers.size();
+  }
+  EXPECT_NEAR(static_cast<double>(paired_objects) /
+                  static_cast<double>(total_objects),
+              sample.iso_ratio, 0.05);
+}
+
+TEST(Materialize, RejectsDegenerateSamples) {
+  SampleParams empty;
+  empty.n_db = 2;
+  EXPECT_THROW((void)materialize_sample(empty), ContractViolation);
+}
+
+}  // namespace
+}  // namespace isomer
