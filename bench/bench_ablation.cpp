@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       NetworkTopology::Contentionless, NetworkTopology::CollisionBus};
   const std::size_t db_counts[] = {2, 4, 6, 8};
 
+  JsonSink json(options.json_path);
   for (const NetworkTopology topology : topologies) {
     std::printf("## network model: %s\n",
                 std::string(to_string(topology)).c_str());
@@ -33,28 +34,12 @@ int main(int argc, char** argv) {
       ParamConfig config;
       config.n_db = n_db;
       apply_scale(config, options.scale);
-
-      // run_point with a custom topology: inline variant.
-      Rng rng(options.seed);
-      StrategyOptions exec_options;
-      exec_options.record_trace = false;
-      exec_options.topology = topology;
-      std::vector<SeriesPoint> points(kinds.size());
-      for (int s = 0; s < options.samples; ++s) {
-        const SampleParams sample = draw_sample(config, rng);
-        const SynthFederation synth = materialize_sample(sample);
-        for (std::size_t k = 0; k < kinds.size(); ++k) {
-          const StrategyReport report = execute_strategy(
-              kinds[k], *synth.federation, synth.query, exec_options);
-          points[k].total_s += to_seconds(report.total_ns);
-          points[k].response_s += to_seconds(report.response_ns);
-        }
-      }
-      for (SeriesPoint& point : points) {
-        point.total_s /= options.samples;
-        point.response_s /= options.samples;
-      }
-      rows.push_back(std::move(points));
+      rows.push_back(run_point(config, kinds, options.samples, options.seed,
+                               options.jobs, topology));
+      const std::string figure =
+          "ablation-" + std::string(to_string(topology));
+      json.rows(figure.c_str(), "N_db", static_cast<double>(n_db), kinds,
+                rows.back());
     }
 
     print_header("total execution time [s] vs N_db", "N_db", kinds, options);
@@ -76,30 +61,38 @@ int main(int argc, char** argv) {
     ParamConfig config;
     config.n_objects = {center, center + 500};
     apply_scale(config, options.scale);
-    Rng rng(options.seed);
-    double ca_s = 0, bl_s = 0, idx_s = 0;
     StrategyOptions exec_options;
     exec_options.record_trace = false;
-    for (int s = 0; s < options.samples; ++s) {
+    struct Trial {
+      double ca_s = 0, bl_s = 0, idx_s = 0;
+    };
+    std::vector<Trial> trials(static_cast<std::size_t>(options.samples));
+    for_each_trial(options.samples, options.seed, options.jobs,
+                   [&](std::size_t s, Rng& rng) {
       const SampleParams sample = draw_sample(config, rng);
       const SynthFederation synth = materialize_sample(sample);
       const ExtentIndexes indexes =
           ExtentIndexes::build(*synth.federation, synth.query);
-      ca_s += to_seconds(execute_strategy(StrategyKind::CA, *synth.federation,
-                                          synth.query, exec_options)
-                             .total_ns) /
-              options.samples;
-      bl_s += to_seconds(execute_strategy(StrategyKind::BL, *synth.federation,
-                                          synth.query, exec_options)
-                             .total_ns) /
-              options.samples;
+      trials[s].ca_s = to_seconds(
+          execute_strategy(StrategyKind::CA, *synth.federation, synth.query,
+                           exec_options)
+              .total_ns);
+      trials[s].bl_s = to_seconds(
+          execute_strategy(StrategyKind::BL, *synth.federation, synth.query,
+                           exec_options)
+              .total_ns);
       StrategyOptions with_indexes = exec_options;
       with_indexes.indexes = &indexes;
-      idx_s += to_seconds(execute_strategy(StrategyKind::BL,
-                                           *synth.federation, synth.query,
-                                           with_indexes)
-                              .total_ns) /
-               options.samples;
+      trials[s].idx_s = to_seconds(
+          execute_strategy(StrategyKind::BL, *synth.federation, synth.query,
+                           with_indexes)
+              .total_ns);
+    });
+    double ca_s = 0, bl_s = 0, idx_s = 0;
+    for (const Trial& trial : trials) {
+      ca_s += trial.ca_s / options.samples;
+      bl_s += trial.bl_s / options.samples;
+      idx_s += trial.idx_s / options.samples;
     }
     std::printf("%-8d %10.3f %10.3f %10.3f\n", center, ca_s, bl_s, idx_s);
   }

@@ -22,12 +22,15 @@ int main(int argc, char** argv) {
   ParamConfig config;
   apply_scale(config, options.scale);
 
-  Rng rng(options.seed);
-  double mape[3] = {0, 0, 0};
-  int ordering_hits = 0;
   const StrategyKind kinds[3] = {StrategyKind::CA, StrategyKind::BL,
                                  StrategyKind::PL};
-  for (int s = 0; s < options.samples; ++s) {
+  struct Trial {
+    double err[3] = {0, 0, 0};
+    bool ordering_hit = false;
+  };
+  std::vector<Trial> trials(static_cast<std::size_t>(options.samples));
+  for_each_trial(options.samples, options.seed, options.jobs,
+                 [&](std::size_t s, Rng& rng) {
     const SampleParams sample = draw_sample(config, rng);
     const SynthFederation synth = materialize_sample(sample);
     double des[3], model[3];
@@ -36,11 +39,18 @@ int main(int argc, char** argv) {
           kinds[k], *synth.federation, synth.query, exec_options);
       des[k] = to_seconds(report.total_ns);
       model[k] = estimate_strategy(kinds[k], sample).total_s;
-      mape[k] += std::abs(model[k] - des[k]) / des[k];
+      trials[s].err[k] = std::abs(model[k] - des[k]) / des[k];
     }
     const bool des_order = des[0] > des[1];  // CA slower than BL?
     const bool model_order = model[0] > model[1];
-    if (des_order == model_order) ++ordering_hits;
+    trials[s].ordering_hit = (des_order == model_order);
+  });
+  // Reduce in trial order so every --jobs value prints the same report.
+  double mape[3] = {0, 0, 0};
+  int ordering_hits = 0;
+  for (const Trial& trial : trials) {
+    for (int k = 0; k < 3; ++k) mape[k] += trial.err[k];
+    if (trial.ordering_hit) ++ordering_hits;
   }
 
   std::printf("# Analytic model vs DES (%d samples, scale %.2f)\n",

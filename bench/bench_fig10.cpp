@@ -23,12 +23,15 @@ int main(int argc, char** argv) {
 
   const std::size_t db_counts[] = {2, 3, 4, 5, 6, 7, 8};
 
+  JsonSink json(options.json_path);
   std::vector<std::vector<SeriesPoint>> rows;
   for (const std::size_t n_db : db_counts) {
     ParamConfig config;  // Table-2 defaults
     config.n_db = n_db;
     apply_scale(config, options.scale);
-    rows.push_back(run_point(config, kinds, options.samples, options.seed));
+    rows.push_back(run_point(config, kinds, options.samples, options.seed,
+                             options.jobs));
+    json.rows("fig10", "N_db", static_cast<double>(n_db), kinds, rows.back());
   }
 
   print_header("Figure 10(a): total execution time [s] vs N_db", "N_db",
@@ -53,8 +56,10 @@ int main(int argc, char** argv) {
     config.n_db = n_db;
     apply_scale(config, options.scale);
     collision_rows.push_back(run_point(config, kinds, options.samples,
-                                       options.seed,
+                                       options.seed, options.jobs,
                                        NetworkTopology::CollisionBus));
+    json.rows("fig10-collision", "N_db", static_cast<double>(n_db), kinds,
+              collision_rows.back());
   }
   std::printf("\n");
   print_header(

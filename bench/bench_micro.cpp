@@ -8,6 +8,9 @@
 #include "isomer/core/local_exec.hpp"
 #include "isomer/core/strategy.hpp"
 #include "isomer/federation/materializer.hpp"
+#include "isomer/query/eval.hpp"
+#include "isomer/query/eval_cache.hpp"
+#include "isomer/schema/translate.hpp"
 #include "isomer/sim/barrier.hpp"
 #include "isomer/workload/synth.hpp"
 
@@ -48,6 +51,36 @@ void BM_LocalQueryEvaluation(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_LocalQueryEvaluation)->Arg(1000)->Arg(5000);
+
+// Predicate evaluation over a whole root extent, with and without the
+// EvalCache (query/eval_cache.hpp). Arg 0 selects cached (1) or uncached
+// (0); the cache is rebuilt per iteration, so the reported time includes
+// its warm-up — the realistic "one local execution" usage. The two variants
+// perform identical comparisons (asserted in test_eval_cache).
+void BM_PredicateEval(benchmark::State& state) {
+  const SynthFederation synth = make_synth(static_cast<int>(state.range(1)));
+  const ComponentDatabase& db = synth.federation->db(DbId{1});
+  const auto local =
+      derive_local_query(synth.federation->schema(), synth.query, DbId{1});
+  const auto& objects = db.extent(local->root_class).objects();
+  const bool use_cache = state.range(0) != 0;
+  for (auto _ : state) {
+    EvalCache cache(db);
+    AccessMeter meter;
+    for (const Object& obj : objects)
+      for (const Predicate& pred : local->local_predicates)
+        benchmark::DoNotOptimize(eval_predicate(
+            db, obj, pred, &meter, use_cache ? &cache : nullptr));
+    benchmark::DoNotOptimize(meter.comparisons);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(objects.size()));
+}
+BENCHMARK(BM_PredicateEval)
+    ->Args({0, 1000})
+    ->Args({1, 1000})
+    ->Args({0, 5000})
+    ->Args({1, 5000});
 
 void BM_GoidProbe(benchmark::State& state) {
   const SynthFederation synth = make_synth(2000);

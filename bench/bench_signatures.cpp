@@ -21,12 +21,16 @@ int main(int argc, char** argv) {
 
   const std::size_t db_counts[] = {2, 4, 6, 8};
 
+  JsonSink json(options.json_path);
   std::vector<std::vector<SeriesPoint>> rows;
   for (const std::size_t n_db : db_counts) {
     ParamConfig config;
     config.n_db = n_db;
     apply_scale(config, options.scale);
-    rows.push_back(run_point(config, kinds, options.samples, options.seed));
+    rows.push_back(run_point(config, kinds, options.samples, options.seed,
+                             options.jobs));
+    json.rows("signatures", "N_db", static_cast<double>(n_db), kinds,
+              rows.back());
   }
 
   print_header("Signatures: total execution time [s] vs N_db", "N_db", kinds,

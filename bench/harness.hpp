@@ -6,14 +6,28 @@
 // so the full suite finishes in minutes — pass --samples=500 --scale=1 for
 // the paper's exact setting), and prints the averaged total execution time
 // and response time per strategy.
+//
+// Trials are independent deterministic simulations, so they run in parallel
+// across `--jobs` threads (default: hardware concurrency). Every trial owns
+// an RNG stream derived as Rng(derive_stream(seed, trial)) and per-trial
+// figures are reduced in trial order, which makes the printed tables
+// bitwise-identical at every job count. (This per-trial seed derivation
+// replaced the original shared sequential Rng — a one-time shift in absolute
+// benchmark numbers, recorded in EXPERIMENTS.md.)
+//
+// Pass --json=FILE to additionally emit machine-readable per-point rows for
+// CI trajectory files (see JsonSink).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "isomer/common/parallel.hpp"
 #include "isomer/core/strategy.hpp"
 #include "isomer/workload/synth.hpp"
 
@@ -23,10 +37,20 @@ struct HarnessOptions {
   int samples = 15;      ///< parameter sets per sweep point (paper: 500)
   double scale = 1.0;    ///< multiplier on N_o (1.0 = paper scale)
   std::uint64_t seed = 1996;
+  int jobs = 0;          ///< trial-level threads; 0 = hardware concurrency
+  std::string json_path;        ///< --json=FILE; empty = stdout tables only
   bool run_signatures = false;  ///< also run BL-S / PL-S
   bool samples_set = false;     ///< user passed --samples / --paper / --quick
   bool scale_set = false;       ///< user passed --scale / --paper / --quick
 };
+
+[[noreturn]] inline void usage_error(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--samples=N] [--scale=F] [--seed=S] [--jobs=N] "
+               "[--json=FILE] [--signatures] [--paper] [--quick]\n",
+               argv0);
+  std::exit(2);
+}
 
 inline HarnessOptions parse_options(int argc, char** argv) {
   HarnessOptions options;
@@ -44,6 +68,19 @@ inline HarnessOptions parse_options(int argc, char** argv) {
       options.scale_set = true;
     } else if (const char* v = value("--seed=")) {
       options.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--jobs=")) {
+      options.jobs = std::atoi(v);
+      if (options.jobs <= 0) {
+        std::fprintf(stderr, "%s: --jobs wants a positive thread count\n",
+                     argv[0]);
+        usage_error(argv[0]);
+      }
+    } else if (const char* v = value("--json=")) {
+      options.json_path = v;
+      if (options.json_path.empty()) {
+        std::fprintf(stderr, "%s: --json wants a file path\n", argv[0]);
+        usage_error(argv[0]);
+      }
     } else if (arg == "--signatures") {
       options.run_signatures = true;
     } else if (arg == "--paper") {
@@ -56,12 +93,19 @@ inline HarnessOptions parse_options(int argc, char** argv) {
       options.samples_set = options.scale_set = true;
     }
     else {
-      std::fprintf(stderr,
-                   "usage: %s [--samples=N] [--scale=F] [--seed=S] "
-                   "[--signatures] [--paper] [--quick]\n",
-                   argv[0]);
-      std::exit(2);
+      usage_error(argv[0]);
     }
+  }
+  if (options.samples <= 0) {
+    // Averaging divides by --samples; zero or negative counts are a usage
+    // error, not a division by zero.
+    std::fprintf(stderr, "%s: --samples wants a positive trial count\n",
+                 argv[0]);
+    usage_error(argv[0]);
+  }
+  if (options.scale <= 0) {
+    std::fprintf(stderr, "%s: --scale wants a positive factor\n", argv[0]);
+    usage_error(argv[0]);
   }
   return options;
 }
@@ -81,25 +125,50 @@ struct SeriesPoint {
   double response_s = 0;
   double bytes_mb = 0;
   double messages = 0;
+
+  SeriesPoint& operator+=(const SeriesPoint& other) noexcept {
+    total_s += other.total_s;
+    response_s += other.response_s;
+    bytes_mb += other.bytes_mb;
+    messages += other.messages;
+    return *this;
+  }
 };
 
+/// Runs `samples` trials on `jobs` threads (0 = hardware concurrency),
+/// handing trial i the independent stream Rng(derive_stream(seed, i)).
+/// `fn(i, rng)` must be thread-safe across distinct trials; reduce whatever
+/// it produces in trial order afterwards to stay jobs-invariant.
+template <typename Fn>
+inline void for_each_trial(int samples, std::uint64_t seed, int jobs,
+                           Fn&& fn) {
+  ThreadPool pool(jobs <= 0 ? 0u : static_cast<unsigned>(jobs));
+  pool.for_each(static_cast<std::size_t>(samples), [&](std::size_t i) {
+    Rng rng(derive_stream(seed, i));
+    fn(i, rng);
+  });
+}
+
 /// Runs `samples` random parameter sets drawn from `config` and averages
-/// each requested strategy's figures.
+/// each requested strategy's figures. Bitwise-identical at every `jobs`.
 inline std::vector<SeriesPoint> run_point(
     const ParamConfig& config, const std::vector<StrategyKind>& kinds,
-    int samples, std::uint64_t seed,
+    int samples, std::uint64_t seed, int jobs = 1,
     NetworkTopology topology = NetworkTopology::SharedBus,
     double collision_alpha = 0.3) {
-  Rng rng(seed);
+  expects(samples > 0, "run_point needs a positive trial count");
   StrategyOptions exec_options;
   exec_options.record_trace = false;
   exec_options.topology = topology;
   exec_options.costs.collision_alpha = collision_alpha;
-  std::vector<SeriesPoint> points(kinds.size());
-  for (int s = 0; s < samples; ++s) {
+  std::vector<std::vector<SeriesPoint>> trials(
+      static_cast<std::size_t>(samples),
+      std::vector<SeriesPoint>(kinds.size()));
+  for_each_trial(samples, seed, jobs, [&](std::size_t s, Rng& rng) {
     const SampleParams sample = draw_sample(config, rng);
     const SynthFederation synth = materialize_sample(sample);
-    // Reuse one signature index across the signature variants.
+    // Reuse one signature index across the signature variants (within this
+    // trial only — nothing is shared between threads).
     std::unique_ptr<SignatureIndex> signatures;
     for (std::size_t k = 0; k < kinds.size(); ++k) {
       StrategyOptions options = exec_options;
@@ -111,13 +180,17 @@ inline std::vector<SeriesPoint> run_point(
       }
       const StrategyReport report =
           execute_strategy(kinds[k], *synth.federation, synth.query, options);
-      points[k].total_s += to_seconds(report.total_ns);
-      points[k].response_s += to_seconds(report.response_ns);
-      points[k].bytes_mb +=
+      trials[s][k].total_s = to_seconds(report.total_ns);
+      trials[s][k].response_s = to_seconds(report.response_ns);
+      trials[s][k].bytes_mb =
           static_cast<double>(report.bytes_transferred) / 1e6;
-      points[k].messages += static_cast<double>(report.messages);
+      trials[s][k].messages = static_cast<double>(report.messages);
     }
-  }
+  });
+  // Reduce in trial order: the sum is independent of execution order.
+  std::vector<SeriesPoint> points(kinds.size());
+  for (const std::vector<SeriesPoint>& trial : trials)
+    for (std::size_t k = 0; k < kinds.size(); ++k) points[k] += trial[k];
   for (SeriesPoint& point : points) {
     point.total_s /= samples;
     point.response_s /= samples;
@@ -145,5 +218,56 @@ inline void print_row(double x, const std::vector<SeriesPoint>& points,
     std::printf(" %10.3f", response ? point.response_s : point.total_s);
   std::printf("\n");
 }
+
+/// Machine-readable results (--json=FILE): one JSON array whose elements are
+/// per-(sweep point, strategy) rows
+///   {"figure", "x_name", "x", "strategy", "total_s", "response_s",
+///    "bytes_mb", "messages"}
+/// so CI can build BENCH_*.json trajectory files without scraping stdout.
+class JsonSink {
+ public:
+  /// Disabled when `path` is empty. Exits with a usage error when the file
+  /// cannot be opened.
+  explicit JsonSink(const std::string& path) {
+    if (path.empty()) return;
+    file_ = std::fopen(path.c_str(), "w");
+    if (file_ == nullptr) {
+      std::fprintf(stderr, "cannot open --json file %s for writing\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    std::fputs("[", file_);
+  }
+  ~JsonSink() {
+    if (file_ != nullptr) {
+      std::fputs("\n]\n", file_);
+      std::fclose(file_);
+    }
+  }
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+
+  /// Emits one row per strategy for the sweep point at `x`.
+  void rows(const char* figure, const char* x_name, double x,
+            const std::vector<StrategyKind>& kinds,
+            const std::vector<SeriesPoint>& points) {
+    if (file_ == nullptr) return;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      std::fprintf(
+          file_,
+          "%s\n  {\"figure\": \"%s\", \"x_name\": \"%s\", \"x\": %.17g, "
+          "\"strategy\": \"%s\", \"total_s\": %.17g, \"response_s\": %.17g, "
+          "\"bytes_mb\": %.17g, \"messages\": %.17g}",
+          first_ ? "" : ",", figure, x_name, x,
+          std::string(to_string(kinds[k])).c_str(), points[k].total_s,
+          points[k].response_s, points[k].bytes_mb, points[k].messages);
+      first_ = false;
+    }
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool first_ = true;
+};
 
 }  // namespace isomer::bench

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "isomer/common/parallel.hpp"
 #include "isomer/common/rng.hpp"
 #include "isomer/core/checks.hpp"
 #include "isomer/core/exec_common.hpp"
@@ -152,7 +153,6 @@ Advice advise_strategy(const Federation& federation, const GlobalQuery& query,
   const double net_s = per_byte_s(c.net_ns_per_byte);
   const double cmp_s = per_byte_s(c.cpu_ns_per_cmp);
 
-  Rng rng(options.seed);
   Advice advice;
 
   // ---------------- CA: exact catalog arithmetic, no sampling needed.
@@ -188,13 +188,22 @@ Advice advise_strategy(const Federation& federation, const GlobalQuery& query,
       ca_disk * disk_s + ca_net * net_s + (ca_cmp + ca_global_cmp) * cmp_s;
   ca.response_s = ca_max_local + ca_net * net_s + ca_global_cmp * cmp_s;
 
-  // ---------------- BL / PL: sampled profiles per home database.
-  std::vector<DbProfile> profiles;
+  // ---------------- BL / PL: sampled profiles per home database. Databases
+  // profile independently on `options.jobs` threads; each site's sample
+  // draws from its own derived RNG stream, so the profiles (and hence the
+  // advice) do not depend on the thread count.
+  const std::vector<DbId> sites = local_query_sites(schema, query);
+  std::vector<DbProfile> profiles(sites.size());
   double rows_total = 0;
-  for (const DbId db : local_query_sites(schema, query)) {
-    profiles.push_back(profile_database(federation, query, db, options, rng));
-    advice.stats.dbs.push_back(profiles.back().stats);
-  }
+  parallel_for_each(options.jobs <= 0 ? 0u
+                                      : static_cast<unsigned>(options.jobs),
+                    sites.size(), [&](std::size_t i) {
+                      Rng rng(derive_stream(options.seed, i));
+                      profiles[i] = profile_database(federation, query,
+                                                     sites[i], options, rng);
+                    });
+  for (const DbProfile& profile : profiles)
+    advice.stats.dbs.push_back(profile.stats);
 
   const auto localized = [&](bool eager) {
     double disk = 0, net = 0, cmp = 0, max_local = 0, check_disk = 0;

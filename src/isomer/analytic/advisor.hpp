@@ -26,6 +26,10 @@ struct AdvisorOptions {
   /// Root objects sampled per database (capped by the extent size).
   std::size_t sample_size = 100;
   std::uint64_t seed = 1;
+  /// Threads profiling databases concurrently (0 = hardware concurrency).
+  /// Each database's sample uses the stream derive_stream(seed, site index),
+  /// so the advice is identical at every jobs value.
+  int jobs = 1;
 };
 
 /// One strategy's estimated costs (seconds of simulated time).

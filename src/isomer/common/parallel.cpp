@@ -1,0 +1,106 @@
+#include "isomer/common/parallel.hpp"
+
+#include "isomer/common/error.hpp"
+
+namespace isomer {
+
+unsigned ThreadPool::hardware_jobs() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned jobs)
+    : jobs_(jobs == 0 ? hardware_jobs() : jobs) {
+  workers_.reserve(jobs_ - 1);
+  for (unsigned i = 0; i + 1 < jobs_; ++i)
+    workers_.emplace_back([this] { worker(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* task = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen && task_ != nullptr);
+      });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+      n = task_n_;
+    }
+    drain(task, n);
+  }
+}
+
+void ThreadPool::drain(const std::function<void(std::size_t)>* task,
+                       std::size_t n) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) return;
+    if (!has_error_.load(std::memory_order_relaxed)) {
+      try {
+        (*task)(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        has_error_.store(true, std::memory_order_relaxed);
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::for_each(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Serial fast path: strict index order, no synchronization.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    expects(task_ == nullptr, "ThreadPool::for_each is not reentrant");
+    task_ = &fn;
+    task_n_ = n;
+    remaining_ = n;
+    error_ = nullptr;
+    has_error_.store(false, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  drain(&fn, n);  // the calling thread works alongside the pool
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    task_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for_each(unsigned jobs, std::size_t n,
+                       const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool(jobs);
+  pool.for_each(n, fn);
+}
+
+}  // namespace isomer

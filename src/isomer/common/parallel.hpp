@@ -1,0 +1,93 @@
+// Trial-level parallelism for the Monte-Carlo drivers.
+//
+// The performance study (paper §4) averages hundreds of independent,
+// deterministic simulations per sweep point. A small fixed-size thread pool
+// runs those trials across cores; determinism is preserved by giving every
+// trial its own RNG stream (rng.hpp's derive_stream) and reducing per-trial
+// results in index order, so a run at any job count is bitwise-identical to
+// a serial one.
+//
+// The pool is deliberately minimal: one blocking for_each at a time, indices
+// handed out through a shared atomic counter, the calling thread working
+// alongside the workers. With `jobs == 1` (or a single iteration) for_each
+// degenerates to a plain in-order loop on the caller's thread with no
+// synchronization at all.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace isomer {
+
+/// Fixed-size pool of worker threads executing indexed batches.
+class ThreadPool {
+ public:
+  /// Number of jobs to use when the user asked for "all cores": the
+  /// hardware concurrency, but never 0.
+  [[nodiscard]] static unsigned hardware_jobs() noexcept;
+
+  /// A pool running batches on `jobs` threads in total (the caller counts
+  /// as one, so `jobs - 1` workers are spawned). `jobs == 0` means
+  /// hardware_jobs().
+  explicit ThreadPool(unsigned jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned jobs() const noexcept { return jobs_; }
+
+  /// Runs `fn(i)` for every i in [0, n), distributing iterations across the
+  /// pool, and blocks until all complete. Not reentrant. If an iteration
+  /// throws, the remaining unclaimed iterations are skipped and the first
+  /// exception is rethrown here.
+  void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// for_each that collects one result per index, in index order.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> map(std::size_t n, Fn fn) {
+    std::vector<T> out(n);
+    for_each(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  void worker();
+  void drain(const std::function<void(std::size_t)>* task, std::size_t n);
+
+  unsigned jobs_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;                    // bumped per batch
+  const std::function<void(std::size_t)>* task_ = nullptr;  // active batch
+  std::size_t task_n_ = 0;
+  std::size_t remaining_ = 0;  // iterations not yet completed (guarded)
+  std::exception_ptr error_;   // first failure of the batch (guarded)
+
+  std::atomic<std::size_t> next_{0};      // next unclaimed index
+  std::atomic<bool> has_error_{false};    // fast-path skip flag
+};
+
+/// One-shot convenience: run `fn(i)` for i in [0, n) on `jobs` threads.
+void parallel_for_each(unsigned jobs, std::size_t n,
+                       const std::function<void(std::size_t)>& fn);
+
+/// One-shot convenience collecting one result per index, in index order.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallel_map(unsigned jobs, std::size_t n,
+                                          Fn fn) {
+  std::vector<T> out(n);
+  parallel_for_each(jobs, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace isomer

@@ -91,4 +91,16 @@ Rng Rng::fork() noexcept {
   return Rng((*this)());
 }
 
+std::uint64_t derive_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two chained splitmix64 steps: mix the stream index, then fold in the
+  // base seed and mix again. Sequential stream indices therefore produce
+  // decorrelated seeds, and distinct (seed, stream) pairs collide only with
+  // generic 64-bit-hash probability.
+  std::uint64_t x = stream;
+  std::uint64_t mixed = splitmix64(x);
+  x = mixed ^ seed;
+  mixed = splitmix64(x);
+  return mixed;
+}
+
 }  // namespace isomer

@@ -55,4 +55,15 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
 };
 
+/// Mixes a base seed and a stream index into the seed of an independent
+/// per-stream generator: `Rng(derive_stream(seed, i))` gives trial i its own
+/// reproducible stream regardless of what any other trial draws, which is
+/// what lets the Monte-Carlo drivers run trials in parallel while staying
+/// bitwise-identical to a serial run (see common/parallel.hpp). Adjacent
+/// stream indices land in unrelated regions of xoshiro256++'s state space
+/// (the seed is splitmix64-mixed twice, then expanded again by Rng's
+/// constructor), so streams do not overlap in practice.
+[[nodiscard]] std::uint64_t derive_stream(std::uint64_t seed,
+                                         std::uint64_t stream) noexcept;
+
 }  // namespace isomer

@@ -1,0 +1,31 @@
+#include "isomer/query/eval_cache.hpp"
+
+namespace isomer {
+
+std::optional<std::size_t> PathResolution::attr_index(std::size_t step,
+                                                      const ClassDef& cls) {
+  auto& entries = by_step_[step];
+  for (const auto& [known, index] : entries)
+    if (known == &cls)
+      return index == kMissing ? std::nullopt
+                               : std::optional<std::size_t>(index);
+  const auto found = cls.find_attribute(steps_[step]);
+  entries.emplace_back(&cls, found.value_or(kMissing));
+  return found;
+}
+
+PathResolution& EvalCache::resolution(const PathExpr& path) {
+  // The steps comparison is part of correctness, not just validation: a
+  // temporary PathExpr can die and a different one take its address, so an
+  // address match alone must never be trusted.
+  for (const auto& [key, res] : mru_)
+    if (key == &path && res->steps() == path.steps()) return *res;
+  std::unique_ptr<PathResolution>& slot = by_path_[&path];
+  if (slot == nullptr || slot->steps() != path.steps())
+    slot = std::make_unique<PathResolution>(path);
+  mru_[mru_next_] = {&path, slot.get()};
+  mru_next_ = (mru_next_ + 1) % mru_.size();
+  return *slot;
+}
+
+}  // namespace isomer

@@ -1,0 +1,101 @@
+// Hot-path resolution cache for the component-level evaluator.
+//
+// Without a cache, every predicate evaluation re-resolves each path step per
+// object: an LOid-hash lookup for the object's class name, a string-hash
+// lookup into the schema, and a string-keyed find_attribute over the class's
+// attribute list. Over an extent those answers never change — the resolution
+// depends only on (class, step) — so an EvalCache resolves each path step to
+// its attribute column index once per class and evaluates the rest of the
+// extent with integer indexing, and memoizes LOid dereferences through the
+// store's DerefCache. Cached evaluation is observationally identical to the
+// uncached path: same PredicateOutcomes (truth and unsolved site) and the
+// same AccessMeter counts (see ComponentDatabase::resolve).
+//
+// The cache holds raw pointers into the database; build one per (database,
+// unit of evaluation) and discard it when the database is mutated.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "isomer/objmodel/path.hpp"
+#include "isomer/store/database.hpp"
+
+namespace isomer {
+
+/// Memoized resolution of one path's steps to attribute column indices.
+/// The class reached at a step is a runtime property of the walked objects,
+/// so each step keeps a tiny (class -> column) table — one entry in the
+/// common case — scanned by pointer identity.
+class PathResolution {
+ public:
+  explicit PathResolution(const PathExpr& path)
+      : steps_(path.steps()), by_step_(path.length()) {}
+
+  [[nodiscard]] const std::vector<std::string>& steps() const noexcept {
+    return steps_;
+  }
+
+  /// Column index of `steps()[step]` in `cls`, or nullopt when the class
+  /// does not define it (a schema-level missing attribute). The first call
+  /// per (step, class) pays the string-keyed find_attribute; later calls
+  /// are a pointer scan.
+  [[nodiscard]] std::optional<std::size_t> attr_index(std::size_t step,
+                                                      const ClassDef& cls);
+
+ private:
+  static constexpr std::size_t kMissing = static_cast<std::size_t>(-1);
+
+  std::vector<std::string> steps_;
+  std::vector<std::vector<std::pair<const ClassDef*, std::size_t>>> by_step_;
+};
+
+/// Evaluation cache for one ComponentDatabase: per-path step resolutions,
+/// a class-name memo for root objects, plus the store-level deref memo
+/// (for navigated branch objects only — roots are looked up per object
+/// anyway, so memoizing them would just bloat the map). Pass to
+/// eval_predicate / eval_path / walk_prefix / eval_conjunction
+/// (query/eval.hpp).
+class EvalCache {
+ public:
+  explicit EvalCache(const ComponentDatabase& db) : db_(&db) {}
+
+  [[nodiscard]] const ComponentDatabase& db() const noexcept { return *db_; }
+
+  /// The memoized resolution for `path`. Entries are keyed by the path's
+  /// address but verified against its steps, so a temporary reusing a dead
+  /// path's address cannot alias a stale resolution. A tiny MRU ring in
+  /// front of the map makes the per-object re-lookup of a conjunction's
+  /// few paths a pointer scan.
+  [[nodiscard]] PathResolution& resolution(const PathExpr& path);
+
+  /// schema().cls(name) behind a one-entry memo (compared by value): an
+  /// extent's objects all share one class, so after the first object the
+  /// root-class lookup is a single short-string comparison.
+  [[nodiscard]] const ClassDef& class_by_name(const std::string& name) {
+    if (last_cls_ == nullptr || name != last_class_name_) {
+      last_cls_ = &db_->schema().cls(name);
+      last_class_name_ = name;
+    }
+    return *last_cls_;
+  }
+
+  [[nodiscard]] DerefCache& derefs() noexcept { return derefs_; }
+
+ private:
+  const ComponentDatabase* db_;
+  std::unordered_map<const PathExpr*, std::unique_ptr<PathResolution>>
+      by_path_;
+  std::array<std::pair<const PathExpr*, PathResolution*>, 4> mru_{};
+  std::size_t mru_next_ = 0;
+  std::string last_class_name_;
+  const ClassDef* last_cls_ = nullptr;
+  DerefCache derefs_;
+};
+
+}  // namespace isomer

@@ -151,6 +151,42 @@ const Object* ComponentDatabase::deref(const Value& ref, AccessMeter* meter,
   return fetch(ref.as_local_ref(), meter, cache);
 }
 
+ResolvedObject ComponentDatabase::resolve(LOid id, AccessMeter* meter,
+                                          FetchCache* cache,
+                                          DerefCache* resolved) const {
+  const auto charge = [&](const Object* obj, std::uint64_t prims,
+                          std::uint64_t refs) {
+    if (obj != nullptr && meter != nullptr &&
+        (cache == nullptr || cache->admit(id))) {
+      ++meter->objects_fetched;
+      meter->prim_slots += prims;
+      meter->ref_slots += refs;
+    }
+  };
+  if (resolved != nullptr) {
+    const auto it = resolved->entries.find(id);
+    if (it != resolved->entries.end()) {
+      const DerefCache::Entry& entry = it->second;
+      charge(entry.obj, entry.prim_slots, entry.ref_slots);
+      return ResolvedObject{entry.obj, entry.cls};
+    }
+  }
+  const auto it = loid_to_class_.find(id);
+  if (it == loid_to_class_.end()) {
+    if (resolved != nullptr)
+      resolved->entries.emplace(id, DerefCache::Entry{});
+    return ResolvedObject{};
+  }
+  const Extent& ext = extent(it->second);
+  const Object* obj = ext.find(id);
+  const SlotCounts counts = slot_counts(ext.cls());
+  charge(obj, counts.prims, counts.refs);
+  if (resolved != nullptr)
+    resolved->entries.emplace(
+        id, DerefCache::Entry{obj, &ext.cls(), counts.prims, counts.refs});
+  return ResolvedObject{obj, &ext.cls()};
+}
+
 const std::vector<Object>& ComponentDatabase::scan(std::string_view class_name,
                                                    AccessMeter* meter,
                                                    FetchCache* cache) const {

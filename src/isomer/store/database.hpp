@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "isomer/objmodel/schema.hpp"
+#include "isomer/store/deref_cache.hpp"
 #include "isomer/store/extent.hpp"
 #include "isomer/store/meter.hpp"
 
@@ -65,6 +66,17 @@ class ComponentDatabase {
   [[nodiscard]] const Object* deref(const Value& ref,
                                     AccessMeter* meter = nullptr,
                                     FetchCache* cache = nullptr) const;
+
+  /// Point lookup that also returns the object's class, optionally memoized
+  /// in `resolved` so repeated navigations skip the LOid- and class-name
+  /// hash lookups. Metering is identical to fetch(): one fetched object
+  /// (plus its slot widths) is charged per successful call unless `cache`
+  /// says the object is already buffered — a memo hit never changes what
+  /// the meter sees. The memo holds raw pointers; discard it when the
+  /// database is mutated.
+  [[nodiscard]] ResolvedObject resolve(LOid id, AccessMeter* meter = nullptr,
+                                       FetchCache* cache = nullptr,
+                                       DerefCache* resolved = nullptr) const;
 
   /// Scans the extent of `class_name`, charging every object to the meter,
   /// and returns the objects. When `cache` is given, all scanned objects

@@ -1,0 +1,46 @@
+// Memoized LOid resolution.
+//
+// Navigation-heavy evaluation dereferences the same objects over and over;
+// every ComponentDatabase::fetch pays an LOid-hash lookup to learn the class
+// name, a string-hash lookup to reach the extent, and another LOid-hash
+// lookup inside it. A DerefCache remembers the final (object, class, stored
+// slot widths) answer per LOid so repeated resolutions are a single hash
+// probe — *without* touching the metering contract: a cached resolution
+// charges the AccessMeter exactly what an uncached fetch would (see
+// ComponentDatabase::resolve). The buffer-pool question — has this object
+// already been read from disk? — remains FetchCache's job.
+//
+// Entries hold raw pointers into the database; discard the cache whenever
+// the database is mutated.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "isomer/common/ids.hpp"
+
+namespace isomer {
+
+class ClassDef;
+class Object;
+
+/// An object paired with its class definition, as returned by
+/// ComponentDatabase::resolve. `obj == nullptr` means the LOid is unknown
+/// (or dangling) in that database.
+struct ResolvedObject {
+  const Object* obj = nullptr;
+  const ClassDef* cls = nullptr;
+};
+
+/// Memo of LOid resolutions within one ComponentDatabase.
+struct DerefCache {
+  struct Entry {
+    const Object* obj = nullptr;  ///< nullptr = remembered miss
+    const ClassDef* cls = nullptr;
+    std::uint64_t prim_slots = 0;  ///< stored widths, for meter charging
+    std::uint64_t ref_slots = 0;
+  };
+  std::unordered_map<LOid, Entry> entries;
+};
+
+}  // namespace isomer

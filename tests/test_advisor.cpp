@@ -86,6 +86,43 @@ TEST(Advisor, SamplingIsDeterministicInSeed) {
     EXPECT_DOUBLE_EQ(a.estimates[i].total_s, b.estimates[i].total_s);
 }
 
+TEST(Advisor, AdviceIdenticalAcrossJobCounts) {
+  // Per-database profiling runs on AdvisorOptions::jobs threads; each site
+  // samples from its own derived RNG stream, so the thread count must not
+  // move a single estimate or statistic.
+  Rng rng(93);
+  ParamConfig config;
+  config.n_objects = {200, 300};
+  const SampleParams sample = draw_sample(config, rng);
+  const SynthFederation synth = materialize_sample(sample);
+  AdvisorOptions serial_opts;
+  serial_opts.jobs = 1;
+  const Advice serial =
+      advise_strategy(*synth.federation, synth.query, serial_opts);
+  for (const int jobs : {2, 4}) {
+    AdvisorOptions parallel_opts;
+    parallel_opts.jobs = jobs;
+    const Advice parallel =
+        advise_strategy(*synth.federation, synth.query, parallel_opts);
+    ASSERT_EQ(serial.estimates.size(), parallel.estimates.size());
+    for (std::size_t i = 0; i < serial.estimates.size(); ++i) {
+      EXPECT_EQ(serial.estimates[i].total_s, parallel.estimates[i].total_s);
+      EXPECT_EQ(serial.estimates[i].response_s,
+                parallel.estimates[i].response_s);
+      EXPECT_EQ(serial.estimates[i].bytes, parallel.estimates[i].bytes);
+    }
+    ASSERT_EQ(serial.stats.dbs.size(), parallel.stats.dbs.size());
+    for (std::size_t i = 0; i < serial.stats.dbs.size(); ++i) {
+      EXPECT_EQ(serial.stats.dbs[i].survive_rate,
+                parallel.stats.dbs[i].survive_rate);
+      EXPECT_EQ(serial.stats.dbs[i].fetches_per_object,
+                parallel.stats.dbs[i].fetches_per_object);
+    }
+    EXPECT_EQ(serial.best_total, parallel.best_total);
+    EXPECT_EQ(serial.best_response, parallel.best_response);
+  }
+}
+
 TEST(Advisor, SampleSizeCapsAtExtent) {
   const paper::UniversityExample example = paper::make_university();
   AdvisorOptions options;

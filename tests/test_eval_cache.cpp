@@ -1,0 +1,140 @@
+// The evaluation cache (query/eval_cache.hpp) must be observationally
+// invisible: for any database and predicate, cached evaluation returns the
+// same PredicateOutcome (truth and unsolved site) and charges the same
+// AccessMeter counts as the uncached path — the cache may only change
+// wall-clock time. Verified property-style over randomized synthetic
+// federations, whose schema-level missing attributes, null values, and
+// multi-valued references cover every evaluator branch.
+#include <gtest/gtest.h>
+
+#include "isomer/query/eval.hpp"
+#include "isomer/query/eval_cache.hpp"
+#include "isomer/schema/translate.hpp"
+#include "isomer/workload/synth.hpp"
+
+namespace isomer {
+namespace {
+
+class CachedEvalAgrees : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CachedEvalAgrees, OnRandomFederations) {
+  Rng rng(GetParam());
+  ParamConfig config;
+  config.n_objects = {20, 40};
+  const SampleParams sample = draw_sample(config, rng);
+  const SynthFederation synth = materialize_sample(sample);
+  const Federation& fed = *synth.federation;
+
+  for (const DbId db : fed.db_ids()) {
+    const auto local = derive_local_query(fed.schema(), synth.query, db);
+    ASSERT_TRUE(local.has_value());
+    const ComponentDatabase& database = fed.db(db);
+    // One cache for the whole extent, as a local execution would use it;
+    // later objects hit entries warmed by earlier ones.
+    EvalCache cache(database);
+    AccessMeter uncached_meter, cached_meter;
+
+    for (const Object& obj : database.extent(local->root_class).objects()) {
+      for (const Predicate& pred : local->local_predicates) {
+        const PredicateOutcome uncached =
+            eval_predicate(database, obj, pred, &uncached_meter);
+        const PredicateOutcome cached =
+            eval_predicate(database, obj, pred, &cached_meter, &cache);
+        EXPECT_EQ(uncached.truth, cached.truth);
+        EXPECT_EQ(uncached.site, cached.site);
+
+        const Value uncached_value =
+            eval_path(database, obj, pred.path, &uncached_meter);
+        const Value cached_value =
+            eval_path(database, obj, pred.path, &cached_meter, &cache);
+        EXPECT_EQ(uncached_value, cached_value);
+
+        const Object* uncached_reached =
+            walk_prefix(database, obj, pred.path, &uncached_meter);
+        const Object* cached_reached =
+            walk_prefix(database, obj, pred.path, &cached_meter, &cache);
+        EXPECT_EQ(uncached_reached, cached_reached);
+      }
+
+      const ObjectEval uncached_all = eval_conjunction(
+          database, obj, local->local_predicates, &uncached_meter);
+      const ObjectEval cached_all = eval_conjunction(
+          database, obj, local->local_predicates, &cached_meter, &cache);
+      EXPECT_EQ(uncached_all.truth, cached_all.truth);
+      ASSERT_EQ(uncached_all.unknowns.size(), cached_all.unknowns.size());
+      for (std::size_t u = 0; u < uncached_all.unknowns.size(); ++u) {
+        EXPECT_EQ(uncached_all.unknowns[u].predicate_index,
+                  cached_all.unknowns[u].predicate_index);
+        EXPECT_EQ(uncached_all.unknowns[u].site, cached_all.unknowns[u].site);
+      }
+    }
+    // Byte-for-byte metering: every counter, not just comparisons.
+    EXPECT_EQ(uncached_meter, cached_meter);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CachedEvalAgrees,
+                         ::testing::Range<std::uint64_t>(500, 512));
+
+TEST(CachedEval, MissingAttributeIsCachedNegatively) {
+  Rng rng(42);
+  ParamConfig config;
+  config.n_objects = {10, 20};
+  const SynthFederation synth = materialize_sample(draw_sample(config, rng));
+  const Federation& fed = *synth.federation;
+  const DbId db = fed.db_ids().front();
+  const auto local = derive_local_query(fed.schema(), synth.query, db);
+  ASSERT_TRUE(local.has_value());
+
+  // A path no class defines exercises the negative entries of the
+  // per-(step, class) resolution table on every object after the first.
+  const Predicate pred{PathExpr::parse("no_such_attribute"), CompOp::Eq,
+                       Value{std::int64_t{1}}};
+
+  const ComponentDatabase& database = fed.db(db);
+  EvalCache cache(database);
+  AccessMeter uncached_meter, cached_meter;
+  for (const Object& obj : database.extent(local->root_class).objects()) {
+    const PredicateOutcome uncached =
+        eval_predicate(database, obj, pred, &uncached_meter);
+    const PredicateOutcome cached =
+        eval_predicate(database, obj, pred, &cached_meter, &cache);
+    EXPECT_EQ(uncached.truth, Truth::Unknown);
+    EXPECT_EQ(uncached.truth, cached.truth);
+    EXPECT_EQ(uncached.site, cached.site);
+  }
+  EXPECT_EQ(uncached_meter, cached_meter);
+}
+
+TEST(CachedEval, CacheReuseAcrossRepeatedEvaluation) {
+  // A warm cache must keep agreeing with the uncached path on a second full
+  // pass (deref memo fully populated, all resolutions negative or positive).
+  Rng rng(7);
+  ParamConfig config;
+  config.n_objects = {10, 20};
+  const SynthFederation synth = materialize_sample(draw_sample(config, rng));
+  const Federation& fed = *synth.federation;
+  const DbId db = fed.db_ids().front();
+  const auto local = derive_local_query(fed.schema(), synth.query, db);
+  ASSERT_TRUE(local.has_value());
+  const ComponentDatabase& database = fed.db(db);
+
+  EvalCache cache(database);
+  for (int pass = 0; pass < 2; ++pass) {
+    AccessMeter uncached_meter, cached_meter;
+    for (const Object& obj : database.extent(local->root_class).objects()) {
+      for (const Predicate& pred : local->local_predicates) {
+        const PredicateOutcome uncached =
+            eval_predicate(database, obj, pred, &uncached_meter);
+        const PredicateOutcome cached =
+            eval_predicate(database, obj, pred, &cached_meter, &cache);
+        EXPECT_EQ(uncached.truth, cached.truth);
+        EXPECT_EQ(uncached.site, cached.site);
+      }
+    }
+    EXPECT_EQ(uncached_meter, cached_meter);
+  }
+}
+
+}  // namespace
+}  // namespace isomer

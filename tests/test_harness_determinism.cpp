@@ -1,0 +1,93 @@
+// The bench harness's Monte-Carlo runner must produce bitwise-identical
+// figures at every --jobs value: trial i always draws from the stream
+// Rng(derive_stream(seed, i)) and per-trial results are reduced in trial
+// order, so the thread count can only change wall-clock time, never output.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace isomer {
+namespace {
+
+using bench::SeriesPoint;
+
+bench::HarnessOptions tiny_options() {
+  bench::HarnessOptions options;
+  options.samples = 6;
+  options.seed = 77;
+  return options;
+}
+
+ParamConfig tiny_config() {
+  ParamConfig config;
+  config.n_objects = {40, 60};  // keep the DES side fast
+  return config;
+}
+
+void expect_bitwise_equal(const std::vector<SeriesPoint>& a,
+                          const std::vector<SeriesPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    // Exact equality on purpose: the sums run in the same order regardless
+    // of the thread count, so even floating-point results are identical.
+    EXPECT_EQ(a[k].total_s, b[k].total_s);
+    EXPECT_EQ(a[k].response_s, b[k].response_s);
+    EXPECT_EQ(a[k].bytes_mb, b[k].bytes_mb);
+    EXPECT_EQ(a[k].messages, b[k].messages);
+  }
+}
+
+TEST(HarnessDeterminism, RunPointIdenticalAcrossJobCounts) {
+  const bench::HarnessOptions options = tiny_options();
+  const std::vector<StrategyKind> kinds = {StrategyKind::CA, StrategyKind::BL,
+                                           StrategyKind::PL};
+  const ParamConfig config = tiny_config();
+  const std::vector<SeriesPoint> serial =
+      bench::run_point(config, kinds, options.samples, options.seed,
+                       /*jobs=*/1);
+  for (const int jobs : {2, 4, 8}) {
+    const std::vector<SeriesPoint> parallel = bench::run_point(
+        config, kinds, options.samples, options.seed, jobs);
+    expect_bitwise_equal(serial, parallel);
+  }
+}
+
+TEST(HarnessDeterminism, RunPointIdenticalOnCollisionBus) {
+  const bench::HarnessOptions options = tiny_options();
+  const std::vector<StrategyKind> kinds = {StrategyKind::CA, StrategyKind::PL};
+  const ParamConfig config = tiny_config();
+  const std::vector<SeriesPoint> serial =
+      bench::run_point(config, kinds, options.samples, options.seed, 1,
+                       NetworkTopology::CollisionBus);
+  const std::vector<SeriesPoint> parallel =
+      bench::run_point(config, kinds, options.samples, options.seed, 4,
+                       NetworkTopology::CollisionBus);
+  expect_bitwise_equal(serial, parallel);
+}
+
+TEST(HarnessDeterminism, TrialsSeeIdenticalStreamsAtAnyJobCount) {
+  constexpr int kSamples = 16;
+  std::vector<std::uint64_t> serial(kSamples), parallel(kSamples);
+  bench::for_each_trial(kSamples, 1234, 1, [&](std::size_t i, Rng& rng) {
+    serial[i] = rng();
+  });
+  bench::for_each_trial(kSamples, 1234, 4, [&](std::size_t i, Rng& rng) {
+    parallel[i] = rng();
+  });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(HarnessDeterminism, SeedChangesOutput) {
+  // Sanity: the determinism above is not "everything collapses to one
+  // value" — different seeds must actually move the figures.
+  const std::vector<StrategyKind> kinds = {StrategyKind::CA};
+  const ParamConfig config = tiny_config();
+  const std::vector<SeriesPoint> a =
+      bench::run_point(config, kinds, 4, 1, 2);
+  const std::vector<SeriesPoint> b =
+      bench::run_point(config, kinds, 4, 2, 2);
+  EXPECT_NE(a[0].total_s, b[0].total_s);
+}
+
+}  // namespace
+}  // namespace isomer
