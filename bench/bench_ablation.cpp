@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
       NetworkTopology::Contentionless, NetworkTopology::CollisionBus};
   const std::size_t db_counts[] = {2, 4, 6, 8};
 
-  JsonSink json(options.json_path);
+  JsonSink json(options.json_path, options);
   for (const NetworkTopology topology : topologies) {
     std::printf("## network model: %s\n",
                 std::string(to_string(topology)).c_str());

@@ -23,14 +23,17 @@ int main(int argc, char** argv) {
 
   const std::size_t db_counts[] = {2, 3, 4, 5, 6, 7, 8};
 
-  JsonSink json(options.json_path);
+  JsonSink json(options.json_path, options);
+  TraceSink trace(options.trace_path, "bench_fig10", options);
   std::vector<std::vector<SeriesPoint>> rows;
   for (const std::size_t n_db : db_counts) {
     ParamConfig config;  // Table-2 defaults
     config.n_db = n_db;
     apply_scale(config, options.scale);
+    trace.set_point("fig10", "N_db", static_cast<double>(n_db));
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
-                             options.jobs));
+                             options.jobs, NetworkTopology::SharedBus, 0.3,
+                             trace.if_enabled()));
     json.rows("fig10", "N_db", static_cast<double>(n_db), kinds, rows.back());
   }
 
@@ -55,9 +58,11 @@ int main(int argc, char** argv) {
     ParamConfig config;
     config.n_db = n_db;
     apply_scale(config, options.scale);
+    trace.set_point("fig10-collision", "N_db", static_cast<double>(n_db));
     collision_rows.push_back(run_point(config, kinds, options.samples,
                                        options.seed, options.jobs,
-                                       NetworkTopology::CollisionBus));
+                                       NetworkTopology::CollisionBus, 0.3,
+                                       trace.if_enabled()));
     json.rows("fig10-collision", "N_db", static_cast<double>(n_db), kinds,
               collision_rows.back());
   }

@@ -25,15 +25,18 @@ int main(int argc, char** argv) {
 
   const double selectivities[] = {0.1, 0.2, 0.3, 0.45, 0.6, 0.75, 0.9};
 
-  JsonSink json(options.json_path);
+  JsonSink json(options.json_path, options);
+  TraceSink trace(options.trace_path, "bench_fig11", options);
   std::vector<std::vector<SeriesPoint>> rows;
   for (const double selectivity : selectivities) {
     ParamConfig config;
     config.n_objects = {1000, 2000};  // the paper's Fig. 11 setting
     config.forced_root_selectivity = selectivity;
     apply_scale(config, options.scale);
+    trace.set_point("fig11", "selectivity", selectivity);
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
-                             options.jobs));
+                             options.jobs, NetworkTopology::SharedBus, 0.3,
+                             trace.if_enabled()));
     json.rows("fig11", "selectivity", selectivity, kinds, rows.back());
   }
 

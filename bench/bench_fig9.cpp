@@ -23,14 +23,17 @@ int main(int argc, char** argv) {
   // 5000-6000, its Fig. 11 variant drops to 1000-2000, so sweep 1000..6000.
   const int centers[] = {1000, 2000, 3000, 4000, 5000, 6000};
 
-  JsonSink json(options.json_path);
+  JsonSink json(options.json_path, options);
+  TraceSink trace(options.trace_path, "bench_fig9", options);
   std::vector<std::vector<SeriesPoint>> rows;
   for (const int center : centers) {
     ParamConfig config;  // Table-2 defaults
     config.n_objects = {center, center + 1000};
     apply_scale(config, options.scale);
+    trace.set_point("fig9", "N_o", center);
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
-                             options.jobs));
+                             options.jobs, NetworkTopology::SharedBus, 0.3,
+                             trace.if_enabled()));
     json.rows("fig9", "N_o", center, kinds, rows.back());
   }
 

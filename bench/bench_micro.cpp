@@ -8,6 +8,7 @@
 #include "isomer/core/local_exec.hpp"
 #include "isomer/core/strategy.hpp"
 #include "isomer/federation/materializer.hpp"
+#include "isomer/obs/trace_session.hpp"
 #include "isomer/query/eval.hpp"
 #include "isomer/query/eval_cache.hpp"
 #include "isomer/schema/translate.hpp"
@@ -162,6 +163,56 @@ BENCHMARK(BM_FullStrategyExecution)
     ->Args({static_cast<int>(StrategyKind::CA), 2000})
     ->Args({static_cast<int>(StrategyKind::BL), 2000})
     ->Args({static_cast<int>(StrategyKind::PL), 2000});
+
+// Observability overhead: compares an execution with no TraceSession (the
+// no-op path — a single pointer test per step) against one recording phase
+// spans. Tracing *observes* the AccessMeter and simulated clock, it must
+// never charge them, so the setup aborts the benchmark if the two paths'
+// metered work, simulated times, or wire traffic diverge. Arg 0 selects
+// untraced (0) or traced (1); Arg 1 is the strategy.
+void BM_StrategyTraceOverhead(benchmark::State& state) {
+  const SynthFederation synth = make_synth(2000);
+  const auto kind = static_cast<StrategyKind>(state.range(1));
+  StrategyOptions untraced;
+  untraced.record_trace = false;
+  const StrategyReport baseline =
+      execute_strategy(kind, *synth.federation, synth.query, untraced);
+  obs::TraceSession probe_session;
+  StrategyOptions traced = untraced;
+  traced.trace_session = &probe_session;
+  const StrategyReport probe =
+      execute_strategy(kind, *synth.federation, synth.query, traced);
+  if (!(probe.work == baseline.work)) {
+    state.SkipWithError("tracing changed the execution's metered work");
+    return;
+  }
+  if (probe.total_ns != baseline.total_ns ||
+      probe.response_ns != baseline.response_ns ||
+      probe.bytes_transferred != baseline.bytes_transferred ||
+      probe.messages != baseline.messages) {
+    state.SkipWithError("tracing changed the simulated cost figures");
+    return;
+  }
+  if (probe_session.empty()) {
+    state.SkipWithError("traced execution recorded no spans");
+    return;
+  }
+  const bool trace_on = state.range(0) != 0;
+  for (auto _ : state) {
+    obs::TraceSession session;
+    StrategyOptions options = untraced;
+    if (trace_on) options.trace_session = &session;
+    StrategyReport report =
+        execute_strategy(kind, *synth.federation, synth.query, options);
+    benchmark::DoNotOptimize(report.work.comparisons);
+    benchmark::DoNotOptimize(session.size());
+  }
+}
+BENCHMARK(BM_StrategyTraceOverhead)
+    ->Args({0, static_cast<int>(StrategyKind::BL)})
+    ->Args({1, static_cast<int>(StrategyKind::BL)})
+    ->Args({0, static_cast<int>(StrategyKind::CA)})
+    ->Args({1, static_cast<int>(StrategyKind::CA)});
 
 }  // namespace
 

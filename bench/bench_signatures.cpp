@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   const std::size_t db_counts[] = {2, 4, 6, 8};
 
-  JsonSink json(options.json_path);
+  JsonSink json(options.json_path, options);
   std::vector<std::vector<SeriesPoint>> rows;
   for (const std::size_t n_db : db_counts) {
     ParamConfig config;

@@ -16,12 +16,16 @@
 // benchmark numbers, recorded in EXPERIMENTS.md.)
 //
 // Pass --json=FILE to additionally emit machine-readable per-point rows for
-// CI trajectory files (see JsonSink).
+// CI trajectory files (see JsonSink), and --trace=FILE to dump every
+// simulated execution's phase spans as JSON Lines (see TraceSink and
+// docs/TRACING.md). Both report the effective --jobs value in their
+// headers; both are --jobs-invariant byte for byte.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -29,6 +33,9 @@
 
 #include "isomer/common/parallel.hpp"
 #include "isomer/core/strategy.hpp"
+#include "isomer/obs/jsonl.hpp"
+#include "isomer/obs/metrics.hpp"
+#include "isomer/obs/trace_session.hpp"
 #include "isomer/workload/synth.hpp"
 
 namespace isomer::bench {
@@ -39,15 +46,24 @@ struct HarnessOptions {
   std::uint64_t seed = 1996;
   int jobs = 0;          ///< trial-level threads; 0 = hardware concurrency
   std::string json_path;        ///< --json=FILE; empty = stdout tables only
+  std::string trace_path;       ///< --trace=FILE; empty = no span dump
   bool run_signatures = false;  ///< also run BL-S / PL-S
   bool samples_set = false;     ///< user passed --samples / --paper / --quick
   bool scale_set = false;       ///< user passed --scale / --paper / --quick
 };
 
+/// The thread count a --jobs value resolves to (0 = all hardware threads) —
+/// what the --json and --trace headers report.
+[[nodiscard]] inline unsigned effective_jobs(int jobs) {
+  return jobs <= 0 ? ThreadPool::hardware_jobs()
+                   : static_cast<unsigned>(jobs);
+}
+
 [[noreturn]] inline void usage_error(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--samples=N] [--scale=F] [--seed=S] [--jobs=N] "
-               "[--json=FILE] [--signatures] [--paper] [--quick]\n",
+               "[--json=FILE] [--trace=FILE] [--signatures] [--paper] "
+               "[--quick]\n",
                argv0);
   std::exit(2);
 }
@@ -79,6 +95,12 @@ inline HarnessOptions parse_options(int argc, char** argv) {
       options.json_path = v;
       if (options.json_path.empty()) {
         std::fprintf(stderr, "%s: --json wants a file path\n", argv[0]);
+        usage_error(argv[0]);
+      }
+    } else if (const char* v = value("--trace=")) {
+      options.trace_path = v;
+      if (options.trace_path.empty()) {
+        std::fprintf(stderr, "%s: --trace wants a file path\n", argv[0]);
         usage_error(argv[0]);
       }
     } else if (arg == "--signatures") {
@@ -149,14 +171,75 @@ inline void for_each_trial(int samples, std::uint64_t seed, int jobs,
   });
 }
 
+/// Streams --trace output: the "isomer-trace-v1" JSONL contract of
+/// docs/TRACING.md. Line 1 is a header reporting the harness's *effective*
+/// --jobs value; then one span record per simulated step, tagged with the
+/// sweep point and trial that produced it; the destructor appends a
+/// metrics summary from MetricsRegistry::global(). Span lines are written
+/// in (sweep point, trial) order regardless of the thread count, so trace
+/// files are --jobs-invariant byte for byte.
+class TraceSink {
+ public:
+  /// Disabled when `path` is empty. Exits with a usage error when the file
+  /// cannot be opened.
+  TraceSink(const std::string& path, const char* tool,
+            const HarnessOptions& options) {
+    if (path.empty()) return;
+    file_.open(path);
+    if (!file_) {
+      std::fprintf(stderr, "cannot open --trace file %s for writing\n",
+                   path.c_str());
+      std::exit(2);
+    }
+    file_ << obs::trace_header_json(tool, effective_jobs(options.jobs),
+                                    options.samples, options.scale,
+                                    options.seed)
+          << "\n";
+  }
+  ~TraceSink() {
+    if (file_.is_open())
+      file_ << obs::metrics_to_json(obs::MetricsRegistry::global()) << "\n";
+  }
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return file_.is_open(); }
+  /// Null when disabled — pass the result straight to run_point.
+  [[nodiscard]] TraceSink* if_enabled() noexcept {
+    return enabled() ? this : nullptr;
+  }
+
+  /// Tags subsequent spans with the sweep point they belong to.
+  void set_point(const char* figure, const char* x_name, double x) {
+    context_.figure = figure;
+    context_.x_name = x_name;
+    context_.x = x;
+  }
+
+  /// Writes one trial's spans. run_point calls this in trial order.
+  void write_trial(std::uint64_t trial, const obs::TraceSession& session) {
+    if (!file_.is_open()) return;
+    context_.trial = trial;
+    obs::write_spans(file_, session, &context_);
+  }
+
+ private:
+  std::ofstream file_;
+  obs::SpanContext context_;
+};
+
 /// Runs `samples` random parameter sets drawn from `config` and averages
 /// each requested strategy's figures. Bitwise-identical at every `jobs`.
+/// With `trace` attached, every execution records phase spans into a
+/// per-trial TraceSession (serialized to the sink in trial order), and the
+/// shared MetricsRegistry counts trials / executions / spans.
 inline std::vector<SeriesPoint> run_point(
     const ParamConfig& config, const std::vector<StrategyKind>& kinds,
     int samples, std::uint64_t seed, int jobs = 1,
     NetworkTopology topology = NetworkTopology::SharedBus,
-    double collision_alpha = 0.3) {
+    double collision_alpha = 0.3, TraceSink* trace = nullptr) {
   expects(samples > 0, "run_point needs a positive trial count");
+  const bool tracing = trace != nullptr && trace->enabled();
   StrategyOptions exec_options;
   exec_options.record_trace = false;
   exec_options.topology = topology;
@@ -164,6 +247,8 @@ inline std::vector<SeriesPoint> run_point(
   std::vector<std::vector<SeriesPoint>> trials(
       static_cast<std::size_t>(samples),
       std::vector<SeriesPoint>(kinds.size()));
+  std::vector<obs::TraceSession> sessions(
+      tracing ? static_cast<std::size_t>(samples) : 0);
   for_each_trial(samples, seed, jobs, [&](std::size_t s, Rng& rng) {
     const SampleParams sample = draw_sample(config, rng);
     const SynthFederation synth = materialize_sample(sample);
@@ -172,6 +257,7 @@ inline std::vector<SeriesPoint> run_point(
     std::unique_ptr<SignatureIndex> signatures;
     for (std::size_t k = 0; k < kinds.size(); ++k) {
       StrategyOptions options = exec_options;
+      if (tracing) options.trace_session = &sessions[s];
       if (kinds[k] == StrategyKind::BLS || kinds[k] == StrategyKind::PLS) {
         if (!signatures)
           signatures = std::make_unique<SignatureIndex>(
@@ -187,10 +273,24 @@ inline std::vector<SeriesPoint> run_point(
       trials[s][k].messages = static_cast<double>(report.messages);
     }
   });
-  // Reduce in trial order: the sum is independent of execution order.
+  // Reduce (and serialize spans / record metrics) in trial order: the
+  // output is independent of execution order and thus of `jobs`.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+  metrics.counter("bench.trials").add(static_cast<std::uint64_t>(samples));
+  metrics.counter("bench.executions")
+      .add(static_cast<std::uint64_t>(samples) * kinds.size());
+  obs::Histogram& response_hist = metrics.histogram("bench.response_ms");
   std::vector<SeriesPoint> points(kinds.size());
-  for (const std::vector<SeriesPoint>& trial : trials)
-    for (std::size_t k = 0; k < kinds.size(); ++k) points[k] += trial[k];
+  for (std::size_t s = 0; s < trials.size(); ++s) {
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      points[k] += trials[s][k];
+      response_hist.record(trials[s][k].response_s * 1e3);
+    }
+    if (tracing) {
+      metrics.counter("bench.spans").add(sessions[s].size());
+      trace->write_trial(s, sessions[s]);
+    }
+  }
   for (SeriesPoint& point : points) {
     point.total_s /= samples;
     point.response_s /= samples;
@@ -219,8 +319,11 @@ inline void print_row(double x, const std::vector<SeriesPoint>& points,
   std::printf("\n");
 }
 
-/// Machine-readable results (--json=FILE): one JSON array whose elements are
-/// per-(sweep point, strategy) rows
+/// Machine-readable results (--json=FILE): one JSON array whose first
+/// element is a header object
+///   {"format": "isomer-bench-v1", "jobs", "samples", "scale", "seed"}
+/// ("jobs" is the *effective* thread count) followed by per-(sweep point,
+/// strategy) rows
 ///   {"figure", "x_name", "x", "strategy", "total_s", "response_s",
 ///    "bytes_mb", "messages"}
 /// so CI can build BENCH_*.json trajectory files without scraping stdout.
@@ -228,7 +331,7 @@ class JsonSink {
  public:
   /// Disabled when `path` is empty. Exits with a usage error when the file
   /// cannot be opened.
-  explicit JsonSink(const std::string& path) {
+  JsonSink(const std::string& path, const HarnessOptions& options) {
     if (path.empty()) return;
     file_ = std::fopen(path.c_str(), "w");
     if (file_ == nullptr) {
@@ -236,7 +339,12 @@ class JsonSink {
                    path.c_str());
       std::exit(2);
     }
-    std::fputs("[", file_);
+    std::fprintf(file_,
+                 "[\n  {\"format\": \"isomer-bench-v1\", \"jobs\": %u, "
+                 "\"samples\": %d, \"scale\": %.17g, \"seed\": %llu}",
+                 effective_jobs(options.jobs), options.samples, options.scale,
+                 static_cast<unsigned long long>(options.seed));
+    first_ = false;  // rows always follow the header element
   }
   ~JsonSink() {
     if (file_ != nullptr) {

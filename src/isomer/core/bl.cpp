@@ -67,14 +67,21 @@ void maybe_certify(ExecEnv& env, const std::shared_ptr<GlobalState>& state) {
   if (state->done || !state->complete()) return;
   state->done = true;
   AccessMeter meter;
-  state->result =
-      certify(env.fed(), env.query(), state->locals, state->verdicts, &meter);
+  CertifyStats stats;
+  state->result = certify(env.fed(), env.query(), state->locals,
+                          state->verdicts, &meter, &stats);
   AccessMeter cpu_only;  // certification merges in memory at the global site
   cpu_only.comparisons = meter.comparisons + meter.table_probes;
-  env.charge(kGlobalSite, cpu_only, Phase::I, "G2 certify", [&env, state] {
-    state->response = env.sim().now();
-    state->on_done(std::move(state->result), state->response);
-  });
+  SpanCounts counts;
+  counts.objects_in = stats.entities;
+  counts.objects_out = stats.certain + stats.maybe;
+  counts.certs_resolved = stats.certain;
+  counts.certs_eliminated = stats.eliminated;
+  env.charge(kGlobalSite, cpu_only, Phase::I, "G2 certify", counts,
+             [&env, state] {
+               state->response = env.sim().now();
+               state->on_done(std::move(state->result), state->response);
+             });
 }
 
 /// Saturating meter difference, used to model the home database's memory
@@ -166,8 +173,11 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
       auto outcome = std::make_shared<CheckOutcome>(
           run_checks(env.fed(), env.query(), target, tasks, signatures));
       auto self = shared_from_this();
+      SpanCounts counts;
+      counts.objects_in = tasks.size();
+      counts.objects_out = outcome->verdicts.size();
       env.charge(
-          site, outcome->meter, Phase::O, "C3 check assistants",
+          site, outcome->meter, Phase::O, "C3 check assistants", counts,
           [self, site, outcome] {
             // Cascaded follow-up checks fan out from here; their local
             // signature verdicts ride along with this response.
@@ -236,10 +246,14 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
                             run->eager.end(), std::back_inserter(wave2));
         items = std::move(wave2);
       }
+      const auto items_in = static_cast<std::uint64_t>(items.size());
       auto plan = std::make_shared<CheckPlan>(
           plan_checks(env.fed(), env.query(), run->home, items, signatures));
+      SpanCounts counts;
+      counts.objects_in = items_in;
+      counts.objects_out = plan->task_count();
       env.charge(run->site, plan->meter, Phase::O, "C2 assistant lookup",
-                 [run, plan, dispatch_plan, ship_rows] {
+                 counts, [run, plan, dispatch_plan, ship_rows] {
                    dispatch_plan(run->site, *plan);
                    ship_rows(*plan);
                  });
@@ -254,8 +268,11 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
         // Pages already read by the eager walk stay cached in memory.
         p_meter = meter_minus(p_meter, run->eager_meter);
       }
+      SpanCounts counts;
+      counts.objects_in = run->exec.considered;
+      counts.objects_out = run->exec.rows.size();
       env.charge(run->site, p_meter, Phase::P, "C1 evaluate local predicates",
-                 lazy_o);
+                 counts, lazy_o);
     };
 
     // --- Step A (PL only): eager phase O over all root objects.
@@ -266,8 +283,11 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
                                     run->eager, signatures);
       AccessMeter charge_meter = run->eager_meter;
       charge_meter += run->eager_plan.meter;
+      SpanCounts counts;
+      counts.objects_in = run->eager.size();
+      counts.objects_out = run->eager_plan.task_count();
       env.charge(run->site, charge_meter, Phase::O, "PL_C1 eager lookup",
-                 [run, dispatch_plan, run_p] {
+                 counts, [run, dispatch_plan, run_p] {
                    dispatch_plan(run->site, run->eager_plan);
                    run_p();
                  });
@@ -288,6 +308,10 @@ StrategyReport execute_localized(const Federation& federation,
                                  const StrategyOptions& options,
                                  bool use_signatures, bool eager_phase_o) {
   ExecEnv env(federation, query, options);
+  const StrategyKind kind =
+      eager_phase_o ? (use_signatures ? StrategyKind::PLS : StrategyKind::PL)
+                    : (use_signatures ? StrategyKind::BLS : StrategyKind::BL);
+  env.set_span_context(to_string(kind));
   QueryResult result;
   SimTime response = 0;
   launch_localized(env, use_signatures, eager_phase_o,

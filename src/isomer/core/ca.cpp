@@ -79,6 +79,15 @@ void launch_ca(ExecEnv& env,
                        QueryResult result = evaluate_global(
                            *view, env.fed().schema(), env.query(),
                            &eval_meter);
+                       SpanCounts counts;
+                       counts.objects_in =
+                           view->extent(env.query().range_class).size();
+                       counts.objects_out = result.rows.size();
+                       for (const ResultRow& row : result.rows)
+                         if (row.status == ResultStatus::Certain)
+                           ++counts.certs_resolved;
+                       counts.certs_eliminated =
+                           counts.objects_in - counts.objects_out;
                        shared->result = std::move(result);
                        AccessMeter cpu_only;
                        cpu_only.comparisons = eval_meter.comparisons;
@@ -86,7 +95,7 @@ void launch_ca(ExecEnv& env,
                        rest.comparisons = 0;
                        env.aggregate(rest);
                        env.charge(kGlobalSite, cpu_only, Phase::P,
-                                  "CA_G3 evaluate", [&env, shared] {
+                                  "CA_G3 evaluate", counts, [&env, shared] {
                                     shared->response = env.sim().now();
                                     shared->on_done(std::move(shared->result),
                                                     shared->response);
@@ -115,8 +124,11 @@ void launch_ca(ExecEnv& env,
                scan_meter.comparisons += scan_meter.objects_scanned;
                const Bytes out_bytes = ca_projected_bytes(
                    env.fed(), db, shared->involved, env.costs());
+               SpanCounts counts;
+               counts.objects_in = scan_meter.objects_scanned;
+               counts.objects_out = scan_meter.objects_scanned;
                env.charge(site, scan_meter, Phase::Setup, "CA_C1 retrieve",
-                          [&env, site, out_bytes, all_arrived] {
+                          counts, [&env, site, out_bytes, all_arrived] {
                             env.ship(site, kGlobalSite, out_bytes,
                                      "CA_C1 objects", all_arrived->arrival());
                           });
@@ -128,6 +140,7 @@ StrategyReport execute_ca(const Federation& federation,
                           const GlobalQuery& query,
                           const StrategyOptions& options) {
   ExecEnv env(federation, query, options);
+  env.set_span_context(to_string(StrategyKind::CA));
   QueryResult result;
   SimTime response = 0;
   launch_ca(env, [&result, &response](QueryResult r, SimTime at) {

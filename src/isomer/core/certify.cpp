@@ -11,7 +11,9 @@ namespace isomer {
 QueryResult certify(const Federation& federation, const GlobalQuery& query,
                     const std::vector<LocalExecution>& locals,
                     const std::vector<CheckVerdict>& verdicts,
-                    AccessMeter* meter) {
+                    AccessMeter* meter, CertifyStats* stats) {
+  if (stats != nullptr)
+    stats->verdicts = static_cast<std::uint64_t>(verdicts.size());
   // Databases that ran a local query (homes of the range class).
   std::set<DbId> homes;
   for (const LocalExecution& local : locals) homes.insert(local.db);
@@ -48,6 +50,7 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
 
   QueryResult result;
   for (const auto& [entity, rows] : rows_by_entity) {
+    if (stats != nullptr) ++stats->entities;
     // Row-presence evidence: every home database holding an isomeric root
     // object must have shipped a row, else the object was eliminated locally
     // and the entity fails the conjunction.
@@ -91,12 +94,17 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
       overall = query.combine(truths);
       if (is_false(overall)) eliminated = true;
     }
-    if (eliminated) continue;
+    if (eliminated) {
+      if (stats != nullptr) ++stats->eliminated;
+      continue;
+    }
 
     ResultRow out;
     out.entity = entity;
     out.status =
         is_true(overall) ? ResultStatus::Certain : ResultStatus::Maybe;
+    if (stats != nullptr)
+      ++(out.status == ResultStatus::Certain ? stats->certain : stats->maybe);
     out.targets.assign(query.targets.size(), Value::null());
     for (const LocalRow* row : rows)  // ascending DbId; first non-null wins
       for (std::size_t t = 0; t < query.targets.size(); ++t)

@@ -30,14 +30,26 @@
 
 namespace isomer {
 
+/// Certification outcome counts — what the trace layer reports for the
+/// global certify span (maybe-to-certain conversions vs. eliminations).
+struct CertifyStats {
+  std::uint64_t entities = 0;    ///< entities with at least one shipped row
+  std::uint64_t certain = 0;     ///< resolved certain (every predicate solved)
+  std::uint64_t maybe = 0;       ///< left maybe (unsolved predicates remain)
+  std::uint64_t eliminated = 0;  ///< eliminated by row absence or a False
+  std::uint64_t verdicts = 0;    ///< check verdicts pooled into the index
+};
+
 /// Certifies the collected local results into the final answer.
 /// `meter` receives the global site's merge work: one comparison per
 /// (row, predicate) merged, one per verdict applied, and one mapping-table
-/// probe per expected-row presence check.
+/// probe per expected-row presence check. `stats` (optional) receives the
+/// per-entity outcome counts.
 [[nodiscard]] QueryResult certify(const Federation& federation,
                                   const GlobalQuery& query,
                                   const std::vector<LocalExecution>& locals,
                                   const std::vector<CheckVerdict>& verdicts,
-                                  AccessMeter* meter = nullptr);
+                                  AccessMeter* meter = nullptr,
+                                  CertifyStats* stats = nullptr);
 
 }  // namespace isomer

@@ -37,22 +37,50 @@ std::string ExecEnv::site_name(SiteIndex site) const {
   return "DB" + std::to_string(fed_->db_ids()[site - 1].value());
 }
 
+std::shared_ptr<obs::PhaseSpan> ExecEnv::open_span(
+    std::string site, const std::string& step, Phase phase, SimTime begin,
+    const AccessMeter& work, const SpanCounts& counts) const {
+  if (options_.trace_session == nullptr) return nullptr;
+  auto span = std::make_shared<obs::PhaseSpan>();
+  span->strategy = span_strategy_;
+  span->query = span_query_;
+  span->phase = phase;
+  span->site = std::move(site);
+  span->step = step;
+  span->start_ns = begin;
+  span->work = work;
+  span->objects_in = counts.objects_in;
+  span->objects_out = counts.objects_out;
+  span->certs_resolved = counts.certs_resolved;
+  span->certs_eliminated = counts.certs_eliminated;
+  return span;
+}
+
+void ExecEnv::close_span(const std::shared_ptr<obs::PhaseSpan>& span) const {
+  if (span == nullptr) return;
+  span->end_ns = sim_->now();
+  options_.trace_session->record(std::move(*span));
+}
+
 void ExecEnv::charge(SiteIndex site, const AccessMeter& meter, Phase phase,
-                     std::string step, Simulator::Callback done) {
+                     std::string step, SpanCounts counts,
+                     Simulator::Callback done) {
   aggregate(meter);
   const SimTime begin = sim_->now();
   const Bytes bytes = options_.costs.disk_bytes(meter);
   const SimTime cpu = options_.costs.cpu_time(meter);
+  auto span = open_span(site_name(site), step, phase, begin, meter, counts);
   SiteNode& node = cluster_->site(site);
   node.disk().use(options_.costs.disk_time(bytes), [this, site, cpu, phase,
                                                     step = std::move(step),
-                                                    begin,
+                                                    begin, span,
                                                     done = std::move(done)]() mutable {
     cluster_->site(site).cpu().use(cpu, [this, site, phase,
-                                         step = std::move(step), begin,
+                                         step = std::move(step), begin, span,
                                          done = std::move(done)]() {
       if (options_.record_trace)
         trace_.record(site_name(site), step, phase, begin, sim_->now());
+      close_span(span);
       done();
     });
   });
@@ -65,12 +93,15 @@ void ExecEnv::charge_cpu(SiteIndex site, std::uint64_t comparisons,
   meter.comparisons = comparisons;
   aggregate(meter);
   const SimTime begin = sim_->now();
+  auto span =
+      open_span(site_name(site), step, phase, begin, meter, SpanCounts{});
   cluster_->site(site).cpu().use(
       options_.costs.cpu_time(comparisons),
-      [this, site, phase, step = std::move(step), begin,
+      [this, site, phase, step = std::move(step), begin, span,
        done = std::move(done)]() {
         if (options_.record_trace)
           trace_.record(site_name(site), step, phase, begin, sim_->now());
+        close_span(span);
         done();
       });
 }
@@ -78,13 +109,20 @@ void ExecEnv::charge_cpu(SiteIndex site, std::uint64_t comparisons,
 void ExecEnv::ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
                    Simulator::Callback delivered) {
   const SimTime begin = sim_->now();
+  auto span = open_span(site_name(from) + "->" + site_name(to), step,
+                        Phase::Transfer, begin, AccessMeter{}, SpanCounts{});
+  if (span != nullptr) {
+    span->bytes = bytes;
+    span->messages = 1;
+  }
   cluster_->transfer(from, to, bytes,
-                     [this, from, to, step = std::move(step), begin,
+                     [this, from, to, step = std::move(step), begin, span,
                       delivered = std::move(delivered)]() {
                        if (options_.record_trace)
                          trace_.record(site_name(from) + "->" + site_name(to),
                                        step, Phase::Transfer, begin,
                                        sim_->now());
+                       close_span(span);
                        delivered();
                      });
 }

@@ -14,9 +14,20 @@
 
 #include "isomer/core/checks.hpp"
 #include "isomer/core/strategy.hpp"
+#include "isomer/obs/trace_session.hpp"
 #include "isomer/sim/barrier.hpp"
 
 namespace isomer::detail {
+
+/// Object / certification flow counts attached to a charged step's
+/// PhaseSpan (obs/span.hpp). All zero when a step has no natural notion of
+/// objects flowing through it.
+struct SpanCounts {
+  std::uint64_t objects_in = 0;
+  std::uint64_t objects_out = 0;
+  std::uint64_t certs_resolved = 0;
+  std::uint64_t certs_eliminated = 0;
+};
 
 /// Mutable state of one simulated strategy execution. Normally the env
 /// owns its simulator and cluster; the shared-infrastructure constructor
@@ -47,17 +58,31 @@ class ExecEnv {
   [[nodiscard]] SiteIndex site_of(DbId db) const;
   [[nodiscard]] std::string site_name(SiteIndex site) const;
 
+  /// Tags the spans this env emits with the executing strategy and (under
+  /// run_query_stream) the query's sequence number in the stream.
+  void set_span_context(std::string_view strategy,
+                        std::uint64_t query_seq = 0) {
+    span_strategy_ = strategy;
+    span_query_ = query_seq;
+  }
+
   /// Charges a meter's physical work at a site — disk bytes first, then CPU
   /// comparisons+probes — and continues with `done`. Records a trace event
-  /// covering the queue-inclusive interval.
+  /// covering the queue-inclusive interval; with a trace session attached,
+  /// also a PhaseSpan carrying the meter delta and `counts`.
   void charge(SiteIndex site, const AccessMeter& meter, Phase phase,
-              std::string step, Simulator::Callback done);
+              std::string step, SpanCounts counts, Simulator::Callback done);
+  void charge(SiteIndex site, const AccessMeter& meter, Phase phase,
+              std::string step, Simulator::Callback done) {
+    charge(site, meter, phase, std::move(step), SpanCounts{},
+           std::move(done));
+  }
 
   /// Charges CPU-only work.
   void charge_cpu(SiteIndex site, std::uint64_t comparisons, Phase phase,
                   std::string step, Simulator::Callback done);
 
-  /// Ships bytes between sites, recording a Transfer trace event.
+  /// Ships bytes between sites, recording a Transfer trace event (and span).
   void ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
             Simulator::Callback delivered);
 
@@ -68,6 +93,14 @@ class ExecEnv {
   [[nodiscard]] StrategyReport finish(QueryResult result, SimTime response);
 
  private:
+  /// Builds the front half of a PhaseSpan (everything known at charge time);
+  /// null when span recording is disabled. The completion callback fills in
+  /// end_ns and hands the span to the session.
+  [[nodiscard]] std::shared_ptr<obs::PhaseSpan> open_span(
+      std::string site, const std::string& step, Phase phase, SimTime begin,
+      const AccessMeter& work, const SpanCounts& counts) const;
+  void close_span(const std::shared_ptr<obs::PhaseSpan>& span) const;
+
   const Federation* fed_;
   const GlobalQuery* query_;
   StrategyOptions options_;
@@ -77,6 +110,8 @@ class ExecEnv {
   Cluster* cluster_ = nullptr;
   ExecutionTrace trace_;
   AccessMeter work_;
+  std::string span_strategy_;
+  std::uint64_t span_query_ = 0;
 };
 
 /// Sets up one strategy execution on `env`'s simulator without running it;

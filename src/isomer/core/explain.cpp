@@ -178,6 +178,131 @@ Explanation explain(const Federation& federation, const GlobalQuery& query,
   return out;
 }
 
+namespace {
+
+/// Aggregate of every span sharing one (site, step) within a phase group.
+struct StepLine {
+  std::string site;
+  std::string step;
+  std::size_t spans = 0;
+  SimTime busy = 0;
+  AccessMeter work;
+  Bytes bytes = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t objects_in = 0, objects_out = 0;
+  std::uint64_t certs_resolved = 0, certs_eliminated = 0;
+  SimTime first_start = 0;
+};
+
+void render_step_line(std::ostringstream& os, const std::string& branch,
+                      const StepLine& line) {
+  os << branch << line.site << "  " << line.step << "  "
+     << to_milliseconds(line.busy) << "ms";
+  if (line.spans > 1) os << " (" << line.spans << " spans)";
+  if (line.objects_in != 0 || line.objects_out != 0)
+    os << "  objects " << line.objects_in << "->" << line.objects_out;
+  if (line.bytes != 0 || line.messages != 0)
+    os << "  " << line.bytes << "B/" << line.messages << "msg";
+  const AccessMeter& work = line.work;
+  if (work.objects_scanned != 0) os << "  scans=" << work.objects_scanned;
+  if (work.objects_fetched != 0) os << "  fetches=" << work.objects_fetched;
+  if (work.comparisons != 0) os << "  cmp=" << work.comparisons;
+  if (work.table_probes != 0) os << "  probes=" << work.table_probes;
+  if (line.certs_resolved != 0 || line.certs_eliminated != 0)
+    os << "  certified=" << line.certs_resolved
+       << " eliminated=" << line.certs_eliminated;
+  os << "\n";
+}
+
+}  // namespace
+
+std::string render_phase_tree(const obs::TraceSession& session) {
+  if (session.empty()) return "(empty trace)\n";
+
+  // Group spans per (strategy, query) execution, preserving record order
+  // (sessions record in simulated-time completion order).
+  std::vector<std::pair<std::string, std::uint64_t>> executions;
+  for (const obs::PhaseSpan& span : session.spans()) {
+    const std::pair<std::string, std::uint64_t> key{span.strategy,
+                                                    span.query};
+    if (std::find(executions.begin(), executions.end(), key) ==
+        executions.end())
+      executions.push_back(key);
+  }
+
+  std::ostringstream os;
+  for (const auto& [strategy, query] : executions) {
+    os << "strategy " << (strategy.empty() ? "?" : strategy);
+    if (executions.size() > 1 || query != 0) os << "  (query " << query << ")";
+    os << "\n";
+
+    // Phases in order of first span start — the executing flow. Transfers
+    // always render last: they are the glue between phases, not a phase.
+    std::vector<Phase> phases;
+    const auto phase_key = [&](Phase phase) {
+      return std::find(phases.begin(), phases.end(), phase) != phases.end();
+    };
+    std::vector<const obs::PhaseSpan*> spans;
+    for (const obs::PhaseSpan& span : session.spans())
+      if (span.strategy == strategy && span.query == query)
+        spans.push_back(&span);
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const obs::PhaseSpan* a, const obs::PhaseSpan* b) {
+                       return a->start_ns < b->start_ns;
+                     });
+    for (const obs::PhaseSpan* span : spans)
+      if (span->phase != Phase::Transfer && !phase_key(span->phase))
+        phases.push_back(span->phase);
+    phases.push_back(Phase::Transfer);
+
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+      const Phase phase = phases[p];
+      std::vector<StepLine> lines;
+      SimTime first = 0, last = 0;
+      bool any = false;
+      for (const obs::PhaseSpan* span : spans) {
+        if (span->phase != phase) continue;
+        if (!any || span->start_ns < first) first = span->start_ns;
+        if (!any || span->end_ns > last) last = span->end_ns;
+        any = true;
+        auto it = std::find_if(lines.begin(), lines.end(),
+                               [&](const StepLine& line) {
+                                 return line.site == span->site &&
+                                        line.step == span->step;
+                               });
+        if (it == lines.end()) {
+          lines.push_back(StepLine{});
+          it = std::prev(lines.end());
+          it->site = span->site;
+          it->step = span->step;
+          it->first_start = span->start_ns;
+        }
+        ++it->spans;
+        it->busy += span->end_ns - span->start_ns;
+        it->work += span->work;
+        it->bytes += span->bytes;
+        it->messages += span->messages;
+        it->objects_in += span->objects_in;
+        it->objects_out += span->objects_out;
+        it->certs_resolved += span->certs_resolved;
+        it->certs_eliminated += span->certs_eliminated;
+      }
+      if (!any) continue;
+      const bool last_phase = (p + 1 == phases.size());
+      os << (last_phase ? "`- " : "|- ") << "phase " << to_string(phase)
+         << "  [" << to_milliseconds(first) << " - " << to_milliseconds(last)
+         << " ms]\n";
+      const std::string branch = last_phase ? "     " : "|    ";
+      std::stable_sort(lines.begin(), lines.end(),
+                       [](const StepLine& a, const StepLine& b) {
+                         return a.first_start < b.first_start;
+                       });
+      for (const StepLine& line : lines) render_step_line(os, branch, line);
+    }
+  }
+  return os.str();
+}
+
 std::string Explanation::to_text(const GlobalQuery& query) const {
   std::ostringstream os;
   os << "entity g" << entity.value() << ": " << to_string(outcome) << "\n";

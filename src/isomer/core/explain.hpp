@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "isomer/core/strategy.hpp"
+#include "isomer/obs/trace_session.hpp"
 
 namespace isomer {
 
@@ -56,5 +57,14 @@ struct Explanation {
 /// as the strategies, so the outcome always matches execute_strategy().
 [[nodiscard]] Explanation explain(const Federation& federation,
                                   const GlobalQuery& query, GOid entity);
+
+/// Renders a completed trace session as a per-strategy phase tree: one
+/// block per (strategy, query), phases in executing order (the strategy's
+/// characteristic O/I/P ordering falls straight out), and per phase one
+/// aggregated line per (site, step) with simulated time, AccessMeter
+/// counts, wire bytes/messages, object flow and certification outcomes.
+/// This is the human-readable view of the same spans --trace dumps as
+/// JSONL (docs/TRACING.md).
+[[nodiscard]] std::string render_phase_tree(const obs::TraceSession& session);
 
 }  // namespace isomer

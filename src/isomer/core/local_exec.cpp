@@ -203,6 +203,7 @@ LocalExecution run_local_query(const Federation& federation,
     for (const Object& obj :
          database.scan(root_class_name, &exec.meter, &cache))
       candidates.push_back(&obj);
+  exec.considered = candidates.size();
 
   for (const Object* obj_ptr : candidates) {
     const Object& obj = *obj_ptr;

@@ -86,6 +86,9 @@ struct LocalExecution {
   DbId db{};
   std::vector<LocalRow> rows;
   AccessMeter meter;  ///< all local physical work (scan, fetches, compares)
+  /// Candidate root objects evaluated (extent size, or index candidates):
+  /// with rows.size(), the local data reduction the trace layer reports.
+  std::uint64_t considered = 0;
 };
 
 /// Runs the global query locally at `db` (which must hold a constituent of

@@ -34,6 +34,10 @@
 
 namespace isomer {
 
+namespace obs {
+class TraceSession;
+}  // namespace obs
+
 enum class StrategyKind : unsigned char { CA, BL, PL, BLS, PLS };
 
 [[nodiscard]] std::string_view to_string(StrategyKind kind) noexcept;
@@ -58,6 +62,12 @@ struct StrategyOptions {
   const ExtentIndexes* indexes = nullptr;
   /// Record per-step trace events (disable for large benchmark sweeps).
   bool record_trace = true;
+  /// Phase-span observability sink (obs/trace_session.hpp): every phase
+  /// boundary of the execution is recorded as a PhaseSpan carrying its
+  /// AccessMeter delta, wire traffic and object/certification counts.
+  /// Null (the default) disables span recording entirely — the executors
+  /// then pay a single pointer test per step and charge nothing extra.
+  obs::TraceSession* trace_session = nullptr;
 };
 
 /// The simulated execution's outcome: the logical answer plus the two cost

@@ -40,9 +40,12 @@ StreamReport run_query_stream(const Federation& federation,
     const StreamQuery& entry = stream[i];
     StrategyOptions per_query = options;
     per_query.record_trace = false;  // per-query traces interleave; skip
+    // Phase spans do interleave cleanly: every span carries its query's
+    // stream index, so one shared session captures the whole schedule.
     envs.push_back(std::make_unique<detail::ExecEnv>(
         federation, entry.query, per_query, sim, cluster));
     detail::ExecEnv* env = envs.back().get();
+    env->set_span_context(to_string(entry.kind), i);
     StreamOutcome& outcome = report.outcomes[i];
     outcome.arrival = entry.arrival;
 

@@ -1,0 +1,104 @@
+#include "isomer/obs/jsonl.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace isomer::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string span_to_json(const PhaseSpan& span, const SpanContext* context) {
+  std::ostringstream os;
+  os << "{\"type\":\"span\"";
+  if (context != nullptr && !context->figure.empty()) {
+    os << ",\"figure\":\"" << json_escape(context->figure) << "\""
+       << ",\"x_name\":\"" << json_escape(context->x_name) << "\""
+       << ",\"x\":" << context->x << ",\"trial\":" << context->trial;
+  }
+  os << ",\"strategy\":\"" << json_escape(span.strategy) << "\""
+     << ",\"query\":" << span.query << ",\"phase\":\""
+     << to_string(span.phase) << "\",\"site\":\"" << json_escape(span.site)
+     << "\",\"step\":\"" << json_escape(span.step) << "\""
+     << ",\"start_ns\":" << span.start_ns << ",\"end_ns\":" << span.end_ns
+     << ",\"meter\":{\"objects_scanned\":" << span.work.objects_scanned
+     << ",\"objects_fetched\":" << span.work.objects_fetched
+     << ",\"comparisons\":" << span.work.comparisons
+     << ",\"table_probes\":" << span.work.table_probes
+     << ",\"prim_slots\":" << span.work.prim_slots
+     << ",\"ref_slots\":" << span.work.ref_slots << "}"
+     << ",\"bytes\":" << span.bytes << ",\"messages\":" << span.messages
+     << ",\"objects_in\":" << span.objects_in
+     << ",\"objects_out\":" << span.objects_out
+     << ",\"certs_resolved\":" << span.certs_resolved
+     << ",\"certs_eliminated\":" << span.certs_eliminated << "}";
+  return os.str();
+}
+
+std::string trace_header_json(std::string_view tool, unsigned jobs,
+                              int samples, double scale, std::uint64_t seed) {
+  std::ostringstream os;
+  os << "{\"type\":\"header\",\"format\":\"isomer-trace-v1\",\"tool\":\""
+     << json_escape(tool) << "\",\"jobs\":" << jobs
+     << ",\"samples\":" << samples << ",\"scale\":" << scale
+     << ",\"seed\":" << seed << "}";
+  return os.str();
+}
+
+std::string metrics_to_json(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "{\"type\":\"metrics\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : registry.counter_values()) {
+    os << (first ? "" : ",") << "\"" << json_escape(name) << "\":" << value;
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, snap] : registry.histogram_values()) {
+    os << (first ? "" : ",") << "\"" << json_escape(name)
+       << "\":{\"count\":" << snap.count << ",\"sum\":" << snap.sum << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+void write_spans(std::ostream& os, const TraceSession& session,
+                 const SpanContext* context) {
+  for (const PhaseSpan& span : session.spans())
+    os << span_to_json(span, context) << "\n";
+}
+
+}  // namespace isomer::obs

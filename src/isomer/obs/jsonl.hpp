@@ -1,0 +1,58 @@
+// The JSON Lines trace format ("isomer-trace-v1", docs/TRACING.md).
+//
+// A trace file is one JSON object per line:
+//   line 1            a header record ({"type":"header", ...}) carrying the
+//                     format name and the run parameters, including the
+//                     harness's *effective* --jobs value;
+//   following lines   span records ({"type":"span", ...}), one PhaseSpan
+//                     each, optionally tagged with the emitting context
+//                     (figure, sweep x, trial);
+//   optionally last   a metrics record ({"type":"metrics", ...}) with the
+//                     MetricsRegistry counter values.
+//
+// The encoding is a stable contract: downstream tooling diffs phase
+// profiles between PRs, so fields are only ever added, never renamed or
+// re-typed. tests/trace_schema_check.cpp validates emitted files against
+// this schema.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "isomer/obs/metrics.hpp"
+#include "isomer/obs/span.hpp"
+#include "isomer/obs/trace_session.hpp"
+
+namespace isomer::obs {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Per-span context the bench harness attaches: which figure/sweep point
+/// and Monte-Carlo trial produced the span. Empty figure = no context.
+struct SpanContext {
+  std::string figure;
+  std::string x_name;
+  double x = 0;
+  std::uint64_t trial = 0;
+};
+
+/// One span record, without trailing newline.
+[[nodiscard]] std::string span_to_json(const PhaseSpan& span,
+                                       const SpanContext* context = nullptr);
+
+/// The header record, without trailing newline. `jobs` must be the
+/// effective thread count (never 0).
+[[nodiscard]] std::string trace_header_json(std::string_view tool,
+                                            unsigned jobs, int samples,
+                                            double scale,
+                                            std::uint64_t seed);
+
+/// The metrics summary record, without trailing newline.
+[[nodiscard]] std::string metrics_to_json(const MetricsRegistry& registry);
+
+/// Writes a whole session as span records (no header), one line per span.
+void write_spans(std::ostream& os, const TraceSession& session,
+                 const SpanContext* context = nullptr);
+
+}  // namespace isomer::obs

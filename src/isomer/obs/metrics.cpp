@@ -1,0 +1,91 @@
+#include "isomer/obs/metrics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace isomer::obs {
+
+void Histogram::record(double value) {
+  std::size_t bucket = 0;
+  if (value >= 1.0) {
+    const double log2v = std::log2(value);
+    bucket = log2v >= static_cast<double>(kBuckets - 1)
+                 ? kBuckets - 1
+                 : static_cast<std::size_t>(log2v);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++data_.count;
+  data_.sum += value;
+  if (value < data_.min) data_.min = value;
+  if (value > data_.max) data_.max = value;
+  ++data_.buckets[bucket];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  data_ = Snapshot{.buckets = std::vector<std::uint64_t>(kBuckets, 0)};
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_)
+    out.emplace_back(name, counter->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>>
+MetricsRegistry::histogram_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, Histogram::Snapshot>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_)
+    out.emplace_back(name, histogram->snapshot());
+  return out;
+}
+
+std::string MetricsRegistry::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counter_values())
+    os << name << " = " << value << "\n";
+  for (const auto& [name, snap] : histogram_values()) {
+    os << name << ": count=" << snap.count << " mean=" << snap.mean();
+    if (snap.count > 0) os << " min=" << snap.min << " max=" << snap.max;
+    os << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace isomer::obs

@@ -1,0 +1,98 @@
+// MetricsRegistry — named counters and histograms.
+//
+// Where TraceSession answers "what happened inside this execution",
+// the registry answers "what has this process done so far": monotonic
+// counters and value histograms keyed by name, shared between the library
+// and the bench harness (bench/harness.hpp counts trials, executions and
+// recorded spans into MetricsRegistry::global(), and --trace appends a
+// metrics summary line to the JSONL output).
+//
+// Counters are lock-free atomics; histograms take a small mutex on record.
+// Registration (the first use of a name) also takes the registry mutex, so
+// hot paths should capture the Counter&/Histogram& once, not look it up per
+// event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace isomer::obs {
+
+/// Monotonic counter. Thread-safe.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Summary histogram: count / sum / min / max plus powers-of-two buckets
+/// (bucket i counts values in [2^i, 2^(i+1)); values < 1 land in bucket 0).
+/// Thread-safe.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  void record(double value);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::vector<std::uint64_t> buckets;  ///< kBuckets entries
+
+    [[nodiscard]] double mean() const noexcept {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot data_{.buckets = std::vector<std::uint64_t>(kBuckets, 0)};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the named metric. References stay valid for the
+  /// registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Stable-ordered (name, value) views for reporting.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  counter_values() const;
+  [[nodiscard]] std::vector<std::pair<std::string, Histogram::Snapshot>>
+  histogram_values() const;
+
+  /// Human-readable dump, one metric per line.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Resets every registered metric to zero (tests and benchmark reruns).
+  void reset();
+
+  /// The process-wide registry the bench harness shares with the library.
+  [[nodiscard]] static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace isomer::obs

@@ -1,0 +1,48 @@
+// TraceSession — per-execution span recorder.
+//
+// A session collects the PhaseSpans of one or more strategy executions (a
+// single execute_strategy call, or every query of a run_query_stream). It is
+// attached through StrategyOptions::trace_session; a null pointer there is
+// the disabled state, so the instrumented hot paths pay exactly one branch
+// and never touch an AccessMeter when tracing is off (asserted by
+// bench_micro and test_obs).
+//
+// Sessions are NOT thread-safe: the discrete-event simulator is single
+// threaded, so one session per concurrently running trial is the rule (the
+// bench harness gives every Monte-Carlo trial its own session and serializes
+// them in trial order, keeping --trace output --jobs-invariant).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "isomer/obs/span.hpp"
+
+namespace isomer::obs {
+
+class TraceSession {
+ public:
+  void record(PhaseSpan span) { spans_.push_back(std::move(span)); }
+
+  [[nodiscard]] const std::vector<PhaseSpan>& spans() const noexcept {
+    return spans_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return spans_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return spans_.size(); }
+  void clear() { spans_.clear(); }
+
+  /// Sums a field over the spans of one phase (all strategies/queries).
+  template <typename Fn>
+  [[nodiscard]] std::uint64_t sum_over(Phase phase, Fn field) const {
+    std::uint64_t total = 0;
+    for (const PhaseSpan& span : spans_)
+      if (span.phase == phase) total += field(span);
+    return total;
+  }
+
+ private:
+  std::vector<PhaseSpan> spans_;
+};
+
+}  // namespace isomer::obs

@@ -1,0 +1,385 @@
+// Schema check for the "isomer-trace-v1" JSONL contract (docs/TRACING.md).
+//
+// Runs `<bench binary> --quick --trace=<tmp>` and validates every emitted
+// line against the documented record schemas: one header record first, then
+// span records, then one metrics trailer. Registered in ctest as
+//   trace_schema_check $<TARGET_FILE:bench_fig9>
+// so a drifted encoder (or a drifted document) fails the suite, not a
+// downstream consumer. Deliberately dependency-free: a minimal recursive
+// JSON parser below, no gtest, no external libraries.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace {
+
+// ---- A minimal JSON value + recursive-descent parser (objects, arrays,
+// strings, numbers, booleans, null — everything the trace format uses).
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonObject>, std::shared_ptr<JsonArray>>
+      data = nullptr;
+
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(data);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(data);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(data);
+  }
+  [[nodiscard]] double number() const { return std::get<double>(data); }
+  [[nodiscard]] const std::string& string() const {
+    return std::get<std::string>(data);
+  }
+  [[nodiscard]] const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(data);
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  /// Parses one complete JSON value; returns false on any syntax error or
+  /// trailing garbage.
+  bool parse(JsonValue& out) {
+    pos_ = 0;
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(const char* word, JsonValue& out, JsonValue value) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    out = std::move(value);
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return object(out);
+      case '[':
+        return array(out);
+      case '"': {
+        std::string s;
+        if (!string(s)) return false;
+        out.data = std::move(s);
+        return true;
+      }
+      case 't':
+        return literal("true", out, JsonValue{true});
+      case 'f':
+        return literal("false", out, JsonValue{false});
+      case 'n':
+        return literal("null", out, JsonValue{nullptr});
+      default:
+        return number(out);
+    }
+  }
+
+  bool object(JsonValue& out) {
+    if (!consume('{')) return false;
+    auto obj = std::make_shared<JsonObject>();
+    skip_ws();
+    if (consume('}')) {
+      out.data = std::move(obj);
+      return true;
+    }
+    while (true) {
+      std::string key;
+      skip_ws();
+      if (!string(key)) return false;
+      if (!consume(':')) return false;
+      JsonValue member;
+      if (!value(member)) return false;
+      (*obj)[key] = std::move(member);
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return false;
+    }
+    out.data = std::move(obj);
+    return true;
+  }
+
+  bool array(JsonValue& out) {
+    if (!consume('[')) return false;
+    auto arr = std::make_shared<JsonArray>();
+    skip_ws();
+    if (consume(']')) {
+      out.data = std::move(arr);
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!value(element)) return false;
+      arr->push_back(std::move(element));
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return false;
+    }
+    out.data = std::move(arr);
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // decoded fidelity is not under test here
+            out += '?';
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    try {
+      out.data = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Schema checks.
+
+int failures = 0;
+
+void fail(std::size_t line_no, const std::string& message,
+          const std::string& line) {
+  std::fprintf(stderr, "line %zu: %s\n  %s\n", line_no, message.c_str(),
+               line.c_str());
+  ++failures;
+}
+
+bool has_number(const JsonObject& obj, const char* key) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.is_number();
+}
+
+bool has_string(const JsonObject& obj, const char* key) {
+  const auto it = obj.find(key);
+  return it != obj.end() && it->second.is_string();
+}
+
+void check_header(const JsonObject& obj, std::size_t line_no,
+                  const std::string& line) {
+  if (!has_string(obj, "format") ||
+      obj.at("format").string() != "isomer-trace-v1")
+    fail(line_no, "header 'format' must be \"isomer-trace-v1\"", line);
+  if (!has_string(obj, "tool")) fail(line_no, "header needs 'tool'", line);
+  for (const char* key : {"jobs", "samples", "scale", "seed"})
+    if (!has_number(obj, key))
+      fail(line_no, std::string("header needs numeric '") + key + "'", line);
+  if (has_number(obj, "jobs") && obj.at("jobs").number() < 1)
+    fail(line_no, "header 'jobs' must report the effective thread count",
+         line);
+}
+
+void check_span(const JsonObject& obj, std::size_t line_no,
+                const std::string& line, std::set<std::string>& strategies) {
+  static const std::set<std::string> kStrategies = {"CA", "BL", "PL", "BLS",
+                                                    "PLS"};
+  static const std::set<std::string> kPhases = {"setup", "O", "I", "P",
+                                                "transfer"};
+  for (const char* key : {"strategy", "phase", "site", "step"})
+    if (!has_string(obj, key))
+      fail(line_no, std::string("span needs string '") + key + "'", line);
+  for (const char* key :
+       {"query", "start_ns", "end_ns", "bytes", "messages", "objects_in",
+        "objects_out", "certs_resolved", "certs_eliminated", "trial", "x"})
+    if (!has_number(obj, key))
+      fail(line_no, std::string("span needs numeric '") + key + "'", line);
+  for (const char* key : {"figure", "x_name"})
+    if (!has_string(obj, key))
+      fail(line_no, std::string("span needs string '") + key + "'", line);
+
+  if (has_string(obj, "strategy")) {
+    if (kStrategies.count(obj.at("strategy").string()) == 0)
+      fail(line_no, "unknown 'strategy'", line);
+    else
+      strategies.insert(obj.at("strategy").string());
+  }
+  if (has_string(obj, "phase") && kPhases.count(obj.at("phase").string()) == 0)
+    fail(line_no, "unknown 'phase'", line);
+  if (has_number(obj, "start_ns") && has_number(obj, "end_ns") &&
+      obj.at("end_ns").number() < obj.at("start_ns").number())
+    fail(line_no, "span ends before it starts", line);
+
+  const auto meter = obj.find("meter");
+  if (meter == obj.end() || !meter->second.is_object()) {
+    fail(line_no, "span needs object 'meter'", line);
+    return;
+  }
+  for (const char* key : {"objects_scanned", "objects_fetched", "comparisons",
+                          "table_probes", "prim_slots", "ref_slots"})
+    if (!has_number(meter->second.object(), key))
+      fail(line_no, std::string("meter needs numeric '") + key + "'", line);
+}
+
+void check_metrics(const JsonObject& obj, std::size_t line_no,
+                   const std::string& line) {
+  const auto counters = obj.find("counters");
+  if (counters == obj.end() || !counters->second.is_object())
+    fail(line_no, "metrics needs object 'counters'", line);
+  const auto histograms = obj.find("histograms");
+  if (histograms == obj.end() || !histograms->second.is_object())
+    fail(line_no, "metrics needs object 'histograms'", line);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <bench-binary>\n", argv[0]);
+    return 2;
+  }
+  const std::string trace_path = "trace_schema_check.jsonl";
+  const std::string command = std::string("\"") + argv[1] +
+                              "\" --quick --trace=" + trace_path +
+                              " > trace_schema_check.out 2>&1";
+  if (std::system(command.c_str()) != 0) {
+    std::fprintf(stderr, "bench run failed: %s\n", command.c_str());
+    return 1;
+  }
+
+  std::ifstream in(trace_path);
+  if (!in) {
+    std::fprintf(stderr, "bench run produced no %s\n", trace_path.c_str());
+    return 1;
+  }
+
+  std::size_t line_no = 0, spans = 0;
+  bool saw_header = false, saw_metrics = false;
+  std::set<std::string> strategies;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) {
+      fail(line_no, "blank line in JSONL stream", line);
+      continue;
+    }
+    JsonValue value;
+    if (!Parser(line).parse(value) || !value.is_object()) {
+      fail(line_no, "not a JSON object", line);
+      continue;
+    }
+    const JsonObject& obj = value.object();
+    if (!has_string(obj, "type")) {
+      fail(line_no, "record needs string 'type'", line);
+      continue;
+    }
+    const std::string& type = obj.at("type").string();
+    if (saw_metrics) fail(line_no, "record after the metrics trailer", line);
+    if (type == "header") {
+      if (line_no != 1) fail(line_no, "header must be line 1", line);
+      saw_header = true;
+      check_header(obj, line_no, line);
+    } else if (type == "span") {
+      if (!saw_header) fail(line_no, "span before header", line);
+      ++spans;
+      check_span(obj, line_no, line, strategies);
+    } else if (type == "metrics") {
+      saw_metrics = true;
+      check_metrics(obj, line_no, line);
+    } else {
+      fail(line_no, "unknown record type '" + type + "'", line);
+    }
+  }
+
+  if (!saw_header) {
+    std::fprintf(stderr, "no header record\n");
+    ++failures;
+  }
+  if (!saw_metrics) {
+    std::fprintf(stderr, "no metrics trailer\n");
+    ++failures;
+  }
+  if (spans == 0) {
+    std::fprintf(stderr, "no span records\n");
+    ++failures;
+  }
+  for (const char* strategy : {"CA", "BL", "PL"})
+    if (strategies.count(strategy) == 0) {
+      std::fprintf(stderr, "no spans from strategy %s\n", strategy);
+      ++failures;
+    }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "%d schema violation(s) in %zu line(s)\n", failures,
+                 line_no);
+    return 1;
+  }
+  std::printf("%zu span lines OK (%zu strategies)\n", spans,
+              strategies.size());
+  return 0;
+}
