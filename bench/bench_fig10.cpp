@@ -23,6 +23,9 @@ int main(int argc, char** argv) {
 
   const std::size_t db_counts[] = {2, 3, 4, 5, 6, 7, 8};
 
+  const bool faulting = options.faults_set && options.faults.plan.enabled();
+  const fault::FaultSpec* faults = options.faults_set ? &options.faults
+                                                      : nullptr;
   JsonSink json(options.json_path, options);
   TraceSink trace(options.trace_path, "bench_fig10", options);
   std::vector<std::vector<SeriesPoint>> rows;
@@ -33,8 +36,9 @@ int main(int argc, char** argv) {
     trace.set_point("fig10", "N_db", static_cast<double>(n_db));
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
                              options.jobs, NetworkTopology::SharedBus, 0.3,
-                             trace.if_enabled()));
-    json.rows("fig10", "N_db", static_cast<double>(n_db), kinds, rows.back());
+                             trace.if_enabled(), faults));
+    json.rows("fig10", "N_db", static_cast<double>(n_db), kinds, rows.back(),
+              faulting);
   }
 
   print_header("Figure 10(a): total execution time [s] vs N_db", "N_db",
@@ -62,9 +66,9 @@ int main(int argc, char** argv) {
     collision_rows.push_back(run_point(config, kinds, options.samples,
                                        options.seed, options.jobs,
                                        NetworkTopology::CollisionBus, 0.3,
-                                       trace.if_enabled()));
+                                       trace.if_enabled(), faults));
     json.rows("fig10-collision", "N_db", static_cast<double>(n_db), kinds,
-              collision_rows.back());
+              collision_rows.back(), faulting);
   }
   std::printf("\n");
   print_header(
@@ -73,5 +77,11 @@ int main(int argc, char** argv) {
       "N_db", kinds, options);
   for (std::size_t i = 0; i < collision_rows.size(); ++i)
     print_row(static_cast<double>(db_counts[i]), collision_rows[i], false);
+  if (faulting) {
+    const std::vector<double> xs(std::begin(db_counts), std::end(db_counts));
+    print_quality_table("Figure 10", "N_db", xs, kinds, rows, options);
+    print_quality_table("Figure 10 (collision bus)", "N_db", xs, kinds,
+                        collision_rows, options);
+  }
   return 0;
 }

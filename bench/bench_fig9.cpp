@@ -23,6 +23,9 @@ int main(int argc, char** argv) {
   // 5000-6000, its Fig. 11 variant drops to 1000-2000, so sweep 1000..6000.
   const int centers[] = {1000, 2000, 3000, 4000, 5000, 6000};
 
+  const bool faulting = options.faults_set && options.faults.plan.enabled();
+  const fault::FaultSpec* faults = options.faults_set ? &options.faults
+                                                      : nullptr;
   JsonSink json(options.json_path, options);
   TraceSink trace(options.trace_path, "bench_fig9", options);
   std::vector<std::vector<SeriesPoint>> rows;
@@ -33,8 +36,8 @@ int main(int argc, char** argv) {
     trace.set_point("fig9", "N_o", center);
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
                              options.jobs, NetworkTopology::SharedBus, 0.3,
-                             trace.if_enabled()));
-    json.rows("fig9", "N_o", center, kinds, rows.back());
+                             trace.if_enabled(), faults));
+    json.rows("fig9", "N_o", center, kinds, rows.back(), faulting);
   }
 
   print_header("Figure 9(a): total execution time [s] vs N_o", "N_o", kinds,
@@ -45,5 +48,10 @@ int main(int argc, char** argv) {
   print_header("Figure 9(b): response time [s] vs N_o", "N_o", kinds, options);
   for (std::size_t i = 0; i < rows.size(); ++i)
     print_row(centers[i], rows[i], /*response=*/true);
+  if (faulting)
+    print_quality_table("Figure 9", "N_o",
+                        std::vector<double>(std::begin(centers),
+                                            std::end(centers)),
+                        kinds, rows, options);
   return 0;
 }

@@ -50,6 +50,13 @@ struct HarnessOptions {
   bool run_signatures = false;  ///< also run BL-S / PL-S
   bool samples_set = false;     ///< user passed --samples / --paper / --quick
   bool scale_set = false;       ///< user passed --scale / --paper / --quick
+  /// --faults=SPEC (fault::parse_fault_spec grammar): inject the described
+  /// faults into every trial, degrade per the spec, and report answer
+  /// quality next to the timing figures. A spec whose plan injects nothing
+  /// (e.g. "drop=0") leaves every output byte-identical to a run without
+  /// --faults.
+  fault::FaultSpec faults;
+  bool faults_set = false;
 };
 
 /// The thread count a --jobs value resolves to (0 = all hardware threads) —
@@ -62,8 +69,12 @@ struct HarnessOptions {
 [[noreturn]] inline void usage_error(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--samples=N] [--scale=F] [--seed=S] [--jobs=N] "
-               "[--json=FILE] [--trace=FILE] [--signatures] [--paper] "
-               "[--quick]\n",
+               "[--json=FILE] [--trace=FILE] [--faults=SPEC] [--signatures] "
+               "[--paper] [--quick]\n"
+               "  --faults SPEC items (comma-separated): drop=P, spike=P:DUR,"
+               " down=DB[@DUR..[DUR]],\n"
+               "  seed=N, retries=N, timeout=DUR, backoff=DUR,"
+               " degrade=fail|partial (see docs/FAULTS.md)\n",
                argv0);
   std::exit(2);
 }
@@ -103,6 +114,14 @@ inline HarnessOptions parse_options(int argc, char** argv) {
         std::fprintf(stderr, "%s: --trace wants a file path\n", argv[0]);
         usage_error(argv[0]);
       }
+    } else if (const char* v = value("--faults=")) {
+      try {
+        options.faults = fault::parse_fault_spec(v);
+      } catch (const FaultError& error) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+        usage_error(argv[0]);
+      }
+      options.faults_set = true;
     } else if (arg == "--signatures") {
       options.run_signatures = true;
     } else if (arg == "--paper") {
@@ -142,17 +161,29 @@ inline void apply_scale(ParamConfig& config, double scale) {
 }
 
 /// Averaged simulated times (seconds) for one strategy at one sweep point.
+/// The answer-quality fields are only populated (and only printed) when a
+/// --faults plan is active.
 struct SeriesPoint {
   double total_s = 0;
   double response_s = 0;
   double bytes_mb = 0;
   double messages = 0;
+  double certain_rows = 0;     ///< avg certain rows per trial
+  double maybe_rows = 0;       ///< avg maybe rows per trial
+  double unavailable_rows = 0; ///< avg rows tagged unavailable per trial
+  double dead_sites = 0;       ///< avg sites declared unreachable per trial
+  double retries = 0;          ///< avg shipments retransmitted per trial
 
   SeriesPoint& operator+=(const SeriesPoint& other) noexcept {
     total_s += other.total_s;
     response_s += other.response_s;
     bytes_mb += other.bytes_mb;
     messages += other.messages;
+    certain_rows += other.certain_rows;
+    maybe_rows += other.maybe_rows;
+    unavailable_rows += other.unavailable_rows;
+    dead_sites += other.dead_sites;
+    retries += other.retries;
     return *this;
   }
 };
@@ -182,13 +213,20 @@ class TraceSink {
  public:
   /// Disabled when `path` is empty. Exits with a usage error when the file
   /// cannot be opened.
+  ///
+  /// The sink writes to `path + ".tmp"` and renames onto `path` only when
+  /// the run completes (the destructor runs): an aborted sweep — usage
+  /// error after the sink was built, uncaught exception, crash — leaves any
+  /// existing trace file at `path` untouched instead of truncating it.
   TraceSink(const std::string& path, const char* tool,
             const HarnessOptions& options) {
     if (path.empty()) return;
-    file_.open(path);
+    final_path_ = path;
+    tmp_path_ = path + ".tmp";
+    file_.open(tmp_path_, std::ios::trunc);
     if (!file_) {
       std::fprintf(stderr, "cannot open --trace file %s for writing\n",
-                   path.c_str());
+                   tmp_path_.c_str());
       std::exit(2);
     }
     file_ << obs::trace_header_json(tool, effective_jobs(options.jobs),
@@ -197,8 +235,13 @@ class TraceSink {
           << "\n";
   }
   ~TraceSink() {
-    if (file_.is_open())
+    if (file_.is_open()) {
       file_ << obs::metrics_to_json(obs::MetricsRegistry::global()) << "\n";
+      file_.close();
+      if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0)
+        std::fprintf(stderr, "cannot move trace file %s to %s\n",
+                     tmp_path_.c_str(), final_path_.c_str());
+    }
   }
   TraceSink(const TraceSink&) = delete;
   TraceSink& operator=(const TraceSink&) = delete;
@@ -225,6 +268,8 @@ class TraceSink {
 
  private:
   std::ofstream file_;
+  std::string final_path_;
+  std::string tmp_path_;
   obs::SpanContext context_;
 };
 
@@ -237,9 +282,13 @@ inline std::vector<SeriesPoint> run_point(
     const ParamConfig& config, const std::vector<StrategyKind>& kinds,
     int samples, std::uint64_t seed, int jobs = 1,
     NetworkTopology topology = NetworkTopology::SharedBus,
-    double collision_alpha = 0.3, TraceSink* trace = nullptr) {
+    double collision_alpha = 0.3, TraceSink* trace = nullptr,
+    const fault::FaultSpec* faults = nullptr) {
   expects(samples > 0, "run_point needs a positive trial count");
   const bool tracing = trace != nullptr && trace->enabled();
+  // A disabled plan (e.g. --faults=drop=0) takes the exact fault-free code
+  // path below, keeping every output byte identical to a run without it.
+  const bool faulting = faults != nullptr && faults->plan.enabled();
   StrategyOptions exec_options;
   exec_options.record_trace = false;
   exec_options.topology = topology;
@@ -252,12 +301,26 @@ inline std::vector<SeriesPoint> run_point(
   for_each_trial(samples, seed, jobs, [&](std::size_t s, Rng& rng) {
     const SampleParams sample = draw_sample(config, rng);
     const SynthFederation synth = materialize_sample(sample);
+    // Each trial faces its own reproducible fault environment: the plan's
+    // RNG stream mixes the bench seed, the spec's fault seed and the trial
+    // index, so results stay --jobs-invariant. Every strategy within the
+    // trial replays the same plan.
+    fault::FaultPlan plan;
+    if (faulting) {
+      plan = faults->plan;
+      plan.seed = derive_stream(derive_stream(seed, faults->plan.seed), s);
+    }
     // Reuse one signature index across the signature variants (within this
     // trial only — nothing is shared between threads).
     std::unique_ptr<SignatureIndex> signatures;
     for (std::size_t k = 0; k < kinds.size(); ++k) {
       StrategyOptions options = exec_options;
       if (tracing) options.trace_session = &sessions[s];
+      if (faulting) {
+        options.faults = &plan;
+        options.retry = faults->retry;
+        options.degrade = faults->degrade;
+      }
       if (kinds[k] == StrategyKind::BLS || kinds[k] == StrategyKind::PLS) {
         if (!signatures)
           signatures = std::make_unique<SignatureIndex>(
@@ -271,6 +334,17 @@ inline std::vector<SeriesPoint> run_point(
       trials[s][k].bytes_mb =
           static_cast<double>(report.bytes_transferred) / 1e6;
       trials[s][k].messages = static_cast<double>(report.messages);
+      if (faulting) {
+        trials[s][k].certain_rows =
+            static_cast<double>(report.result.certain_count());
+        trials[s][k].maybe_rows =
+            static_cast<double>(report.result.maybe_count());
+        trials[s][k].unavailable_rows =
+            static_cast<double>(report.result.unavailable_count());
+        trials[s][k].dead_sites =
+            static_cast<double>(report.unavailable_sites.size());
+        trials[s][k].retries = static_cast<double>(report.retries);
+      }
     }
   });
   // Reduce (and serialize spans / record metrics) in trial order: the
@@ -296,6 +370,11 @@ inline std::vector<SeriesPoint> run_point(
     point.response_s /= samples;
     point.bytes_mb /= samples;
     point.messages /= samples;
+    point.certain_rows /= samples;
+    point.maybe_rows /= samples;
+    point.unavailable_rows /= samples;
+    point.dead_sites /= samples;
+    point.retries /= samples;
   }
   return points;
 }
@@ -317,6 +396,29 @@ inline void print_row(double x, const std::vector<SeriesPoint>& points,
   for (const SeriesPoint& point : points)
     std::printf(" %10.3f", response ? point.response_s : point.total_s);
   std::printf("\n");
+}
+
+/// Answer-quality panel printed only when a --faults plan is active: average
+/// per-trial (certain, maybe, unavailable) row counts plus the fault-side
+/// figures, one line per (sweep point, strategy). This is what lets fig9 /
+/// fig10 plot time *and* answer quality against the failure rate.
+inline void print_quality_table(
+    const char* figure, const char* x_name, const std::vector<double>& xs,
+    const std::vector<StrategyKind>& kinds,
+    const std::vector<std::vector<SeriesPoint>>& rows,
+    const HarnessOptions& options) {
+  std::printf("\n# %s — answer quality under --faults "
+              "(avg rows/trial; degrade=%s)\n",
+              figure, std::string(to_string(options.faults.degrade)).c_str());
+  std::printf("%-12s %-8s %10s %10s %12s %10s %10s\n", x_name, "strategy",
+              "certain", "maybe", "unavailable", "dead_dbs", "retries");
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+      const SeriesPoint& p = rows[i][k];
+      std::printf("%-12g %-8s %10.2f %10.2f %12.2f %10.2f %10.2f\n", xs[i],
+                  std::string(to_string(kinds[k])).c_str(), p.certain_rows,
+                  p.maybe_rows, p.unavailable_rows, p.dead_sites, p.retries);
+    }
 }
 
 /// Machine-readable results (--json=FILE): one JSON array whose first
@@ -355,20 +457,33 @@ class JsonSink {
   JsonSink(const JsonSink&) = delete;
   JsonSink& operator=(const JsonSink&) = delete;
 
-  /// Emits one row per strategy for the sweep point at `x`.
+  /// Emits one row per strategy for the sweep point at `x`. With `quality`
+  /// set (a --faults plan was active) each row carries the answer-quality
+  /// fields as well; without it the rows are byte-identical to the
+  /// pre-fault-injection format.
   void rows(const char* figure, const char* x_name, double x,
             const std::vector<StrategyKind>& kinds,
-            const std::vector<SeriesPoint>& points) {
+            const std::vector<SeriesPoint>& points, bool quality = false) {
     if (file_ == nullptr) return;
     for (std::size_t k = 0; k < kinds.size(); ++k) {
       std::fprintf(
           file_,
           "%s\n  {\"figure\": \"%s\", \"x_name\": \"%s\", \"x\": %.17g, "
           "\"strategy\": \"%s\", \"total_s\": %.17g, \"response_s\": %.17g, "
-          "\"bytes_mb\": %.17g, \"messages\": %.17g}",
+          "\"bytes_mb\": %.17g, \"messages\": %.17g",
           first_ ? "" : ",", figure, x_name, x,
           std::string(to_string(kinds[k])).c_str(), points[k].total_s,
           points[k].response_s, points[k].bytes_mb, points[k].messages);
+      if (quality)
+        std::fprintf(
+            file_,
+            ", \"certain_rows\": %.17g, \"maybe_rows\": %.17g, "
+            "\"unavailable_rows\": %.17g, \"dead_sites\": %.17g, "
+            "\"retries\": %.17g",
+            points[k].certain_rows, points[k].maybe_rows,
+            points[k].unavailable_rows, points[k].dead_sites,
+            points[k].retries);
+      std::fputs("}", file_);
       first_ = false;
     }
   }

@@ -46,6 +46,14 @@ class SimError : public Error {
   using Error::Error;
 };
 
+/// A fault-injection failure: a component site stayed unreachable after the
+/// retry policy was exhausted while the strategy was not allowed to degrade
+/// (fault::DegradeMode::Fail), or a --faults specification is malformed.
+class FaultError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A precondition or postcondition stated by the library was violated; this
 /// always indicates a bug in the code that triggered it.
 class ContractViolation : public std::logic_error {

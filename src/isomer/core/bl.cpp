@@ -35,6 +35,7 @@
 
 #include "isomer/core/certify.hpp"
 #include "isomer/core/exec_common.hpp"
+#include "isomer/fault/degrade.hpp"
 #include "isomer/schema/translate.hpp"
 
 namespace isomer::detail {
@@ -68,8 +69,15 @@ void maybe_certify(ExecEnv& env, const std::shared_ptr<GlobalState>& state) {
   state->done = true;
   AccessMeter meter;
   CertifyStats stats;
+  const std::set<DbId>& dead = env.unavailable();
   state->result = certify(env.fed(), env.query(), state->locals,
-                          state->verdicts, &meter, &stats);
+                          state->verdicts, &meter, &stats,
+                          dead.empty() ? nullptr : &dead);
+  if (env.degraded()) {
+    fault::tag_unavailable(state->result, env.fed(), env.query(), dead);
+    env.record_fault_event(kGlobalSite, "fault.degrade", env.sim().now(),
+                           env.sim().now());
+  }
   AccessMeter cpu_only;  // certification merges in memory at the global site
   cpu_only.comparisons = meter.comparisons + meter.table_probes;
   SpanCounts counts;
@@ -164,7 +172,13 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
         env.ship(from, env.site_of(target),
                  check_request_wire_bytes(env.costs(), tasks.size()),
                  "C2 check request",
-                 [self, target, tasks] { self->serve(target, tasks); });
+                 [self, target, tasks] { self->serve(target, tasks); },
+                 // Abandoned request: its announced verdicts will never
+                 // come — account for them so certification can release.
+                 [self, n = tasks.size()](SiteIndex) {
+                   self->state->verdicts_received += n;
+                   maybe_certify(self->env, self->state);
+                 });
     }
 
     /// C3: serve a check request at its target database.
@@ -192,11 +206,16 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
             self->env.ship(
                 site, kGlobalSite,
                 check_response_wire_bytes(self->env.costs(), verdicts->size()),
-                "C3 verdicts", [self, verdicts] {
+                "C3 verdicts",
+                [self, verdicts] {
                   self->state->verdicts_received += verdicts->size();
                   self->state->verdicts.insert(self->state->verdicts.end(),
                                                verdicts->begin(),
                                                verdicts->end());
+                  maybe_certify(self->env, self->state);
+                },
+                [self, n = verdicts->size()](SiteIndex) {
+                  self->state->verdicts_received += n;
                   maybe_certify(self->env, self->state);
                 });
           });
@@ -231,6 +250,13 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
                                         local_verdicts->begin(),
                                         local_verdicts->end());
                  state->verdicts_received += local_verdicts->size();
+                 --state->homes_pending;
+                 maybe_certify(env, state);
+               },
+               // The home went dark after evaluating: neither its rows nor
+               // the attached local verdicts will ever arrive.
+               [&env, state, n = local_verdicts->size()](SiteIndex) {
+                 state->verdicts_received += n;
                  --state->homes_pending;
                  maybe_certify(env, state);
                });
@@ -293,11 +319,17 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
                  });
     };
 
-    // --- G1: ship the local query to the home database.
+    // --- G1: ship the local query to the home database. An unreachable
+    // home never evaluates: drop it from the pending count and certify from
+    // whatever the live homes deliver.
     env.ship(kGlobalSite, run->site,
              env.costs().request_bytes(query.predicates.size()),
              "G1 local query", eager_phase_o ? Simulator::Callback(run_o_eager)
-                                             : Simulator::Callback(run_p));
+                                             : Simulator::Callback(run_p),
+             [&env, state](SiteIndex) {
+               --state->homes_pending;
+               maybe_certify(env, state);
+             });
   }
 }
 

@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "isomer/core/exec_common.hpp"
+#include "isomer/fault/degrade.hpp"
 #include "isomer/federation/materializer.hpp"
 
 namespace isomer::detail {
@@ -53,8 +54,13 @@ void launch_ca(ExecEnv& env,
     auto meter = std::make_shared<AccessMeter>();
     const std::vector<std::string> involved_classes =
         classes_involved(env.fed().schema(), env.query());
+    // Under graceful degradation, the dead sites' extents never arrived:
+    // integrate only what the live federation shipped.
+    const std::set<DbId>& dead = env.unavailable();
     auto view = std::make_shared<MaterializedView>(
-        materialize(env.fed(), involved_classes, meter.get()));
+        materialize(env.fed(), involved_classes, meter.get(),
+                    MergePolicy::FirstNonNull,
+                    dead.empty() ? nullptr : &dead));
 
     // The objects were shipped to the global site and integrated from
     // memory: the mapping probes and merge comparisons cost CPU, but no
@@ -79,6 +85,15 @@ void launch_ca(ExecEnv& env,
                        QueryResult result = evaluate_global(
                            *view, env.fed().schema(), env.query(),
                            &eval_meter);
+                       if (env.degraded()) {
+                         fault::tag_unavailable(result, env.fed(),
+                                                env.query(),
+                                                env.unavailable(),
+                                                view.get());
+                         env.record_fault_event(kGlobalSite, "fault.degrade",
+                                                env.sim().now(),
+                                                env.sim().now());
+                       }
                        SpanCounts counts;
                        counts.objects_in =
                            view->extent(env.query().range_class).size();
@@ -104,11 +119,15 @@ void launch_ca(ExecEnv& env,
                });
   });
 
-  // CA_G1 + CA_C1.
+  // CA_G1 + CA_C1. If either leg of a site's exchange is abandoned, that
+  // site contributes nothing to the outerjoin: count it as arrived so the
+  // barrier can release with the live sites' extents only.
   for (const DbId db : participants) {
     const SiteIndex site = env.site_of(db);
+    const ExecEnv::FailHandler give_up_on_site =
+        [all_arrived](SiteIndex) { all_arrived->arrive(); };
     env.ship(kGlobalSite, site, env.costs().request_bytes(0), "CA_G1 request",
-             [&env, db, site, shared, all_arrived] {
+             [&env, db, site, shared, all_arrived, give_up_on_site] {
                // CA_C1: scan + project the involved constituent extents.
                AccessMeter scan_meter;
                const ComponentDatabase& database = env.fed().db(db);
@@ -128,11 +147,15 @@ void launch_ca(ExecEnv& env,
                counts.objects_in = scan_meter.objects_scanned;
                counts.objects_out = scan_meter.objects_scanned;
                env.charge(site, scan_meter, Phase::Setup, "CA_C1 retrieve",
-                          counts, [&env, site, out_bytes, all_arrived] {
+                          counts,
+                          [&env, site, out_bytes, all_arrived,
+                           give_up_on_site] {
                             env.ship(site, kGlobalSite, out_bytes,
-                                     "CA_C1 objects", all_arrived->arrival());
+                                     "CA_C1 objects", all_arrived->arrival(),
+                                     give_up_on_site);
                           });
-             });
+             },
+             give_up_on_site);
   }
 }
 

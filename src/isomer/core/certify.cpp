@@ -11,7 +11,8 @@ namespace isomer {
 QueryResult certify(const Federation& federation, const GlobalQuery& query,
                     const std::vector<LocalExecution>& locals,
                     const std::vector<CheckVerdict>& verdicts,
-                    AccessMeter* meter, CertifyStats* stats) {
+                    AccessMeter* meter, CertifyStats* stats,
+                    const std::set<DbId>* unavailable) {
   if (stats != nullptr)
     stats->verdicts = static_cast<std::uint64_t>(verdicts.size());
   // Databases that ran a local query (homes of the range class).
@@ -112,6 +113,43 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
           out.targets[t] = row->targets[t];
     result.rows.push_back(std::move(out));
   }
+
+  // Graceful degradation: a range entity whose every root isomer lives in an
+  // unreachable database produced no row anywhere, yet the (replicated) GOid
+  // table proves it exists. Synthesize the row the centralized approach
+  // materializes for it — all values null, every predicate Unknown.
+  if (unavailable != nullptr && !unavailable->empty()) {
+    const Truth overall = query.combine(
+        std::vector<Truth>(query.predicates.size(), Truth::Unknown));
+    for (const GOid entity :
+         federation.goids().entities_of(query.range_class)) {
+      if (rows_by_entity.find(entity) != rows_by_entity.end()) continue;
+      if (meter != nullptr) ++meter->table_probes;
+      bool any_live_home = false;
+      bool any_dead = false;
+      for (const LOid& isomer : federation.goids().isomers_of(entity)) {
+        if (unavailable->count(isomer.db) != 0)
+          any_dead = true;
+        else if (homes.count(isomer.db) != 0)
+          any_live_home = true;
+      }
+      // A live home knew the entity and eliminated it locally; only a fully
+      // unreachable entity is resurrected as unknown.
+      if (any_live_home || !any_dead) continue;
+      if (is_false(overall)) continue;
+      if (stats != nullptr) {
+        ++stats->entities;
+        ++(is_true(overall) ? stats->certain : stats->maybe);
+      }
+      ResultRow out;
+      out.entity = entity;
+      out.status =
+          is_true(overall) ? ResultStatus::Certain : ResultStatus::Maybe;
+      out.targets.assign(query.targets.size(), Value::null());
+      result.rows.push_back(std::move(out));
+    }
+  }
+
   result.normalize();
   return result;
 }

@@ -22,6 +22,7 @@
 // federations.
 #pragma once
 
+#include <set>
 #include <vector>
 
 #include "isomer/core/checks.hpp"
@@ -45,11 +46,20 @@ struct CertifyStats {
 /// (row, predicate) merged, one per verdict applied, and one mapping-table
 /// probe per expected-row presence check. `stats` (optional) receives the
 /// per-entity outcome counts.
+///
+/// `unavailable` (optional) lists component databases declared unreachable
+/// under graceful degradation (fault/degrade.hpp). Row-presence evidence
+/// already only covers the homes that responded; additionally, a range
+/// entity whose every root isomer lives in an unreachable database gets a
+/// synthesized all-null row — the GOid table still knows the entity exists
+/// even when no live component can describe it, mirroring what the
+/// centralized approach materializes when it excludes the dead sites.
 [[nodiscard]] QueryResult certify(const Federation& federation,
                                   const GlobalQuery& query,
                                   const std::vector<LocalExecution>& locals,
                                   const std::vector<CheckVerdict>& verdicts,
                                   AccessMeter* meter = nullptr,
-                                  CertifyStats* stats = nullptr);
+                                  CertifyStats* stats = nullptr,
+                                  const std::set<DbId>* unavailable = nullptr);
 
 }  // namespace isomer

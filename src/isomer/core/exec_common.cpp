@@ -14,6 +14,7 @@ ExecEnv::ExecEnv(const Federation& federation, const GlobalQuery& query,
       *owned_sim_, options_.costs, federation.db_count(), options_.topology);
   sim_ = owned_sim_.get();
   cluster_ = owned_cluster_.get();
+  init_faults();
 }
 
 ExecEnv::ExecEnv(const Federation& federation, const GlobalQuery& query,
@@ -23,6 +24,21 @@ ExecEnv::ExecEnv(const Federation& federation, const GlobalQuery& query,
       cluster_(&cluster) {
   expects(cluster.component_count() == federation.db_count(),
           "shared cluster sized for a different federation");
+  init_faults();
+}
+
+void ExecEnv::init_faults() {
+  if (options_.faults == nullptr || !options_.faults->enabled()) return;
+  faults_enabled_ = true;
+  // A private stream per execution: plan.seed is already trial-specific
+  // (derive_stream(base, trial) in the harness), the constant tags the
+  // fault channel so other consumers of the same seed stay independent.
+  fault_rng_ = Rng(derive_stream(options_.faults->seed, 0xFA17ULL));
+}
+
+DbId ExecEnv::db_of(SiteIndex site) const {
+  expects(site != kGlobalSite, "the global site is not a component database");
+  return fed_->db_ids()[site - 1];
 }
 
 SiteIndex ExecEnv::site_of(DbId db) const {
@@ -106,8 +122,9 @@ void ExecEnv::charge_cpu(SiteIndex site, std::uint64_t comparisons,
       });
 }
 
-void ExecEnv::ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
-                   Simulator::Callback delivered) {
+void ExecEnv::transfer_traced(SiteIndex from, SiteIndex to, Bytes bytes,
+                              std::string step,
+                              Simulator::Callback arrived) {
   const SimTime begin = sim_->now();
   auto span = open_span(site_name(from) + "->" + site_name(to), step,
                         Phase::Transfer, begin, AccessMeter{}, SpanCounts{});
@@ -117,14 +134,102 @@ void ExecEnv::ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
   }
   cluster_->transfer(from, to, bytes,
                      [this, from, to, step = std::move(step), begin, span,
-                      delivered = std::move(delivered)]() {
+                      arrived = std::move(arrived)]() {
                        if (options_.record_trace)
                          trace_.record(site_name(from) + "->" + site_name(to),
                                        step, Phase::Transfer, begin,
                                        sim_->now());
                        close_span(span);
-                       delivered();
+                       arrived();
                      });
+}
+
+void ExecEnv::ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
+                   Simulator::Callback delivered, FailHandler on_fail) {
+  if (!faults_enabled_) {
+    transfer_traced(from, to, bytes, std::move(step), std::move(delivered));
+    return;
+  }
+  attempt_ship(from, to, bytes, std::move(step), 0, std::move(delivered),
+               std::move(on_fail));
+}
+
+void ExecEnv::attempt_ship(SiteIndex from, SiteIndex to, Bytes bytes,
+                           std::string step, int attempt,
+                           Simulator::Callback delivered,
+                           FailHandler on_fail) {
+  const fault::FaultPlan& plan = *options_.faults;
+  const SimTime begin = sim_->now();
+  // The attempt's fate is decided at send time from the plan's private RNG
+  // stream; the drop draw happens unconditionally so outage windows do not
+  // shift the stream for later attempts.
+  const bool from_down = from != kGlobalSite && plan.down(db_of(from), begin);
+  const bool to_down = to != kGlobalSite && plan.down(db_of(to), begin);
+  const bool dropped = fault_rng_.bernoulli(plan.drop_probability);
+  const bool lost = from_down || to_down || dropped;
+
+  if (!lost) {
+    Simulator::Callback arrive = std::move(delivered);
+    if (fault_rng_.bernoulli(plan.spike_probability)) {
+      const SimTime spike = plan.spike_ns;
+      arrive = [this, to, step, spike, inner = std::move(arrive)]() mutable {
+        const SimTime at = sim_->now();
+        record_fault_event(to, "fault.spike " + step, at, at + spike);
+        sim_->schedule_after(spike, std::move(inner));
+      };
+    }
+    transfer_traced(from, to, bytes, std::move(step), std::move(arrive));
+    return;
+  }
+
+  // The bytes leave the sender and occupy the wire even though nobody will
+  // hear them; the sender only learns of the loss when the timeout fires.
+  transfer_traced(from, to, bytes, step, []() {});
+  const fault::RetryPolicy& retry = options_.retry;
+  const SimTime deadline = begin + retry.timeout_ns;
+  if (attempt < retry.max_retries) {
+    ++retries_;
+    const SimTime resend = deadline + retry.backoff(attempt);
+    record_fault_event(from, "fault.retry " + step, begin, resend);
+    sim_->schedule_at(
+        resend, [this, from, to, bytes, step = std::move(step), attempt,
+                 delivered = std::move(delivered),
+                 on_fail = std::move(on_fail)]() mutable {
+          attempt_ship(from, to, bytes, std::move(step), attempt + 1,
+                       std::move(delivered), std::move(on_fail));
+        });
+    return;
+  }
+
+  ++failed_messages_;
+  record_fault_event(from, "fault.giveup " + step, begin, deadline);
+  // Blame the site the plan says is down; for pure message loss suspect the
+  // component endpoint (the global site is never declared dead).
+  const SiteIndex suspect =
+      to_down ? to : (from_down ? from : (to != kGlobalSite ? to : from));
+  sim_->schedule_at(deadline, [this, suspect, step = std::move(step),
+                               on_fail = std::move(on_fail)]() {
+    if (options_.degrade == fault::DegradeMode::Fail)
+      throw FaultError("site " + site_name(suspect) +
+                       " unreachable after exhausting retries during '" +
+                       step + "'");
+    dead_.insert(db_of(suspect));
+    expects(on_fail != nullptr,
+            "DegradeMode::Partial shipment needs a fail handler");
+    on_fail(suspect);
+  });
+}
+
+void ExecEnv::record_fault_event(SiteIndex site, const std::string& step,
+                                 SimTime begin, SimTime end) {
+  if (options_.record_trace)
+    trace_.record(site_name(site), step, Phase::Fault, begin, end);
+  if (auto span = open_span(site_name(site), step, Phase::Fault, begin,
+                            AccessMeter{}, SpanCounts{});
+      span != nullptr) {
+    span->end_ns = end;
+    options_.trace_session->record(std::move(*span));
+  }
 }
 
 StrategyReport ExecEnv::finish(QueryResult result, SimTime response) {
@@ -138,6 +243,9 @@ StrategyReport ExecEnv::finish(QueryResult result, SimTime response) {
   report.bytes_transferred = cluster_->bytes_transferred();
   report.messages = cluster_->messages();
   report.work = work_;
+  report.unavailable_sites.assign(dead_.begin(), dead_.end());
+  report.retries = retries_;
+  report.failed_messages = failed_messages_;
   report.trace = std::move(trace_);
   return report;
 }

@@ -12,6 +12,7 @@
 #include <set>
 #include <string>
 
+#include "isomer/common/rng.hpp"
 #include "isomer/core/checks.hpp"
 #include "isomer/core/strategy.hpp"
 #include "isomer/obs/trace_session.hpp"
@@ -82,12 +83,43 @@ class ExecEnv {
   void charge_cpu(SiteIndex site, std::uint64_t comparisons, Phase phase,
                   std::string step, Simulator::Callback done);
 
+  /// Invoked instead of `delivered` when a shipment is abandoned after the
+  /// retry budget under DegradeMode::Partial; receives the site declared
+  /// unreachable. Executors use it to stop waiting for the dead site's part
+  /// of the protocol.
+  using FailHandler = std::function<void(SiteIndex)>;
+
   /// Ships bytes between sites, recording a Transfer trace event (and span).
+  ///
+  /// Without an active fault plan this is a single wire transfer. With one,
+  /// each attempt's fate is drawn at send time (sender/receiver outage
+  /// windows, message drop, latency spike); a lost attempt still occupies
+  /// the wire, is detected at `begin + timeout_ns`, and is retransmitted
+  /// after exponential backoff up to max_retries times. Exhausting the
+  /// budget throws FaultError (DegradeMode::Fail) or marks the suspect site
+  /// unavailable and calls `on_fail` (DegradeMode::Partial; the handler is
+  /// then mandatory). Retries, give-ups and spikes are recorded as
+  /// Phase::Fault trace events.
   void ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
-            Simulator::Callback delivered);
+            Simulator::Callback delivered, FailHandler on_fail = nullptr);
 
   /// Folds a site-local meter into the run-wide work aggregate.
   void aggregate(const AccessMeter& meter) { work_ += meter; }
+
+  /// The component databases declared unreachable so far (ascending DbId).
+  [[nodiscard]] const std::set<DbId>& unavailable() const noexcept {
+    return dead_;
+  }
+  /// True once any site has been declared unreachable — the executor must
+  /// degrade its answer (fault/degrade.hpp) before finishing.
+  [[nodiscard]] bool degraded() const noexcept { return !dead_.empty(); }
+
+  /// Records a Phase::Fault trace event (and span) with an analytically
+  /// known interval — fault bookkeeping happens outside charge/ship, e.g.
+  /// the "fault.degrade" marker the executors emit when assembling a
+  /// degraded answer.
+  void record_fault_event(SiteIndex site, const std::string& step,
+                          SimTime begin, SimTime end);
 
   /// Runs the simulator to completion and assembles the report.
   [[nodiscard]] StrategyReport finish(QueryResult result, SimTime response);
@@ -101,6 +133,16 @@ class ExecEnv {
       const AccessMeter& work, const SpanCounts& counts) const;
   void close_span(const std::shared_ptr<obs::PhaseSpan>& span) const;
 
+  void init_faults();
+  [[nodiscard]] DbId db_of(SiteIndex site) const;
+  /// The fault-free wire transfer (trace event + span + cluster transfer).
+  void transfer_traced(SiteIndex from, SiteIndex to, Bytes bytes,
+                       std::string step, Simulator::Callback arrived);
+  /// One faulted transmission attempt (see ship()).
+  void attempt_ship(SiteIndex from, SiteIndex to, Bytes bytes,
+                    std::string step, int attempt,
+                    Simulator::Callback delivered, FailHandler on_fail);
+
   const Federation* fed_;
   const GlobalQuery* query_;
   StrategyOptions options_;
@@ -112,6 +154,14 @@ class ExecEnv {
   AccessMeter work_;
   std::string span_strategy_;
   std::uint64_t span_query_ = 0;
+
+  // Fault-injection state; inert (and never touched on the hot path beyond
+  // one bool test) when no enabled plan is attached.
+  bool faults_enabled_ = false;
+  Rng fault_rng_{0};
+  std::set<DbId> dead_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t failed_messages_ = 0;
 };
 
 /// Sets up one strategy execution on `env`'s simulator without running it;

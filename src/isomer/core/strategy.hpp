@@ -22,7 +22,9 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "isomer/fault/fault_plan.hpp"
 #include "isomer/federation/federation.hpp"
 #include "isomer/federation/indexes.hpp"
 #include "isomer/federation/signature.hpp"
@@ -68,6 +70,16 @@ struct StrategyOptions {
   /// Null (the default) disables span recording entirely — the executors
   /// then pay a single pointer test per step and charge nothing extra.
   obs::TraceSession* trace_session = nullptr;
+  /// Fault-injection plan (fault/fault_plan.hpp). Null or a disabled plan
+  /// takes the exact fault-free code path: the execution is bitwise
+  /// identical to a build without fault injection.
+  const fault::FaultPlan* faults = nullptr;
+  /// Bounded-retry policy applied to every shipment while `faults` is
+  /// active; timeouts and backoff are charged to the simulated clock.
+  fault::RetryPolicy retry{};
+  /// What to do once retries are exhausted: abort the query (Fail) or
+  /// degrade gracefully per fault/degrade.hpp (Partial).
+  fault::DegradeMode degrade = fault::DegradeMode::Fail;
 };
 
 /// The simulated execution's outcome: the logical answer plus the two cost
@@ -84,6 +96,14 @@ struct StrategyReport {
   Bytes bytes_transferred = 0;
   std::uint64_t messages = 0;
   AccessMeter work;  ///< aggregated logical work across all sites
+
+  /// Fault-injection outcome (all zero/empty on a fault-free run): the
+  /// component databases declared unreachable during execution (ascending),
+  /// the number of re-sent shipments, and the shipments abandoned after the
+  /// retry budget.
+  std::vector<DbId> unavailable_sites;
+  std::uint64_t retries = 0;
+  std::uint64_t failed_messages = 0;
 
   ExecutionTrace trace;
 };

@@ -1,0 +1,160 @@
+#include "isomer/fault/fault_plan.hpp"
+
+#include <cstdlib>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer::fault {
+
+std::string_view to_string(DegradeMode mode) noexcept {
+  return mode == DegradeMode::Fail ? "fail" : "partial";
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw FaultError("malformed --faults spec '" + std::string(spec) + "': " +
+                   why);
+}
+
+/// Parses a non-negative integer prefix of `text`; advances `pos`.
+std::uint64_t parse_uint(std::string_view spec, std::string_view text,
+                         std::size_t& pos) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+    bad_spec(spec, "expected a number in '" + std::string(text) + "'");
+  std::uint64_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+/// Parses a duration "INT(ns|us|ms|s)"; advances `pos`.
+SimTime parse_duration(std::string_view spec, std::string_view text,
+                       std::size_t& pos) {
+  const auto count = static_cast<SimTime>(parse_uint(spec, text, pos));
+  const std::string_view rest = text.substr(pos);
+  SimTime scale = 0;
+  std::size_t unit_len = 0;
+  if (rest.rfind("ns", 0) == 0) {
+    scale = 1;
+    unit_len = 2;
+  } else if (rest.rfind("us", 0) == 0) {
+    scale = 1'000;
+    unit_len = 2;
+  } else if (rest.rfind("ms", 0) == 0) {
+    scale = 1'000'000;
+    unit_len = 2;
+  } else if (rest.rfind("s", 0) == 0) {
+    scale = 1'000'000'000;
+    unit_len = 1;
+  } else {
+    bad_spec(spec, "duration needs a unit (ns|us|ms|s) in '" +
+                       std::string(text) + "'");
+  }
+  pos += unit_len;
+  return count * scale;
+}
+
+double parse_real(std::string_view spec, std::string_view text) {
+  char* end = nullptr;
+  const std::string owned(text);
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0' || value < 0)
+    bad_spec(spec, "expected a non-negative real, got '" + owned + "'");
+  return value;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(std::string_view spec) {
+  FaultSpec out;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string_view item =
+        spec.substr(begin, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - begin);
+    begin = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) {
+      if (spec.empty()) bad_spec(spec, "empty specification");
+      bad_spec(spec, "empty item");
+    }
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos)
+      bad_spec(spec, "item '" + std::string(item) + "' has no '='");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (value.empty())
+      bad_spec(spec, "item '" + std::string(item) + "' has no value");
+
+    if (key == "drop") {
+      out.plan.drop_probability = parse_real(spec, value);
+      if (out.plan.drop_probability > 1)
+        bad_spec(spec, "drop probability must be in [0, 1]");
+    } else if (key == "spike") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string_view::npos)
+        bad_spec(spec, "spike wants 'PROB:DURATION'");
+      out.plan.spike_probability = parse_real(spec, value.substr(0, colon));
+      if (out.plan.spike_probability > 1)
+        bad_spec(spec, "spike probability must be in [0, 1]");
+      std::size_t pos = 0;
+      const std::string_view dur = value.substr(colon + 1);
+      out.plan.spike_ns = parse_duration(spec, dur, pos);
+      if (pos != dur.size()) bad_spec(spec, "trailing junk after spike delay");
+    } else if (key == "down") {
+      Outage outage;
+      std::size_t pos = 0;
+      const std::uint64_t db = parse_uint(spec, value, pos);
+      outage.db = DbId{static_cast<DbId::rep_type>(db)};
+      if (pos < value.size()) {
+        if (value[pos] != '@')
+          bad_spec(spec, "down wants 'ID[@FROM..[UNTIL]]'");
+        ++pos;
+        outage.from = parse_duration(spec, value, pos);
+        if (value.substr(pos).rfind("..", 0) != 0)
+          bad_spec(spec, "down window wants 'FROM..[UNTIL]'");
+        pos += 2;
+        if (pos < value.size()) outage.until = parse_duration(spec, value, pos);
+        if (pos != value.size())
+          bad_spec(spec, "trailing junk after down window");
+        if (outage.until <= outage.from)
+          bad_spec(spec, "down window must end after it starts");
+      }
+      out.plan.outages.push_back(outage);
+    } else if (key == "seed") {
+      std::size_t pos = 0;
+      out.plan.seed = parse_uint(spec, value, pos);
+      if (pos != value.size()) bad_spec(spec, "trailing junk after seed");
+    } else if (key == "retries") {
+      std::size_t pos = 0;
+      out.retry.max_retries = static_cast<int>(parse_uint(spec, value, pos));
+      if (pos != value.size()) bad_spec(spec, "trailing junk after retries");
+    } else if (key == "timeout") {
+      std::size_t pos = 0;
+      out.retry.timeout_ns = parse_duration(spec, value, pos);
+      if (pos != value.size()) bad_spec(spec, "trailing junk after timeout");
+      if (out.retry.timeout_ns <= 0)
+        bad_spec(spec, "timeout must be positive");
+    } else if (key == "backoff") {
+      std::size_t pos = 0;
+      out.retry.backoff_ns = parse_duration(spec, value, pos);
+      if (pos != value.size()) bad_spec(spec, "trailing junk after backoff");
+    } else if (key == "degrade") {
+      if (value == "fail")
+        out.degrade = DegradeMode::Fail;
+      else if (value == "partial")
+        out.degrade = DegradeMode::Partial;
+      else
+        bad_spec(spec, "degrade wants 'fail' or 'partial'");
+    } else {
+      bad_spec(spec, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace isomer::fault

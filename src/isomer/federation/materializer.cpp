@@ -62,7 +62,8 @@ std::vector<std::string> classes_involved(const GlobalSchema& schema,
 
 MaterializedView materialize(const Federation& federation,
                              const std::vector<std::string>& classes,
-                             AccessMeter* meter, MergePolicy policy) {
+                             AccessMeter* meter, MergePolicy policy,
+                             const std::set<DbId>* exclude) {
   const GlobalSchema& schema = federation.schema();
   const GoidTable& goids = federation.goids();
 
@@ -76,6 +77,7 @@ MaterializedView materialize(const Federation& federation,
                                 std::vector<Value>(cls.def().attribute_count())};
       // Isomers are kept in ascending DbId order; first non-null wins.
       for (const LOid& isomer : goids.isomers_of(entity)) {
+        if (exclude != nullptr && exclude->count(isomer.db) != 0) continue;
         const ComponentDatabase& db = federation.db(isomer.db);
         const Object* obj = db.fetch(isomer, meter);
         ensures(obj != nullptr, "GOid table validated at construction");

@@ -12,6 +12,7 @@
 // (see Federation::check_consistency) the order cannot change the outcome.
 #pragma once
 
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -86,11 +87,18 @@ enum class MergePolicy {
 
 /// Integrates the given global classes from all component databases.
 /// Charges one comparison per constituent object (the outerjoin's GOid
-/// probe) and table probes for reference rewriting.
+/// probe) and table probes for reference rewriting. When `exclude` is
+/// non-null, isomeric objects living in those databases are skipped — the
+/// integrated view a degraded federation can actually build when those
+/// sites are unreachable (fault::DegradeMode::Partial). An entity whose
+/// every isomer is excluded still gets a materialized object (all-null
+/// values): the GOid table at the global site remembers the entity even
+/// when no component can describe it.
 [[nodiscard]] MaterializedView materialize(
     const Federation& federation, const std::vector<std::string>& classes,
     AccessMeter* meter = nullptr,
-    MergePolicy policy = MergePolicy::FirstNonNull);
+    MergePolicy policy = MergePolicy::FirstNonNull,
+    const std::set<DbId>* exclude = nullptr);
 
 /// Evaluates a global query against a materialized view (the centralized
 /// approach's phase P): three-valued predicate evaluation over the

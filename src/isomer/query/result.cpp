@@ -4,7 +4,8 @@ namespace isomer {
 
 std::ostream& operator<<(std::ostream& os, const QueryResult& result) {
   for (const ResultRow& row : result.rows) {
-    os << "g" << row.entity.value() << " [" << to_string(row.status) << "]";
+    os << "g" << row.entity.value() << " [" << to_string(row.status)
+       << (row.unavailable ? ", unavailable" : "") << "]";
     for (const Value& v : row.targets) os << " " << v;
     os << "\n";
   }

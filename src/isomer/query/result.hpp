@@ -25,11 +25,16 @@ enum class ResultStatus : unsigned char { Certain, Maybe };
 
 /// One answer row: the entity, its certainty, and the projected target
 /// values (aligned with GlobalQuery::targets; references are GlobalRefs;
-/// values unavailable in any component database are null).
+/// values unavailable in any component database are null). When a query
+/// degrades gracefully over an unreachable component site, rows whose
+/// certainty was affected by the outage carry the `unavailable` tag (see
+/// fault/degrade.hpp for the tagging rule); on a fully live federation the
+/// flag is always false.
 struct ResultRow {
   GOid entity;
   ResultStatus status = ResultStatus::Maybe;
   std::vector<Value> targets;
+  bool unavailable = false;
 
   friend bool operator==(const ResultRow&, const ResultRow&) = default;
 };
@@ -61,6 +66,11 @@ struct QueryResult {
   }
   [[nodiscard]] std::size_t maybe_count() const noexcept {
     return rows.size() - certain_count();
+  }
+  [[nodiscard]] std::size_t unavailable_count() const noexcept {
+    return static_cast<std::size_t>(
+        std::count_if(rows.begin(), rows.end(),
+                      [](const ResultRow& r) { return r.unavailable; }));
   }
 
   friend bool operator==(const QueryResult&, const QueryResult&) = default;

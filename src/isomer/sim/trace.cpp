@@ -16,6 +16,8 @@ std::string_view to_string(Phase phase) noexcept {
       return "P";
     case Phase::Transfer:
       return "transfer";
+    case Phase::Fault:
+      return "fault";
   }
   return "setup";
 }
@@ -30,7 +32,8 @@ std::vector<Phase> ExecutionTrace::phase_order(
     std::optional<std::string> site) const {
   std::vector<TraceEvent> sorted;
   for (const TraceEvent& event : events_) {
-    if (event.phase == Phase::Setup || event.phase == Phase::Transfer)
+    if (event.phase == Phase::Setup || event.phase == Phase::Transfer ||
+        event.phase == Phase::Fault)
       continue;
     if (site && event.site != *site) continue;
     sorted.push_back(event);

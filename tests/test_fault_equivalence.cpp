@@ -1,0 +1,230 @@
+// The fault-tolerant extension of the strategy-equivalence theorem: under
+// fault injection with graceful degradation (DegradeMode::Partial), CA, BL
+// and PL still return identical answers — the same (certain, maybe,
+// unavailable-tagged) partition — and that answer equals the degraded
+// oracle (fault::degraded_reference) computed from the sites each execution
+// observed as unreachable. Exercised over randomized federations × fault
+// plans: per-site permanent outages, message drops, latency spikes.
+//
+// Also pinned here: a zero-fault FaultPlan is bitwise-identical to running
+// without one (the executors take the exact legacy code path), and
+// DegradeMode::Fail surfaces FaultError instead of degrading.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isomer/core/strategy.hpp"
+#include "isomer/fault/degrade.hpp"
+#include "isomer/fault/fault_plan.hpp"
+#include "isomer/workload/synth.hpp"
+
+namespace isomer {
+namespace {
+
+ParamConfig small_config(std::size_t n_db) {
+  ParamConfig config;
+  config.n_db = n_db;
+  config.n_objects = {20, 40};  // scaled down; structure unchanged
+  return config;
+}
+
+class FaultEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultEquivalence, StrategiesAgreeUnderPartialDegradation) {
+  Rng rng(GetParam());
+  const std::size_t n_db = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  const SampleParams sample = draw_sample(small_config(n_db), rng);
+  const SynthFederation synth = materialize_sample(sample);
+  ASSERT_TRUE(synth.federation->check_consistency().empty());
+
+  // A random fault plan: each site permanently dark with probability 0.3,
+  // sometimes message drops, sometimes latency spikes. retries=8 makes a
+  // live site's death by consecutive drops (p <= 0.15^9) statistically
+  // absent, so every observed outage traces back to a planned one.
+  fault::FaultPlan plan;
+  plan.seed = derive_stream(0xFA17'0000ULL, GetParam());
+  for (const DbId db : synth.federation->db_ids())
+    if (rng.bernoulli(0.3))
+      plan.outages.push_back(fault::Outage{db, 0, fault::kForever});
+  if (rng.bernoulli(0.5))
+    plan.drop_probability = rng.uniform_real(0.01, 0.15);
+  if (rng.bernoulli(0.3)) {
+    plan.spike_probability = 0.3;
+    plan.spike_ns = 500'000;
+  }
+
+  StrategyOptions options;
+  options.faults = &plan;
+  options.retry.max_retries = 8;
+  options.degrade = fault::DegradeMode::Partial;
+
+  bool first = true;
+  QueryResult agreed;
+  for (const StrategyKind kind : kPaperStrategies) {
+    const StrategyReport report =
+        execute_strategy(kind, *synth.federation, synth.query, options);
+
+    // Every site declared dead was planned dead (permanent windows).
+    std::set<DbId> observed;
+    for (const DbId db : report.unavailable_sites) {
+      EXPECT_TRUE(plan.down(db, 0))
+          << to_string(kind) << " declared live DB" << db.value()
+          << " dead on seed " << GetParam();
+      observed.insert(db);
+    }
+
+    // The answer equals the degraded oracle for the observed outage set.
+    const QueryResult oracle = fault::degraded_reference(
+        *synth.federation, synth.query, observed);
+    EXPECT_EQ(report.result, oracle)
+        << to_string(kind) << " diverged from the degraded reference on seed "
+        << GetParam();
+
+    // Certain rows never carry the unavailable tag.
+    for (const ResultRow& row : report.result.rows)
+      if (row.status == ResultStatus::Certain) EXPECT_FALSE(row.unavailable);
+
+    // And all strategies return the same partition (rows compare with
+    // status, targets and the unavailable flag).
+    if (first) {
+      agreed = report.result;
+      first = false;
+    } else {
+      EXPECT_EQ(report.result, agreed)
+          << to_string(kind) << " disagreed with CA on seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 201));
+
+TEST(FaultFreePath, ZeroFaultPlanIsBitwiseIdenticalToNoPlan) {
+  for (const std::uint64_t seed : {3ULL, 17ULL, 42ULL}) {
+    Rng rng(seed);
+    const SampleParams sample = draw_sample(small_config(3), rng);
+    const SynthFederation synth = materialize_sample(sample);
+
+    const fault::FaultPlan inert;  // enabled() == false
+    ASSERT_FALSE(inert.enabled());
+    StrategyOptions with_plan;
+    with_plan.faults = &inert;
+    with_plan.degrade = fault::DegradeMode::Partial;
+
+    for (const StrategyKind kind : kPaperStrategies) {
+      const StrategyReport plain =
+          execute_strategy(kind, *synth.federation, synth.query);
+      const StrategyReport gated =
+          execute_strategy(kind, *synth.federation, synth.query, with_plan);
+      EXPECT_EQ(plain.result, gated.result) << to_string(kind);
+      EXPECT_EQ(plain.response_ns, gated.response_ns) << to_string(kind);
+      EXPECT_EQ(plain.total_ns, gated.total_ns) << to_string(kind);
+      EXPECT_EQ(plain.bytes_transferred, gated.bytes_transferred)
+          << to_string(kind);
+      EXPECT_EQ(plain.messages, gated.messages) << to_string(kind);
+      EXPECT_EQ(gated.retries, 0u);
+      EXPECT_EQ(gated.failed_messages, 0u);
+      EXPECT_TRUE(gated.unavailable_sites.empty());
+      EXPECT_EQ(gated.result.unavailable_count(), 0u);
+    }
+  }
+}
+
+TEST(FaultFailMode, ExhaustedRetriesThrowFaultError) {
+  Rng rng(5);
+  const SampleParams sample = draw_sample(small_config(3), rng);
+  const SynthFederation synth = materialize_sample(sample);
+
+  // Every site dark forever: whichever site a strategy contacts first, the
+  // shipment exhausts its retries and — without permission to degrade —
+  // aborts the query.
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  for (const DbId db : synth.federation->db_ids())
+    plan.outages.push_back(fault::Outage{db, 0, fault::kForever});
+  StrategyOptions options;
+  options.faults = &plan;
+  options.retry.max_retries = 2;
+  options.degrade = fault::DegradeMode::Fail;
+
+  for (const StrategyKind kind : kPaperStrategies)
+    EXPECT_THROW(
+        (void)execute_strategy(kind, *synth.federation, synth.query, options),
+        FaultError)
+        << to_string(kind);
+}
+
+TEST(FaultDeterminism, FaultedRunsReplayBitIdentically) {
+  Rng rng(9);
+  const SampleParams sample = draw_sample(small_config(4), rng);
+  const SynthFederation synth = materialize_sample(sample);
+
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.drop_probability = 0.1;
+  plan.spike_probability = 0.2;
+  plan.outages.push_back(
+      fault::Outage{synth.federation->db_ids().front(), 0, fault::kForever});
+  StrategyOptions options;
+  options.faults = &plan;
+  options.retry.max_retries = 8;
+  options.degrade = fault::DegradeMode::Partial;
+
+  for (const StrategyKind kind : kPaperStrategies) {
+    const StrategyReport a =
+        execute_strategy(kind, *synth.federation, synth.query, options);
+    const StrategyReport b =
+        execute_strategy(kind, *synth.federation, synth.query, options);
+    EXPECT_EQ(a.result, b.result) << to_string(kind);
+    EXPECT_EQ(a.response_ns, b.response_ns) << to_string(kind);
+    EXPECT_EQ(a.total_ns, b.total_ns) << to_string(kind);
+    EXPECT_EQ(a.bytes_transferred, b.bytes_transferred) << to_string(kind);
+    EXPECT_EQ(a.retries, b.retries) << to_string(kind);
+    EXPECT_EQ(a.unavailable_sites, b.unavailable_sites) << to_string(kind);
+  }
+}
+
+TEST(FaultSpecParser, ParsesTheDocumentedGrammar) {
+  const fault::FaultSpec spec = fault::parse_fault_spec(
+      "drop=0.05,spike=0.1:1ms,down=2,down=3@5ms..20ms,seed=9,retries=4,"
+      "timeout=3ms,backoff=500us,degrade=fail");
+  EXPECT_DOUBLE_EQ(spec.plan.drop_probability, 0.05);
+  EXPECT_DOUBLE_EQ(spec.plan.spike_probability, 0.1);
+  EXPECT_EQ(spec.plan.spike_ns, 1'000'000);
+  ASSERT_EQ(spec.plan.outages.size(), 2u);
+  EXPECT_EQ(spec.plan.outages[0].db.value(), 2);
+  EXPECT_EQ(spec.plan.outages[0].from, 0);
+  EXPECT_EQ(spec.plan.outages[0].until, fault::kForever);
+  EXPECT_EQ(spec.plan.outages[1].db.value(), 3);
+  EXPECT_EQ(spec.plan.outages[1].from, 5'000'000);
+  EXPECT_EQ(spec.plan.outages[1].until, 20'000'000);
+  EXPECT_EQ(spec.plan.seed, 9u);
+  EXPECT_EQ(spec.retry.max_retries, 4);
+  EXPECT_EQ(spec.retry.timeout_ns, 3'000'000);
+  EXPECT_EQ(spec.retry.backoff_ns, 500'000);
+  EXPECT_EQ(spec.degrade, fault::DegradeMode::Fail);
+  EXPECT_TRUE(spec.plan.enabled());
+
+  EXPECT_FALSE(fault::parse_fault_spec("drop=0").plan.enabled());
+}
+
+TEST(FaultSpecParser, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "drop", "drop=", "drop=1.5", "drop=-0.1", "drop=abc",
+        "spike=0.5", "spike=0.5:10", "spike=2:1ms", "down=", "down=1@5ms",
+        "down=1@5ms..2ms", "timeout=0ns", "timeout=5", "retries=x",
+        "degrade=maybe", "bogus=1", "drop=0.1,,spike=0.1:1ms"})
+    EXPECT_THROW((void)fault::parse_fault_spec(bad), FaultError) << bad;
+}
+
+TEST(RetryPolicy, BackoffDoublesAndSaturates) {
+  fault::RetryPolicy retry;
+  retry.backoff_ns = 1'000'000;
+  EXPECT_EQ(retry.backoff(0), 1'000'000);
+  EXPECT_EQ(retry.backoff(1), 2'000'000);
+  EXPECT_EQ(retry.backoff(5), 32'000'000);
+  EXPECT_GT(retry.backoff(80), 0);  // saturates instead of overflowing
+}
+
+}  // namespace
+}  // namespace isomer

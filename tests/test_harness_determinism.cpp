@@ -34,6 +34,11 @@ void expect_bitwise_equal(const std::vector<SeriesPoint>& a,
     EXPECT_EQ(a[k].response_s, b[k].response_s);
     EXPECT_EQ(a[k].bytes_mb, b[k].bytes_mb);
     EXPECT_EQ(a[k].messages, b[k].messages);
+    EXPECT_EQ(a[k].certain_rows, b[k].certain_rows);
+    EXPECT_EQ(a[k].maybe_rows, b[k].maybe_rows);
+    EXPECT_EQ(a[k].unavailable_rows, b[k].unavailable_rows);
+    EXPECT_EQ(a[k].dead_sites, b[k].dead_sites);
+    EXPECT_EQ(a[k].retries, b[k].retries);
   }
 }
 
@@ -75,6 +80,53 @@ TEST(HarnessDeterminism, TrialsSeeIdenticalStreamsAtAnyJobCount) {
     parallel[i] = rng();
   });
   EXPECT_EQ(serial, parallel);
+}
+
+TEST(HarnessDeterminism, FaultedRunPointIdenticalAcrossJobCounts) {
+  // The retry/backoff/degrade machinery must stay --jobs-invariant: each
+  // trial derives its own fault-plan seed, so the thread count cannot move
+  // a single figure — timing, traffic or answer quality.
+  const bench::HarnessOptions options = tiny_options();
+  const fault::FaultSpec faults = fault::parse_fault_spec(
+      "drop=0.1,spike=0.2:1ms,down=2,seed=5,retries=8,degrade=partial");
+  const std::vector<StrategyKind> kinds = {StrategyKind::CA, StrategyKind::BL,
+                                           StrategyKind::PL};
+  const ParamConfig config = tiny_config();
+  const std::vector<SeriesPoint> serial =
+      bench::run_point(config, kinds, options.samples, options.seed, 1,
+                       NetworkTopology::SharedBus, 0.3, nullptr, &faults);
+  // Sanity that the plan actually fired: retransmissions happened and the
+  // planned outage degraded the answers.
+  EXPECT_GT(serial[0].retries, 0.0);
+  EXPECT_GT(serial[0].dead_sites, 0.0);
+  for (const int jobs : {2, 4, 8}) {
+    const std::vector<SeriesPoint> parallel =
+        bench::run_point(config, kinds, options.samples, options.seed, jobs,
+                         NetworkTopology::SharedBus, 0.3, nullptr, &faults);
+    expect_bitwise_equal(serial, parallel);
+  }
+}
+
+TEST(HarnessDeterminism, DisabledFaultSpecMatchesNoSpecBitwise) {
+  // --faults=drop=0 parses to a disabled plan; run_point must take the
+  // exact fault-free code path, leaving every figure untouched.
+  const bench::HarnessOptions options = tiny_options();
+  const fault::FaultSpec inert = fault::parse_fault_spec("drop=0");
+  ASSERT_FALSE(inert.plan.enabled());
+  const std::vector<StrategyKind> kinds = {StrategyKind::CA, StrategyKind::BL,
+                                           StrategyKind::PL};
+  const ParamConfig config = tiny_config();
+  const std::vector<SeriesPoint> plain =
+      bench::run_point(config, kinds, options.samples, options.seed, 2);
+  const std::vector<SeriesPoint> gated =
+      bench::run_point(config, kinds, options.samples, options.seed, 2,
+                       NetworkTopology::SharedBus, 0.3, nullptr, &inert);
+  expect_bitwise_equal(plain, gated);
+  for (const SeriesPoint& point : gated) {
+    EXPECT_EQ(point.retries, 0.0);
+    EXPECT_EQ(point.dead_sites, 0.0);
+    EXPECT_EQ(point.unavailable_rows, 0.0);
+  }
 }
 
 TEST(HarnessDeterminism, SeedChangesOutput) {

@@ -1,0 +1,194 @@
+// Fuzzing for the two text frontends: the SQL/X-subset query parser
+// (query/parser.hpp) and the --faults specification parser
+// (fault/fault_plan.hpp).
+//
+// Three properties, each over hundreds of deterministic random inputs:
+//   * printer -> parser round-trip: any AST the generator can build prints
+//     to text that parses back to the identical AST;
+//   * mutation robustness: randomly corrupted versions of valid inputs
+//     either parse or raise the documented error type — never crash, never
+//     leak a foreign exception;
+//   * garbage robustness: arbitrary printable strings do the same.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "isomer/common/rng.hpp"
+#include "isomer/fault/fault_plan.hpp"
+#include "isomer/query/parser.hpp"
+#include "isomer/query/printer.hpp"
+
+namespace isomer {
+namespace {
+
+// Safe barewords: parse as plain identifiers/strings, never as keywords.
+const char* const kClasses[] = {"Student", "Course", "Dept", "Person",
+                                "Project"};
+const char* const kSteps[] = {"name", "age", "city", "advisor", "dept",
+                              "speciality", "address", "code", "grade"};
+const char* const kStrings[] = {"Taipei", "database", "CS", "alpha", "Chen"};
+
+PathExpr random_path(Rng& rng) {
+  std::vector<std::string> steps;
+  const std::size_t len = 1 + rng.index(3);
+  for (std::size_t i = 0; i < len; ++i)
+    steps.push_back(kSteps[rng.index(std::size(kSteps))]);
+  return PathExpr(std::move(steps));
+}
+
+Value random_literal(Rng& rng) {
+  switch (rng.index(4)) {
+    case 0:
+      return Value(rng.uniform_int(-100, 100));
+    case 1:
+      // Whole doubles print as integers and quarters print exactly, so stay
+      // off .0 to keep the round-trip lossless *and* type-preserving.
+      return Value(static_cast<double>(rng.uniform_int(0, 99)) +
+                   (rng.bernoulli(0.5) ? 0.25 : 0.5));
+    case 2:
+      return Value(kStrings[rng.index(std::size(kStrings))]);
+    default:
+      return Value(rng.bernoulli(0.5));
+  }
+}
+
+CompOp random_op(Rng& rng) {
+  constexpr CompOp kOps[] = {CompOp::Eq, CompOp::Ne, CompOp::Lt,
+                             CompOp::Le, CompOp::Gt, CompOp::Ge};
+  return kOps[rng.index(std::size(kOps))];
+}
+
+/// Builds a random query within the printable grammar: >= 1 target, 0-3
+/// plain conjuncts, optionally one top-level OR of 2-3 conjunction groups.
+/// Plain conjuncts are emitted first, matching the printer's predicate
+/// order, so parsed predicate indices line up with the generated ones.
+GlobalQuery random_query(Rng& rng) {
+  GlobalQuery query;
+  query.range_class = kClasses[rng.index(std::size(kClasses))];
+  const std::size_t n_targets = 1 + rng.index(3);
+  for (std::size_t i = 0; i < n_targets; ++i)
+    query.targets.push_back(random_path(rng));
+
+  const std::size_t n_plain = rng.index(4);
+  for (std::size_t i = 0; i < n_plain; ++i)
+    query.predicates.push_back(
+        Predicate{random_path(rng), random_op(rng), random_literal(rng)});
+
+  if (rng.bernoulli(0.5)) {
+    const std::size_t n_groups = 2 + rng.index(2);
+    for (std::size_t g = 0; g < n_groups; ++g) {
+      std::vector<std::size_t> group;
+      const std::size_t n_members = 1 + rng.index(2);
+      for (std::size_t m = 0; m < n_members; ++m) {
+        group.push_back(query.predicates.size());
+        query.predicates.push_back(
+            Predicate{random_path(rng), random_op(rng), random_literal(rng)});
+      }
+      query.disjuncts.push_back(std::move(group));
+    }
+  }
+  return query;
+}
+
+class ParserRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserRoundTrip, PrintedQueriesParseBackIdentically) {
+  Rng rng(derive_stream(0x5014ULL, GetParam()));
+  const GlobalQuery query = random_query(rng);
+  const std::string text = to_sqlx(query);
+  GlobalQuery parsed;
+  ASSERT_NO_THROW(parsed = parse_sqlx(text)) << text;
+  EXPECT_EQ(parsed.range_class, query.range_class) << text;
+  EXPECT_EQ(parsed.targets, query.targets) << text;
+  EXPECT_EQ(parsed.predicates, query.predicates) << text;
+  EXPECT_EQ(parsed.disjuncts, query.disjuncts) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 301));
+
+/// One random in-place corruption of `text`.
+std::string mutate(std::string text, Rng& rng) {
+  const char kPool[] = " .,()<>=!'\"*@xX7-";
+  const auto pool_char = [&] {
+    return kPool[rng.index(sizeof(kPool) - 1)];
+  };
+  if (text.empty()) return std::string(1, pool_char());
+  const std::size_t at = rng.index(text.size());
+  switch (rng.index(5)) {
+    case 0:  // delete
+      text.erase(at, 1);
+      break;
+    case 1:  // insert
+      text.insert(at, 1, pool_char());
+      break;
+    case 2:  // replace
+      text[at] = pool_char();
+      break;
+    case 3:  // truncate
+      text.resize(at);
+      break;
+    default:  // duplicate a slice
+      text.insert(at, text.substr(at, 1 + rng.index(8)));
+      break;
+  }
+  return text;
+}
+
+class ParserMutation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserMutation, CorruptedQueriesFailCleanlyOrParse) {
+  Rng rng(derive_stream(0xF022ULL, GetParam()));
+  std::string text = to_sqlx(random_query(rng));
+  const std::size_t rounds = 1 + rng.index(4);
+  for (std::size_t i = 0; i < rounds; ++i) text = mutate(std::move(text), rng);
+  try {
+    (void)parse_sqlx(text);  // parsing successfully is fine too
+  } catch (const QueryError&) {
+    // ParseError (or its QueryError base, e.g. from PathExpr validation) is
+    // the documented failure mode.
+  }
+  // Anything else — std::bad_alloc, ContractViolation, a crash — escapes
+  // and fails the test.
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserMutation,
+                         ::testing::Range<std::uint64_t>(1, 301));
+
+TEST(ParserGarbage, ArbitraryPrintableStringsNeverCrashTheParser) {
+  Rng rng(0xB4D'1112ULL);
+  const char kPool[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFXW .,()<>=!'\"*@0123456789-_";
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    const std::size_t len = rng.index(60);
+    for (std::size_t c = 0; c < len; ++c)
+      text += kPool[rng.index(sizeof(kPool) - 1)];
+    try {
+      (void)parse_sqlx(text);
+    } catch (const QueryError&) {
+    }
+  }
+}
+
+TEST(FaultSpecMutation, CorruptedSpecsFailCleanlyOrParse) {
+  const std::string valid =
+      "drop=0.05,spike=0.1:1ms,down=2,down=3@5ms..20ms,seed=9,retries=4,"
+      "timeout=3ms,backoff=500us,degrade=partial";
+  Rng rng(0xFA17'F022ULL);
+  for (int i = 0; i < 500; ++i) {
+    std::string text = valid;
+    const std::size_t rounds = 1 + rng.index(4);
+    for (std::size_t r = 0; r < rounds; ++r)
+      text = mutate(std::move(text), rng);
+    try {
+      (void)fault::parse_fault_spec(text);
+    } catch (const FaultError&) {
+      // the documented failure mode for malformed specs
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isomer

@@ -132,5 +132,42 @@ TEST(TraceDeterminism, TraceFilesIdenticalAcrossJobCountsExceptHeader) {
   EXPECT_EQ(body(serial), body(parallel));
 }
 
+TEST(TraceSink, AbortedRunLeavesAnExistingTraceFileUntouched) {
+  // Regression: TraceSink used to open --trace=FILE with std::ios::trunc at
+  // construction, so a sweep that aborted (usage error, uncaught exception,
+  // crash) destroyed the previous run's trace. The sink now writes to
+  // FILE.tmp and renames onto FILE only when the destructor runs.
+  const std::string path = ::testing::TempDir() + "trace_no_trunc.jsonl";
+  const std::string sentinel = "precious bytes from an earlier sweep\n";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << sentinel;
+  }
+
+  bench::HarnessOptions options;
+  options.samples = 1;
+  options.seed = 1;
+  {
+    bench::TraceSink sink(path, "test", options);
+    ASSERT_TRUE(sink.enabled());
+    // Mid-run — the moment an abort would strike — the original file still
+    // holds the previous sweep, byte for byte.
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(buffer.str(), sentinel);
+    EXPECT_TRUE(std::ifstream(path + ".tmp").good())
+        << "sink should be writing to the temp file";
+  }  // clean completion: destructor renames the temp file into place
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str(), sentinel) << "completed run must replace the file";
+  EXPECT_NE(buffer.str().find("isomer-trace-v1"), std::string::npos);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good())
+      << "rename must consume the temp file";
+}
+
 }  // namespace
 }  // namespace isomer

@@ -250,7 +250,7 @@ void check_span(const JsonObject& obj, std::size_t line_no,
   static const std::set<std::string> kStrategies = {"CA", "BL", "PL", "BLS",
                                                     "PLS"};
   static const std::set<std::string> kPhases = {"setup", "O", "I", "P",
-                                                "transfer"};
+                                                "transfer", "fault"};
   for (const char* key : {"strategy", "phase", "site", "step"})
     if (!has_string(obj, key))
       fail(line_no, std::string("span needs string '") + key + "'", line);
