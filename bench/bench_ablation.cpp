@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
       config.n_db = n_db;
       apply_scale(config, options.scale);
       rows.push_back(run_point(config, kinds, options.samples, options.seed,
-                               options.jobs, topology));
+                               options.jobs, topology, 0.3, nullptr, nullptr,
+                               options.batch_set ? &options.batch : nullptr));
       const std::string figure =
           "ablation-" + std::string(to_string(topology));
       json.rows(figure.c_str(), "N_db", static_cast<double>(n_db), kinds,

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
     trace.set_point("fig10", "N_db", static_cast<double>(n_db));
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
                              options.jobs, NetworkTopology::SharedBus, 0.3,
-                             trace.if_enabled(), faults));
+                             trace.if_enabled(), faults,
+                             options.batch_set ? &options.batch : nullptr));
     json.rows("fig10", "N_db", static_cast<double>(n_db), kinds, rows.back(),
               faulting);
   }
@@ -63,10 +64,10 @@ int main(int argc, char** argv) {
     config.n_db = n_db;
     apply_scale(config, options.scale);
     trace.set_point("fig10-collision", "N_db", static_cast<double>(n_db));
-    collision_rows.push_back(run_point(config, kinds, options.samples,
-                                       options.seed, options.jobs,
-                                       NetworkTopology::CollisionBus, 0.3,
-                                       trace.if_enabled(), faults));
+    collision_rows.push_back(
+        run_point(config, kinds, options.samples, options.seed, options.jobs,
+                  NetworkTopology::CollisionBus, 0.3, trace.if_enabled(),
+                  faults, options.batch_set ? &options.batch : nullptr));
     json.rows("fig10-collision", "N_db", static_cast<double>(n_db), kinds,
               collision_rows.back(), faulting);
   }

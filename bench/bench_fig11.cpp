@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
     trace.set_point("fig11", "selectivity", selectivity);
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
                              options.jobs, NetworkTopology::SharedBus, 0.3,
-                             trace.if_enabled()));
+                             trace.if_enabled(), nullptr,
+                             options.batch_set ? &options.batch : nullptr));
     json.rows("fig11", "selectivity", selectivity, kinds, rows.back());
   }
 

@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
     trace.set_point("fig9", "N_o", center);
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
                              options.jobs, NetworkTopology::SharedBus, 0.3,
-                             trace.if_enabled(), faults));
+                             trace.if_enabled(), faults,
+                             options.batch_set ? &options.batch : nullptr));
     json.rows("fig9", "N_o", center, kinds, rows.back(), faulting);
   }
 

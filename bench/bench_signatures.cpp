@@ -28,7 +28,9 @@ int main(int argc, char** argv) {
     config.n_db = n_db;
     apply_scale(config, options.scale);
     rows.push_back(run_point(config, kinds, options.samples, options.seed,
-                             options.jobs));
+                             options.jobs, NetworkTopology::SharedBus, 0.3,
+                             nullptr, nullptr,
+                             options.batch_set ? &options.batch : nullptr));
     json.rows("signatures", "N_db", static_cast<double>(n_db), kinds,
               rows.back());
   }

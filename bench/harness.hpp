@@ -57,6 +57,12 @@ struct HarnessOptions {
   /// --faults.
   fault::FaultSpec faults;
   bool faults_set = false;
+  /// --batch=on|off|N (StrategyOptions::batch): batched semijoin shipping.
+  /// "off" (the default) leaves every output bitwise-identical to a build
+  /// without the batching layer; "on" enables unbounded same-instant
+  /// frames; a positive N additionally caps a frame at N records.
+  BatchOptions batch;
+  bool batch_set = false;
 };
 
 /// The thread count a --jobs value resolves to (0 = all hardware threads) —
@@ -69,12 +75,14 @@ struct HarnessOptions {
 [[noreturn]] inline void usage_error(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--samples=N] [--scale=F] [--seed=S] [--jobs=N] "
-               "[--json=FILE] [--trace=FILE] [--faults=SPEC] [--signatures] "
-               "[--paper] [--quick]\n"
+               "[--json=FILE] [--trace=FILE] [--faults=SPEC] "
+               "[--batch=on|off|N] [--signatures] [--paper] [--quick]\n"
                "  --faults SPEC items (comma-separated): drop=P, spike=P:DUR,"
                " down=DB[@DUR..[DUR]],\n"
                "  seed=N, retries=N, timeout=DUR, backoff=DUR,"
-               " degrade=fail|partial (see docs/FAULTS.md)\n",
+               " degrade=fail|partial (see docs/FAULTS.md)\n"
+               "  --batch batched semijoin shipping: on, off (default), or a"
+               " positive per-frame record cap\n",
                argv0);
   std::exit(2);
 }
@@ -122,6 +130,24 @@ inline HarnessOptions parse_options(int argc, char** argv) {
         usage_error(argv[0]);
       }
       options.faults_set = true;
+    } else if (const char* v = value("--batch=")) {
+      const std::string mode = v;
+      if (mode == "on") {
+        options.batch.enabled = true;
+      } else if (mode == "off") {
+        options.batch = BatchOptions{};
+      } else {
+        const int cap = std::atoi(v);
+        if (cap <= 0) {
+          std::fprintf(stderr,
+                       "%s: --batch wants on, off or a positive record cap\n",
+                       argv[0]);
+          usage_error(argv[0]);
+        }
+        options.batch.enabled = true;
+        options.batch.max_records = static_cast<std::size_t>(cap);
+      }
+      options.batch_set = true;
     } else if (arg == "--signatures") {
       options.run_signatures = true;
     } else if (arg == "--paper") {
@@ -283,7 +309,8 @@ inline std::vector<SeriesPoint> run_point(
     int samples, std::uint64_t seed, int jobs = 1,
     NetworkTopology topology = NetworkTopology::SharedBus,
     double collision_alpha = 0.3, TraceSink* trace = nullptr,
-    const fault::FaultSpec* faults = nullptr) {
+    const fault::FaultSpec* faults = nullptr,
+    const BatchOptions* batch = nullptr) {
   expects(samples > 0, "run_point needs a positive trial count");
   const bool tracing = trace != nullptr && trace->enabled();
   // A disabled plan (e.g. --faults=drop=0) takes the exact fault-free code
@@ -293,6 +320,9 @@ inline std::vector<SeriesPoint> run_point(
   exec_options.record_trace = false;
   exec_options.topology = topology;
   exec_options.costs.collision_alpha = collision_alpha;
+  // Null or a disabled BatchOptions keeps ship_record an exact passthrough
+  // to ship(): --batch=off output is bitwise-identical to pre-batching.
+  if (batch != nullptr) exec_options.batch = *batch;
   std::vector<std::vector<SeriesPoint>> trials(
       static_cast<std::size_t>(samples),
       std::vector<SeriesPoint>(kinds.size()));
@@ -443,9 +473,16 @@ class JsonSink {
     }
     std::fprintf(file_,
                  "[\n  {\"format\": \"isomer-bench-v1\", \"jobs\": %u, "
-                 "\"samples\": %d, \"scale\": %.17g, \"seed\": %llu}",
+                 "\"samples\": %d, \"scale\": %.17g, \"seed\": %llu",
                  effective_jobs(options.jobs), options.samples, options.scale,
                  static_cast<unsigned long long>(options.seed));
+    // The batch field exists iff batching is enabled, so --batch=off (or no
+    // --batch at all) leaves the header byte-identical to older outputs.
+    // 0 = unbounded same-instant frames.
+    if (options.batch.enabled)
+      std::fprintf(file_, ", \"batch_max_records\": %llu",
+                   static_cast<unsigned long long>(options.batch.max_records));
+    std::fputs("}", file_);
     first_ = false;  // rows always follow the header element
   }
   ~JsonSink() {

@@ -229,9 +229,14 @@ Advice advise_strategy(const Federation& federation, const GlobalQuery& query,
       net += rows * profile.row_bytes;
       max_local = std::max(max_local, disk_i * disk_s + cmp_i * cmp_s);
     }
+    // Batched executors ship only the GOid semijoin per task; unbatched
+    // ones ship the full check task record.
+    const double task_bytes =
+        options.batch.enabled
+            ? static_cast<double>(c.semijoin_task_bytes(false))
+            : static_cast<double>(c.check_task_bytes());
     const double check_net =
-        tasks_total * static_cast<double>(c.check_task_bytes() +
-                                          c.verdict_bytes());
+        tasks_total * (task_bytes + static_cast<double>(c.verdict_bytes()));
     const double certify_cmp =
         rows_total * (static_cast<double>(query.predicates.size()) + 1.0) +
         tasks_total;

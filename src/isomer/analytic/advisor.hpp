@@ -30,6 +30,10 @@ struct AdvisorOptions {
   /// Each database's sample uses the stream derive_stream(seed, site index),
   /// so the advice is identical at every jobs value.
   int jobs = 1;
+  /// Price the plan as the batched executors would ship it: check tasks
+  /// shrink to semijoin GOid shipping (CostParams::semijoin_task_bytes)
+  /// instead of full check_task_bytes.
+  BatchOptions batch{};
 };
 
 /// One strategy's estimated costs (seconds of simulated time).

@@ -152,7 +152,7 @@ double seconds(const Accumulator& acc, const CostParams& costs) {
 }
 
 AnalyticEstimate estimate_ca(const SampleParams& sample, const Derived& d,
-                             const CostParams& costs) {
+                             const CostParams& costs, bool batched) {
   const double sa = static_cast<double>(costs.attr_bytes);
   const double sl = static_cast<double>(costs.loid_bytes);
   const double sg = static_cast<double>(costs.goid_bytes);
@@ -196,6 +196,13 @@ AnalyticEstimate estimate_ca(const SampleParams& sample, const Derived& d,
   const double global_cmp =
       2.0 * total_objects + nonnull_refs + d.entities[0] * d.total_preds;
 
+  // Batched framing: the CA_G1 broadcast collapses into one frame and each
+  // constituent shipment is already a single message, so the frame tax is
+  // one header per site plus the broadcast frame.
+  if (batched)
+    net += static_cast<double>(kBatchHeaderBytes) *
+           (1.0 + static_cast<double>(d.D));
+
   Accumulator acc{disk, proj_cmp + global_cmp, net};
   AnalyticEstimate est;
   est.disk_s = disk * static_cast<double>(costs.disk_ns_per_byte) / 1e9;
@@ -212,7 +219,7 @@ AnalyticEstimate estimate_ca(const SampleParams& sample, const Derived& d,
 
 AnalyticEstimate estimate_localized(const SampleParams& sample,
                                     const Derived& d, const CostParams& costs,
-                                    bool eager, bool signatures,
+                                    bool eager, bool signatures, bool batched,
                                     std::size_t /*extra_attrs*/) {
   const double sa = static_cast<double>(costs.attr_bytes);
   const double sl = static_cast<double>(costs.loid_bytes);
@@ -308,11 +315,33 @@ AnalyticEstimate estimate_localized(const SampleParams& sample,
     max_local_s = std::max(max_local_s, local_s);
   }
 
-  // Check traffic: request tasks out, verdicts back.
-  const double check_net =
-      tasks_total * static_cast<double>(costs.check_task_bytes()) +
-      (tasks_total + screened_total) *
-          static_cast<double>(costs.verdict_bytes());
+  // Check traffic: request tasks out, verdicts back. The executors pack the
+  // tasks for one target site into one message carrying an attr-sized
+  // header (check_request_wire_bytes / check_response_wire_bytes); the
+  // expected number of (home, assistant) message pairs follows the
+  // occupancy bound over the D*(D-1) ordered site pairs.
+  const double pairs = d.D > 1
+                           ? static_cast<double>(d.D) *
+                                 static_cast<double>(d.D - 1)
+                           : 0.0;
+  const double req_msgs =
+      pairs > 0 ? pairs * (1.0 - std::exp(-tasks_total / pairs)) : 0.0;
+  double check_net;
+  if (batched) {
+    // Semijoin shipping: each task travels as a GOid + step tag; assistant
+    // LOids are re-derived from the replicated GOid table. Per-message attr
+    // headers are absorbed by the frame headers priced below.
+    check_net =
+        tasks_total * static_cast<double>(costs.semijoin_task_bytes(false)) +
+        (tasks_total + screened_total) *
+            static_cast<double>(costs.verdict_bytes());
+  } else {
+    check_net =
+        tasks_total * static_cast<double>(costs.check_task_bytes()) +
+        (tasks_total + screened_total) *
+            static_cast<double>(costs.verdict_bytes()) +
+        2.0 * req_msgs * static_cast<double>(costs.attr_bytes);
+  }
   net += check_net;
   bytes += check_net;
   disk += check_disk;
@@ -326,10 +355,20 @@ AnalyticEstimate estimate_localized(const SampleParams& sample,
   cmp += certify_cmp;
 
   // Request messages.
-  const double req_net =
+  double req_net =
       static_cast<double>(d.D) *
       static_cast<double>(costs.request_bytes(
           static_cast<std::uint64_t>(d.total_preds)));
+  if (batched) {
+    // The attr-sized G1 header drops per site; frames cost
+    // kBatchHeaderBytes each: one broadcast G1 frame, one flush per home
+    // site (rows plus outgoing check requests), and one per expected
+    // assistant response message.
+    req_net -= static_cast<double>(d.D) *
+               static_cast<double>(costs.attr_bytes);
+    req_net += static_cast<double>(kBatchHeaderBytes) *
+               (1.0 + static_cast<double>(d.D) + req_msgs);
+  }
   net += req_net;
   bytes += req_net;
 
@@ -364,20 +403,24 @@ AnalyticEstimate estimate_localized(const SampleParams& sample,
 AnalyticEstimate estimate_strategy(StrategyKind kind,
                                    const SampleParams& sample,
                                    const CostParams& costs,
-                                   std::size_t extra_attrs) {
+                                   std::size_t extra_attrs, bool batched) {
   expects(!sample.classes.empty(), "sample needs at least one class");
   const Derived d = derive(sample, costs, extra_attrs);
   switch (kind) {
     case StrategyKind::CA:
-      return estimate_ca(sample, d, costs);
+      return estimate_ca(sample, d, costs, batched);
     case StrategyKind::BL:
-      return estimate_localized(sample, d, costs, false, false, extra_attrs);
+      return estimate_localized(sample, d, costs, false, false, batched,
+                                extra_attrs);
     case StrategyKind::PL:
-      return estimate_localized(sample, d, costs, true, false, extra_attrs);
+      return estimate_localized(sample, d, costs, true, false, batched,
+                                extra_attrs);
     case StrategyKind::BLS:
-      return estimate_localized(sample, d, costs, false, true, extra_attrs);
+      return estimate_localized(sample, d, costs, false, true, batched,
+                                extra_attrs);
     case StrategyKind::PLS:
-      return estimate_localized(sample, d, costs, true, true, extra_attrs);
+      return estimate_localized(sample, d, costs, true, true, batched,
+                                extra_attrs);
   }
   throw ContractViolation("unknown strategy kind");
 }

@@ -34,9 +34,13 @@ struct AnalyticEstimate {
 
 /// Estimates the expected cost of `kind` on `sample` under `costs`.
 /// Signature variants estimate the screened task reduction with Table 2's
-/// R_ss formula.
+/// R_ss formula. With `batched` the estimate mirrors the wire under
+/// ShipmentBatcher framing: check tasks shrink to semijoin GOid shipping,
+/// per-message attr-sized headers disappear, and kBatchHeaderBytes is paid
+/// per estimated frame instead.
 [[nodiscard]] AnalyticEstimate estimate_strategy(
     StrategyKind kind, const SampleParams& sample,
-    const CostParams& costs = {}, std::size_t extra_attrs = 3);
+    const CostParams& costs = {}, std::size_t extra_attrs = 3,
+    bool batched = false);
 
 }  // namespace isomer

@@ -165,20 +165,27 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
     /// Ships a plan's check requests and announces their future verdicts.
     /// The plan's local (signature) verdicts are NOT handled here — the
     /// caller attaches them to whatever message carries them.
+    /// Under batching the request degrades to a semijoin: only the item
+    /// GOids (+ predicate indexes) travel, and the target re-derives the
+    /// assistant LOids from its replicated GOid table (serve() charges the
+    /// extra probes).
     void dispatch(SiteIndex from, const CheckPlan& plan) {
       state->verdicts_announced += plan.task_count();
       auto self = shared_from_this();
       for (const auto& [target, tasks] : plan.by_target)
-        env.ship(from, env.site_of(target),
-                 check_request_wire_bytes(env.costs(), tasks.size()),
-                 "C2 check request",
-                 [self, target, tasks] { self->serve(target, tasks); },
-                 // Abandoned request: its announced verdicts will never
-                 // come — account for them so certification can release.
-                 [self, n = tasks.size()](SiteIndex) {
-                   self->state->verdicts_received += n;
-                   maybe_certify(self->env, self->state);
-                 });
+        env.ship_record(
+            from, env.site_of(target),
+            env.batching()
+                ? semijoin_check_request_bytes(env.costs(), tasks)
+                : check_request_wire_bytes(env.costs(), tasks.size()),
+            "C2 check request",
+            [self, target, tasks] { self->serve(target, tasks); },
+            // Abandoned request: its announced verdicts will never
+            // come — account for them so certification can release.
+            [self, n = tasks.size()](SiteIndex) {
+              self->state->verdicts_received += n;
+              maybe_certify(self->env, self->state);
+            });
     }
 
     /// C3: serve a check request at its target database.
@@ -186,6 +193,9 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
       const SiteIndex site = env.site_of(target);
       auto outcome = std::make_shared<CheckOutcome>(
           run_checks(env.fed(), env.query(), target, tasks, signatures));
+      // Semijoin requests carry GOids, not assistant LOids: the target pays
+      // one replicated-GOid-table probe per task to re-derive them.
+      if (env.batching()) outcome->meter.table_probes += tasks.size();
       auto self = shared_from_this();
       SpanCounts counts;
       counts.objects_in = tasks.size();
@@ -203,9 +213,13 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
             verdicts->insert(verdicts->end(),
                              outcome->follow_up.local_verdicts.begin(),
                              outcome->follow_up.local_verdicts.end());
-            self->env.ship(
+            self->env.ship_record(
                 site, kGlobalSite,
-                check_response_wire_bytes(self->env.costs(), verdicts->size()),
+                self->env.batching()
+                    ? static_cast<Bytes>(verdicts->size()) *
+                          self->env.costs().verdict_bytes()
+                    : check_response_wire_bytes(self->env.costs(),
+                                                verdicts->size()),
                 "C3 verdicts",
                 [self, verdicts] {
                   self->state->verdicts_received += verdicts->size();
@@ -243,7 +257,7 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
           rows_wire_bytes(env.costs(), run->exec.rows) +
           static_cast<Bytes>(local_verdicts->size()) *
               env.costs().verdict_bytes();
-      env.ship(run->site, kGlobalSite, bytes, "C2 local results",
+      env.ship_record(run->site, kGlobalSite, bytes, "C2 local results",
                [&env, state, run, local_verdicts] {
                  state->locals.push_back(std::move(run->exec));
                  state->verdicts.insert(state->verdicts.end(),
@@ -322,14 +336,18 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
     // --- G1: ship the local query to the home database. An unreachable
     // home never evaluates: drop it from the pending count and certify from
     // whatever the live homes deliver.
-    env.ship(kGlobalSite, run->site,
-             env.costs().request_bytes(query.predicates.size()),
-             "G1 local query", eager_phase_o ? Simulator::Callback(run_o_eager)
-                                             : Simulator::Callback(run_p),
-             [&env, state](SiteIndex) {
-               --state->homes_pending;
-               maybe_certify(env, state);
-             });
+    // Batched frames carry one shared header (kBatchHeaderBytes), so each
+    // record drops its own per-message header (the request's S_a envelope).
+    env.ship_record(
+        kGlobalSite, run->site,
+        env.costs().request_bytes(query.predicates.size()) -
+            (env.batching() ? env.costs().attr_bytes : 0),
+        "G1 local query", eager_phase_o ? Simulator::Callback(run_o_eager)
+                                        : Simulator::Callback(run_p),
+        [&env, state](SiteIndex) {
+          --state->homes_pending;
+          maybe_certify(env, state);
+        });
   }
 }
 

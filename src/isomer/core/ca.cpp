@@ -126,7 +126,12 @@ void launch_ca(ExecEnv& env,
     const SiteIndex site = env.site_of(db);
     const ExecEnv::FailHandler give_up_on_site =
         [all_arrived](SiteIndex) { all_arrived->arrive(); };
-    env.ship(kGlobalSite, site, env.costs().request_bytes(0), "CA_G1 request",
+    // A CA_G1 request is pure header (request_bytes(0) == S_a); batched it
+    // contributes zero payload — the shared frame header carries it.
+    env.ship_record(
+        kGlobalSite, site,
+        env.batching() ? Bytes{0} : env.costs().request_bytes(0),
+        "CA_G1 request",
              [&env, db, site, shared, all_arrived, give_up_on_site] {
                // CA_C1: scan + project the involved constituent extents.
                AccessMeter scan_meter;
@@ -150,9 +155,10 @@ void launch_ca(ExecEnv& env,
                           counts,
                           [&env, site, out_bytes, all_arrived,
                            give_up_on_site] {
-                            env.ship(site, kGlobalSite, out_bytes,
-                                     "CA_C1 objects", all_arrived->arrival(),
-                                     give_up_on_site);
+                            env.ship_record(site, kGlobalSite, out_bytes,
+                                            "CA_C1 objects",
+                                            all_arrived->arrival(),
+                                            give_up_on_site);
                           });
              },
              give_up_on_site);

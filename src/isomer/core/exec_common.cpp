@@ -15,6 +15,7 @@ ExecEnv::ExecEnv(const Federation& federation, const GlobalQuery& query,
   sim_ = owned_sim_.get();
   cluster_ = owned_cluster_.get();
   init_faults();
+  init_batching();
 }
 
 ExecEnv::ExecEnv(const Federation& federation, const GlobalQuery& query,
@@ -25,6 +26,7 @@ ExecEnv::ExecEnv(const Federation& federation, const GlobalQuery& query,
   expects(cluster.component_count() == federation.db_count(),
           "shared cluster sized for a different federation");
   init_faults();
+  init_batching();
 }
 
 void ExecEnv::init_faults() {
@@ -34,6 +36,19 @@ void ExecEnv::init_faults() {
   // (derive_stream(base, trial) in the harness), the constant tags the
   // fault channel so other consumers of the same seed stay independent.
   fault_rng_ = Rng(derive_stream(options_.faults->seed, 0xFA17ULL));
+}
+
+void ExecEnv::init_batching() {
+  if (!options_.batch.enabled) return;
+  // Per-destination frames on the switched topologies (separate links) and
+  // under fault injection (outage/retry fate is a property of one
+  // destination); whole-sender frames on the broadcast media.
+  const bool per_destination =
+      faults_enabled_ ||
+      options_.topology == NetworkTopology::PointToPoint ||
+      options_.topology == NetworkTopology::Contentionless;
+  batcher_ =
+      std::make_unique<ShipmentBatcher>(*this, options_.batch, per_destination);
 }
 
 DbId ExecEnv::db_of(SiteIndex site) const {
@@ -154,6 +169,64 @@ void ExecEnv::ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
                std::move(on_fail));
 }
 
+void ExecEnv::ship_record(SiteIndex from, SiteIndex to, Bytes bytes,
+                          std::string step, Simulator::Callback delivered,
+                          FailHandler on_fail) {
+  if (batcher_ == nullptr) {
+    ship(from, to, bytes, std::move(step), std::move(delivered),
+         std::move(on_fail));
+    return;
+  }
+  batcher_->enqueue(from, to, bytes, std::move(step), std::move(delivered),
+                    std::move(on_fail));
+}
+
+void ShipmentBatcher::enqueue(SiteIndex from, SiteIndex to, Bytes bytes,
+                              std::string step, Simulator::Callback delivered,
+                              ExecEnv::FailHandler on_fail) {
+  const Key key{from, per_destination_ ? to : kBroadcast};
+  const auto [it, fresh] = pending_.try_emplace(key);
+  it->second.push_back(Record{to, bytes, std::move(step), std::move(delivered),
+                              std::move(on_fail)});
+  if (options_.max_records != 0 && it->second.size() >= options_.max_records) {
+    // Cap reached: ship now. A flush already scheduled for this key finds
+    // the (re-created-or-empty) entry and handles whatever arrived since.
+    flush(key);
+    return;
+  }
+  if (fresh)
+    env_->sim().schedule_after(0, [this, key]() { flush(key); });
+}
+
+void ShipmentBatcher::flush(const Key& key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end() || it->second.empty()) {
+    if (it != pending_.end()) pending_.erase(it);
+    return;
+  }
+  auto records = std::make_shared<std::vector<Record>>(std::move(it->second));
+  pending_.erase(it);
+  Bytes frame_bytes = kBatchHeaderBytes;
+  for (const Record& record : *records) frame_bytes += record.bytes;
+  // On a broadcast key the frame's wire endpoint is the first record's
+  // destination — the medium is shared, so only the byte count matters for
+  // timing/accounting, but Cluster::transfer wants concrete endpoints.
+  const SiteIndex to = records->front().to;
+  env_->ship(
+      key.from, to, frame_bytes,
+      "comm.batch/" + std::to_string(records->size()),
+      [records]() {
+        for (Record& record : *records) record.delivered();
+      },
+      [records](SiteIndex suspect) {
+        for (Record& record : *records) {
+          expects(record.on_fail != nullptr,
+                  "DegradeMode::Partial shipment needs a fail handler");
+          record.on_fail(suspect);
+        }
+      });
+}
+
 void ExecEnv::attempt_ship(SiteIndex from, SiteIndex to, Bytes bytes,
                            std::string step, int attempt,
                            Simulator::Callback delivered,
@@ -268,7 +341,9 @@ Bytes rows_wire_bytes(const CostParams& costs,
                    static_cast<Bytes>(v.as_global_ref_set().size());
           break;
         case ValueKind::LocalRefSet:
-          total += costs.loid_bytes *
+          // References are globalized before transfer (Fig. 6): set-valued
+          // ones travel as GOids exactly like single LocalRefs above.
+          total += costs.goid_bytes *
                    static_cast<Bytes>(v.as_local_ref_set().size());
           break;
         default:
@@ -289,6 +364,14 @@ Bytes check_request_wire_bytes(const CostParams& costs, std::size_t tasks) {
 Bytes check_response_wire_bytes(const CostParams& costs,
                                 std::size_t verdicts) {
   return costs.attr_bytes + static_cast<Bytes>(verdicts) * costs.verdict_bytes();
+}
+
+Bytes semijoin_check_request_bytes(const CostParams& costs,
+                                   const std::vector<CheckTask>& tasks) {
+  Bytes total = 0;
+  for (const CheckTask& task : tasks)
+    total += costs.semijoin_task_bytes(task.origin != task.item);
+  return total;
 }
 
 std::map<std::string, std::set<std::size_t>> involved_attributes(

@@ -103,6 +103,22 @@ class ExecEnv {
   void ship(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
             Simulator::Callback delivered, FailHandler on_fail = nullptr);
 
+  /// Ships one batchable protocol record. With batching disabled (the
+  /// default) this forwards to ship() unchanged — bitwise-identical
+  /// executions. With StrategyOptions::batch.enabled, the record is
+  /// enqueued on the ShipmentBatcher instead: records that become ready at
+  /// the same simulated instant under the same frame key coalesce into one
+  /// "comm.batch/<n>" wire transfer of kBatchHeaderBytes + the records'
+  /// payload bytes, and every record's `delivered` fires when the frame
+  /// arrives. Callers pass *batched* payload sizes (per-message headers
+  /// dropped — the frame header replaces them).
+  void ship_record(SiteIndex from, SiteIndex to, Bytes bytes,
+                   std::string step, Simulator::Callback delivered,
+                   FailHandler on_fail = nullptr);
+
+  /// True when the batched shipment layer is active for this execution.
+  [[nodiscard]] bool batching() const noexcept { return batcher_ != nullptr; }
+
   /// Folds a site-local meter into the run-wide work aggregate.
   void aggregate(const AccessMeter& meter) { work_ += meter; }
 
@@ -134,6 +150,7 @@ class ExecEnv {
   void close_span(const std::shared_ptr<obs::PhaseSpan>& span) const;
 
   void init_faults();
+  void init_batching();
   [[nodiscard]] DbId db_of(SiteIndex site) const;
   /// The fault-free wire transfer (trace event + span + cluster transfer).
   void transfer_traced(SiteIndex from, SiteIndex to, Bytes bytes,
@@ -162,6 +179,57 @@ class ExecEnv {
   std::set<DbId> dead_;
   std::uint64_t retries_ = 0;
   std::uint64_t failed_messages_ = 0;
+
+  // Batched shipment layer; null (one pointer test per ship_record) unless
+  // StrategyOptions::batch.enabled.
+  std::unique_ptr<class ShipmentBatcher> batcher_;
+};
+
+/// Coalesces same-instant protocol records into framed wire transfers
+/// (StrategyOptions::batch). A frame key is the sending site — on the
+/// shared-medium topologies (SharedBus, CollisionBus) one frame carries a
+/// sender's whole same-instant output and the records' destinations read it
+/// off the broadcast medium — or the (from, to) pair on the switched
+/// topologies (PointToPoint, Contentionless) and whenever a fault plan is
+/// active, so outage/retry semantics stay per-destination. The first record
+/// under a key schedules a flush at the *same* simulated instant
+/// (schedule_after(0) runs after the already-queued events), so every
+/// same-instant record joins the frame; BatchOptions::max_records caps a
+/// frame, flushing it early. Each frame ships as one
+/// "comm.batch/<record count>" transfer of kBatchHeaderBytes + the records'
+/// payload bytes through ExecEnv::ship — under a fault plan the whole frame
+/// is retried/abandoned as a unit and every record's fail handler fires.
+class ShipmentBatcher {
+ public:
+  ShipmentBatcher(ExecEnv& env, const BatchOptions& options,
+                  bool per_destination)
+      : env_(&env), options_(options), per_destination_(per_destination) {}
+
+  void enqueue(SiteIndex from, SiteIndex to, Bytes bytes, std::string step,
+               Simulator::Callback delivered, ExecEnv::FailHandler on_fail);
+
+ private:
+  struct Record {
+    SiteIndex to;
+    Bytes bytes;
+    std::string step;
+    Simulator::Callback delivered;
+    ExecEnv::FailHandler on_fail;
+  };
+  /// Frame key; `to` is kBroadcast under shared-medium keying.
+  struct Key {
+    SiteIndex from;
+    SiteIndex to;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+  static constexpr SiteIndex kBroadcast = static_cast<SiteIndex>(-1);
+
+  void flush(const Key& key);
+
+  ExecEnv* env_;
+  BatchOptions options_;
+  bool per_destination_;
+  std::map<Key, std::vector<Record>> pending_;
 };
 
 /// Sets up one strategy execution on `env`'s simulator without running it;
@@ -174,8 +242,9 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
                       std::function<void(QueryResult, SimTime)> on_done);
 
 /// Wire size of a local-result message: per row the root LOid and entity
-/// GOid, every non-null target value, and per unsolved predicate the item
-/// GOid + step/index bookkeeping.
+/// GOid, every non-null target value (references — single or set-valued —
+/// travel as GOids after mapping, per CostParams::projected_object_bytes),
+/// and per unsolved predicate the item GOid + step/index bookkeeping.
 [[nodiscard]] Bytes rows_wire_bytes(const CostParams& costs,
                                     const std::vector<LocalRow>& rows);
 
@@ -184,6 +253,14 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
 
 [[nodiscard]] Bytes check_response_wire_bytes(const CostParams& costs,
                                               std::size_t verdicts);
+
+/// Batched payload of one check-request message: the semijoin reduction
+/// ships per task only the item GOid + predicate index (plus the origin
+/// GOid on cascaded tasks) — CostParams::semijoin_task_bytes — because the
+/// assistant site re-derives the assistant LOid from its replicated GOid
+/// table and already holds the query text from the G1 broadcast.
+[[nodiscard]] Bytes semijoin_check_request_bytes(
+    const CostParams& costs, const std::vector<CheckTask>& tasks);
 
 /// Global attributes each global class contributes to the query (targets,
 /// predicates, and the references navigated on the way) — what the

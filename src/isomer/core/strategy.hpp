@@ -50,6 +50,20 @@ inline constexpr StrategyKind kAllStrategies[] = {
 inline constexpr StrategyKind kPaperStrategies[] = {
     StrategyKind::CA, StrategyKind::BL, StrategyKind::PL};
 
+/// Batched shipment layer (core/exec_common.hpp: ShipmentBatcher).
+/// Disabled by default; when enabled, same-(from,to,phase) shipments that
+/// become ready at the same simulated instant coalesce into one wire frame
+/// of kBatchHeaderBytes + the records' payload bytes, and the assistant
+/// check requests degrade to semijoin GOid shipping
+/// (CostParams::semijoin_task_bytes). With `enabled == false` every
+/// execution is bitwise identical to a build without the batching layer.
+struct BatchOptions {
+  bool enabled = false;
+  /// Flush a frame once it holds this many records (0 = unbounded: flush
+  /// only when the simulated instant ends).
+  std::size_t max_records = 0;
+};
+
 struct StrategyOptions {
   CostParams costs{};
   NetworkTopology topology = NetworkTopology::SharedBus;
@@ -80,6 +94,8 @@ struct StrategyOptions {
   /// What to do once retries are exhausted: abort the query (Fail) or
   /// degrade gracefully per fault/degrade.hpp (Partial).
   fault::DegradeMode degrade = fault::DegradeMode::Fail;
+  /// Batched semijoin shipping; off by default (see BatchOptions).
+  BatchOptions batch{};
 };
 
 /// The simulated execution's outcome: the logical answer plus the two cost

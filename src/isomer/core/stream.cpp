@@ -34,6 +34,11 @@ StreamReport run_query_stream(const Federation& federation,
   // Each execution keeps its own env (trace, meters, query binding) but all
   // envs drive the one simulator/cluster. Envs live in stable storage
   // because the deferred callbacks hold references to them.
+  // StrategyOptions::batch flows through the per-query copy, so each
+  // execution runs its own ShipmentBatcher: same-instant records of ONE
+  // query coalesce, frames of different queries still contend for the
+  // shared medium individually (batching is an executor behavior, not a
+  // network one).
   std::vector<std::unique_ptr<detail::ExecEnv>> envs;
   envs.reserve(stream.size());
   for (std::size_t i = 0; i < stream.size(); ++i) {

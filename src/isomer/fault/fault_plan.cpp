@@ -1,6 +1,8 @@
 #include "isomer/fault/fault_plan.hpp"
 
 #include <cstdlib>
+#include <functional>
+#include <set>
 
 #include "isomer/common/error.hpp"
 
@@ -70,6 +72,15 @@ double parse_real(std::string_view spec, std::string_view text) {
 
 FaultSpec parse_fault_spec(std::string_view spec) {
   FaultSpec out;
+  // Every scalar key may appear at most once: a repeated key is almost
+  // always a typo'd sweep script, and silently letting the last occurrence
+  // win hides it. Only `down` is repeatable — each occurrence *adds* an
+  // outage window rather than overwriting a setting.
+  std::set<std::string, std::less<>> seen;
+  const auto note_scalar = [&](std::string_view key) {
+    if (!seen.emplace(key).second)
+      bad_spec(spec, "duplicate key '" + std::string(key) + "'");
+  };
   std::size_t begin = 0;
   while (begin <= spec.size()) {
     const std::size_t comma = spec.find(',', begin);
@@ -91,10 +102,12 @@ FaultSpec parse_fault_spec(std::string_view spec) {
       bad_spec(spec, "item '" + std::string(item) + "' has no value");
 
     if (key == "drop") {
+      note_scalar(key);
       out.plan.drop_probability = parse_real(spec, value);
       if (out.plan.drop_probability > 1)
         bad_spec(spec, "drop probability must be in [0, 1]");
     } else if (key == "spike") {
+      note_scalar(key);
       const std::size_t colon = value.find(':');
       if (colon == std::string_view::npos)
         bad_spec(spec, "spike wants 'PROB:DURATION'");
@@ -126,24 +139,29 @@ FaultSpec parse_fault_spec(std::string_view spec) {
       }
       out.plan.outages.push_back(outage);
     } else if (key == "seed") {
+      note_scalar(key);
       std::size_t pos = 0;
       out.plan.seed = parse_uint(spec, value, pos);
       if (pos != value.size()) bad_spec(spec, "trailing junk after seed");
     } else if (key == "retries") {
+      note_scalar(key);
       std::size_t pos = 0;
       out.retry.max_retries = static_cast<int>(parse_uint(spec, value, pos));
       if (pos != value.size()) bad_spec(spec, "trailing junk after retries");
     } else if (key == "timeout") {
+      note_scalar(key);
       std::size_t pos = 0;
       out.retry.timeout_ns = parse_duration(spec, value, pos);
       if (pos != value.size()) bad_spec(spec, "trailing junk after timeout");
       if (out.retry.timeout_ns <= 0)
         bad_spec(spec, "timeout must be positive");
     } else if (key == "backoff") {
+      note_scalar(key);
       std::size_t pos = 0;
       out.retry.backoff_ns = parse_duration(spec, value, pos);
       if (pos != value.size()) bad_spec(spec, "trailing junk after backoff");
     } else if (key == "degrade") {
+      note_scalar(key);
       if (value == "fail")
         out.degrade = DegradeMode::Fail;
       else if (value == "partial")

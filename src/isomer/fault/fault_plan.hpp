@@ -120,6 +120,10 @@ struct FaultSpec {
 ///            | 'degrade=' ('fail' | 'partial')
 ///   DUR     := INT ('ns' | 'us' | 'ms' | 's')
 ///
+/// Every scalar key (everything except 'down') may appear at most once; a
+/// repeated one is a hard parse error, not last-one-wins. 'down' is
+/// repeatable: each occurrence adds another outage window.
+///
 /// Example: "drop=0.05,spike=0.1:1ms,down=2,retries=4,degrade=partial".
 [[nodiscard]] FaultSpec parse_fault_spec(std::string_view spec);
 

@@ -21,8 +21,16 @@ PathResolution& EvalCache::resolution(const PathExpr& path) {
   for (const auto& [key, res] : mru_)
     if (key == &path && res->steps() == path.steps()) return *res;
   std::unique_ptr<PathResolution>& slot = by_path_[&path];
-  if (slot == nullptr || slot->steps() != path.steps())
+  if (slot == nullptr || slot->steps() != path.steps()) {
+    // Rebuilding the slot deletes the old PathResolution; any MRU entry
+    // still pointing at it would dangle and the scan above would read it on
+    // the next address-reused lookup. Scrub those entries first (a null key
+    // can never equal &path, so scrubbed pairs are inert).
+    if (slot != nullptr)
+      for (auto& entry : mru_)
+        if (entry.second == slot.get()) entry = {nullptr, nullptr};
     slot = std::make_unique<PathResolution>(path);
+  }
   mru_[mru_next_] = {&path, slot.get()};
   mru_next_ = (mru_next_ + 1) % mru_.size();
   return *slot;

@@ -71,7 +71,10 @@ class EvalCache {
   /// address but verified against its steps, so a temporary reusing a dead
   /// path's address cannot alias a stale resolution. A tiny MRU ring in
   /// front of the map makes the per-object re-lookup of a conjunction's
-  /// few paths a pointer scan.
+  /// few paths a pointer scan; when an address-reuse forces a slot rebuild,
+  /// ring entries pointing at the replaced resolution are scrubbed so the
+  /// scan never touches freed memory (test_eval_cache:
+  /// AddressReusePoisoning).
   [[nodiscard]] PathResolution& resolution(const PathExpr& path);
 
   /// schema().cls(name) behind a one-entry memo (compared by value): an

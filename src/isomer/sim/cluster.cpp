@@ -60,7 +60,12 @@ void Cluster::transfer(SiteIndex from, SiteIndex to, Bytes bytes,
   }
   if (topology_ == NetworkTopology::CollisionBus) {
     // Collisions burn bandwidth in proportion to the backlog present when
-    // this transfer starts contending for the medium.
+    // this transfer starts contending for the medium. The backlog count k
+    // is per-Cluster state mutated only from simulator callbacks, and every
+    // Monte-Carlo trial owns a private Simulator+Cluster pair — so k (and
+    // the (1 + alpha*k) factor) depends only on the trial's own
+    // deterministic event order, never on --jobs scheduling across trials
+    // (test_harness_determinism: RunPointIdenticalOnCollisionBus).
     duration += static_cast<SimTime>(
         static_cast<double>(duration) * params_.collision_alpha *
         static_cast<double>(pending_transfers_));

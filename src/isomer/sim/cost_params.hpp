@@ -24,6 +24,13 @@ namespace isomer {
 
 using Bytes = std::uint64_t;
 
+/// Framing overhead of one batched wire frame (core/exec_common.hpp:
+/// ShipmentBatcher): source/destination site ids, a record count, a phase
+/// tag and a checksum. Charged once per frame on top of the records'
+/// payload bytes, replacing the per-message headers the records drop when
+/// they travel batched.
+inline constexpr Bytes kBatchHeaderBytes = 32;
+
 struct CostParams {
   // --- sizes (bytes) ---
   Bytes attr_bytes = 32;  ///< S_a
@@ -91,6 +98,17 @@ struct CostParams {
   /// Wire size of one tri-state check verdict (item GOid + predicate index
   /// + truth).
   [[nodiscard]] Bytes verdict_bytes() const noexcept { return goid_bytes + 8; }
+
+  /// Wire size of one *semijoin* assistant-check task (batched shipping
+  /// only): the item's GOid plus a predicate index — the assistant site
+  /// re-derives the assistant LOid from its replicated GOid table
+  /// (federation/goid_table.hpp) and already knows the query's predicates
+  /// from the G1 broadcast, so neither travels per task. A cascaded task
+  /// additionally carries the originating row's GOid so verdicts key back
+  /// to it.
+  [[nodiscard]] Bytes semijoin_task_bytes(bool cascaded) const noexcept {
+    return goid_bytes + 8 + (cascaded ? goid_bytes : 0);
+  }
 
   /// Bytes read from disk for the objects recorded in a meter: every
   /// scanned/fetched object contributes its OID plus its attribute slots

@@ -7,6 +7,8 @@
 // multi-valued references cover every evaluator branch.
 #include <gtest/gtest.h>
 
+#include <new>
+
 #include "isomer/query/eval.hpp"
 #include "isomer/query/eval_cache.hpp"
 #include "isomer/schema/translate.hpp"
@@ -134,6 +136,52 @@ TEST(CachedEval, CacheReuseAcrossRepeatedEvaluation) {
     }
     EXPECT_EQ(uncached_meter, cached_meter);
   }
+}
+
+TEST(CachedEval, AddressReusePoisoning) {
+  // Resolutions are keyed by the PathExpr's address; a path can die and a
+  // different one be constructed at the same address (trials build their
+  // queries as temporaries). The map slot is verified against the steps, but
+  // the MRU ring in front of it is identity-based: when an address reuse
+  // forces a slot rebuild, ring entries pointing at the deleted
+  // PathResolution must be scrubbed, or the next lookup at that address
+  // scans freed memory (a use-after-free under ASan; a potential stale
+  // resolution in plain builds).
+  Rng rng(7);
+  ParamConfig config;
+  config.n_objects = {10, 20};
+  const SynthFederation synth = materialize_sample(draw_sample(config, rng));
+  const Federation& fed = *synth.federation;
+  EvalCache cache(fed.db(fed.db_ids().front()));
+
+  alignas(PathExpr) unsigned char storage[sizeof(PathExpr)];
+  const auto construct = [&](const char* text) {
+    return new (storage) PathExpr(PathExpr::parse(text));
+  };
+
+  PathExpr* path = construct("alpha.beta");
+  PathResolution* first = &cache.resolution(*path);
+  EXPECT_EQ(first->steps(), path->steps());
+  // The repeat lookup is served by the MRU ring, seeding the identity entry
+  // the scrub must later clear.
+  EXPECT_EQ(&cache.resolution(*path), first);
+
+  // Same address, different steps: the slot is rebuilt (deleting the first
+  // resolution) and the ring entry for it must be scrubbed here.
+  path->~PathExpr();
+  path = construct("gamma");
+  const PathResolution& second = cache.resolution(*path);
+  EXPECT_EQ(second.steps(), path->steps());
+
+  // Same address, the original steps again: before the scrub, the ring
+  // still held (address, deleted-first) and the identity scan dereferenced
+  // freed memory — and, when the allocator had not recycled it, served the
+  // stale resolution. After the scrub this misses and rebuilds.
+  path->~PathExpr();
+  path = construct("alpha.beta");
+  const PathResolution& third = cache.resolution(*path);
+  EXPECT_EQ(third.steps(), path->steps());
+  path->~PathExpr();
 }
 
 }  // namespace

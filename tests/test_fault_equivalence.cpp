@@ -99,6 +99,64 @@ TEST_P(FaultEquivalence, StrategiesAgreeUnderPartialDegradation) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultEquivalence,
                          ::testing::Range<std::uint64_t>(1, 201));
 
+class BatchedFaultEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedFaultEquivalence, BatchingPreservesTheDegradedPartition) {
+  // Batching reshapes attempts into frames, which shifts the per-attempt
+  // fault RNG draws (timing and retry counts may move) — but never which
+  // sites get contacted. With permanent planned outages and retries=8
+  // (random death by consecutive drops statistically absent), the observed
+  // dead set, and therefore the (certain, maybe, unavailable) partition,
+  // must match the unbatched run exactly.
+  Rng rng(GetParam());
+  const std::size_t n_db = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  const SampleParams sample = draw_sample(small_config(n_db), rng);
+  const SynthFederation synth = materialize_sample(sample);
+
+  fault::FaultPlan plan;
+  plan.seed = derive_stream(0xBA7C'0000ULL, GetParam());
+  for (const DbId db : synth.federation->db_ids())
+    if (rng.bernoulli(0.3))
+      plan.outages.push_back(fault::Outage{db, 0, fault::kForever});
+  if (rng.bernoulli(0.5))
+    plan.drop_probability = rng.uniform_real(0.01, 0.15);
+
+  StrategyOptions options;
+  options.faults = &plan;
+  options.retry.max_retries = 8;
+  options.degrade = fault::DegradeMode::Partial;
+  StrategyOptions batched = options;
+  batched.batch.enabled = true;
+
+  for (const StrategyKind kind : kPaperStrategies) {
+    const StrategyReport plain =
+        execute_strategy(kind, *synth.federation, synth.query, options);
+    const StrategyReport framed =
+        execute_strategy(kind, *synth.federation, synth.query, batched);
+
+    std::set<DbId> observed;
+    for (const DbId db : framed.unavailable_sites) {
+      EXPECT_TRUE(plan.down(db, 0))
+          << to_string(kind) << " (batched) declared live DB" << db.value()
+          << " dead on seed " << GetParam();
+      observed.insert(db);
+    }
+    EXPECT_EQ(framed.result, fault::degraded_reference(*synth.federation,
+                                                       synth.query, observed))
+        << to_string(kind)
+        << " (batched) diverged from the degraded reference on seed "
+        << GetParam();
+    EXPECT_EQ(framed.result, plain.result)
+        << to_string(kind)
+        << " batched and unbatched partitions diverged on seed "
+        << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedFaultEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
 TEST(FaultFreePath, ZeroFaultPlanIsBitwiseIdenticalToNoPlan) {
   for (const std::uint64_t seed : {3ULL, 17ULL, 42ULL}) {
     Rng rng(seed);
@@ -213,7 +271,8 @@ TEST(FaultSpecParser, RejectsMalformedSpecs) {
        {"", "drop", "drop=", "drop=1.5", "drop=-0.1", "drop=abc",
         "spike=0.5", "spike=0.5:10", "spike=2:1ms", "down=", "down=1@5ms",
         "down=1@5ms..2ms", "timeout=0ns", "timeout=5", "retries=x",
-        "degrade=maybe", "bogus=1", "drop=0.1,,spike=0.1:1ms"})
+        "degrade=maybe", "bogus=1", "drop=0.1,,spike=0.1:1ms",
+        "drop=0.1,drop=0.2", "seed=1,down=2,seed=1"})
     EXPECT_THROW((void)fault::parse_fault_spec(bad), FaultError) << bad;
 }
 

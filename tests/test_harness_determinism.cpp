@@ -70,6 +70,59 @@ TEST(HarnessDeterminism, RunPointIdenticalOnCollisionBus) {
   expect_bitwise_equal(serial, parallel);
 }
 
+TEST(HarnessDeterminism, FaultedRunPointIdenticalOnCollisionBus) {
+  // The CollisionBus (1 + alpha*k) pending-count is per-Cluster state: every
+  // trial owns a private Simulator+Cluster pair, so the backlog k a transfer
+  // observes is a function of that trial's event order alone, never of how
+  // many trials run concurrently. Faults + retries make this the stress
+  // case — retransmissions are extra transfers that would skew k if any
+  // state leaked across threads.
+  const bench::HarnessOptions options = tiny_options();
+  const fault::FaultSpec faults = fault::parse_fault_spec(
+      "drop=0.1,spike=0.2:1ms,down=2,seed=5,retries=8,degrade=partial");
+  const std::vector<StrategyKind> kinds = {StrategyKind::CA, StrategyKind::BL,
+                                           StrategyKind::PL};
+  const ParamConfig config = tiny_config();
+  const std::vector<SeriesPoint> serial =
+      bench::run_point(config, kinds, options.samples, options.seed, 1,
+                       NetworkTopology::CollisionBus, 0.3, nullptr, &faults);
+  EXPECT_GT(serial[0].retries, 0.0);
+  for (const int jobs : {2, 4}) {
+    const std::vector<SeriesPoint> parallel =
+        bench::run_point(config, kinds, options.samples, options.seed, jobs,
+                         NetworkTopology::CollisionBus, 0.3, nullptr,
+                         &faults);
+    expect_bitwise_equal(serial, parallel);
+  }
+}
+
+TEST(HarnessDeterminism, BatchedRunPointIdenticalAcrossJobCounts) {
+  // --batch=on must stay --jobs-invariant like everything else, and must
+  // actually engage: coalescing can only merge messages, never add any.
+  const bench::HarnessOptions options = tiny_options();
+  BatchOptions batch;
+  batch.enabled = true;
+  const std::vector<StrategyKind> kinds = {StrategyKind::CA, StrategyKind::BL,
+                                           StrategyKind::PL};
+  const ParamConfig config = tiny_config();
+  const std::vector<SeriesPoint> plain = bench::run_point(
+      config, kinds, options.samples, options.seed, /*jobs=*/1);
+  const std::vector<SeriesPoint> serial =
+      bench::run_point(config, kinds, options.samples, options.seed, 1,
+                       NetworkTopology::SharedBus, 0.3, nullptr, nullptr,
+                       &batch);
+  for (std::size_t k = 0; k < kinds.size(); ++k)
+    EXPECT_LT(serial[k].messages, plain[k].messages)
+        << to_string(kinds[k]) << " shipped no fewer frames than messages";
+  for (const int jobs : {2, 4}) {
+    const std::vector<SeriesPoint> parallel =
+        bench::run_point(config, kinds, options.samples, options.seed, jobs,
+                         NetworkTopology::SharedBus, 0.3, nullptr, nullptr,
+                         &batch);
+    expect_bitwise_equal(serial, parallel);
+  }
+}
+
 TEST(HarnessDeterminism, TrialsSeeIdenticalStreamsAtAnyJobCount) {
   constexpr int kSamples = 16;
   std::vector<std::uint64_t> serial(kSamples), parallel(kSamples);

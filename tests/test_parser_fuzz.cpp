@@ -172,6 +172,31 @@ TEST(ParserGarbage, ArbitraryPrintableStringsNeverCrashTheParser) {
   }
 }
 
+TEST(FaultSpecDuplicates, RepeatedScalarKeysAreHardErrors) {
+  // Last-one-wins on a repeated key silently discards half the operator's
+  // intent (e.g. "drop=0.3,drop=0.05" benchmarking far gentler faults than
+  // requested); every scalar key may appear at most once.
+  const char* const duplicated[] = {
+      "drop=0.1,drop=0.2",
+      "spike=0.1:1ms,spike=0.2:2ms",
+      "seed=1,down=2,seed=3",
+      "retries=4,retries=4",
+      "timeout=1ms,drop=0.1,timeout=2ms",
+      "backoff=500us,backoff=500us",
+      "degrade=partial,degrade=full",
+  };
+  for (const char* spec : duplicated)
+    EXPECT_THROW((void)fault::parse_fault_spec(spec), FaultError) << spec;
+}
+
+TEST(FaultSpecDuplicates, DownIsRepeatable) {
+  // 'down' is additive, not scalar: each occurrence contributes another
+  // outage window, so repeating it must keep parsing.
+  const fault::FaultSpec spec =
+      fault::parse_fault_spec("down=2,down=3@5ms..20ms,down=2");
+  EXPECT_EQ(spec.plan.outages.size(), 3u);
+}
+
 TEST(FaultSpecMutation, CorruptedSpecsFailCleanlyOrParse) {
   const std::string valid =
       "drop=0.05,spike=0.1:1ms,down=2,down=3@5ms..20ms,seed=9,retries=4,"

@@ -42,6 +42,85 @@ TEST_P(StrategyEquivalence, AllStrategiesAgreeOnRandomWorkloads) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalence,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+class BatchedStrategyEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedStrategyEquivalence, BatchingNeverChangesAnswers) {
+  // Shipment batching (ShipmentBatcher) reshapes the wire — same-instant
+  // shipments coalesce into frames, check requests degrade to GOid
+  // semijoins — but the answer must stay exactly the reference one, and a
+  // frame always replaces >= 1 message, so the message count can only drop.
+  Rng rng(GetParam());
+  const std::size_t n_db = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  const SampleParams sample = draw_sample(small_config(n_db), rng);
+  const SynthFederation synth = materialize_sample(sample);
+  ASSERT_TRUE(synth.federation->check_consistency().empty());
+
+  const QueryResult expected =
+      reference_answer(*synth.federation, synth.query);
+  StrategyOptions batched;
+  batched.batch.enabled = true;
+  for (const StrategyKind kind : kAllStrategies) {
+    const StrategyReport plain =
+        execute_strategy(kind, *synth.federation, synth.query);
+    const StrategyReport framed =
+        execute_strategy(kind, *synth.federation, synth.query, batched);
+    EXPECT_EQ(framed.result, expected)
+        << to_string(kind) << " diverged batched on seed " << GetParam();
+    EXPECT_LE(framed.messages, plain.messages) << to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedStrategyEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(BatchedStrategies, RecordCapStillAgrees) {
+  // max_records forces mid-instant synchronous flushes (and leaves the
+  // originally scheduled flush to no-op); the answers must not move.
+  Rng rng(23);
+  StrategyOptions batched;
+  batched.batch.enabled = true;
+  batched.batch.max_records = 2;
+  for (int i = 0; i < 10; ++i) {
+    const SampleParams sample = draw_sample(small_config(3), rng);
+    const SynthFederation synth = materialize_sample(sample);
+    const QueryResult expected =
+        reference_answer(*synth.federation, synth.query);
+    for (const StrategyKind kind : kPaperStrategies) {
+      const StrategyReport framed =
+          execute_strategy(kind, *synth.federation, synth.query, batched);
+      EXPECT_EQ(framed.result, expected)
+          << to_string(kind) << " diverged with max_records=2 on trial " << i;
+    }
+  }
+}
+
+TEST(BatchedStrategies, LocalizedStrategiesShipNoMoreBytesInAggregate) {
+  // Semijoin requests shrink every check task from check_task_bytes to a
+  // GOid + index, and frame headers replace per-message headers. A single
+  // task-free trial can pay a few header bytes net, so the guarantee — like
+  // the paper's — is about workloads, not corner trials: summed over random
+  // workloads BL and PL ship no more batched than plain.
+  Rng rng(11);
+  StrategyOptions batched;
+  batched.batch.enabled = true;
+  Bytes plain_total = 0, framed_total = 0;
+  for (int i = 0; i < 10; ++i) {
+    const SampleParams sample = draw_sample(small_config(4), rng);
+    const SynthFederation synth = materialize_sample(sample);
+    for (const StrategyKind kind : {StrategyKind::BL, StrategyKind::PL}) {
+      const StrategyReport plain =
+          execute_strategy(kind, *synth.federation, synth.query);
+      const StrategyReport framed =
+          execute_strategy(kind, *synth.federation, synth.query, batched);
+      EXPECT_EQ(framed.result, plain.result) << to_string(kind);
+      plain_total += plain.bytes_transferred;
+      framed_total += framed.bytes_transferred;
+    }
+  }
+  EXPECT_LE(framed_total, plain_total);
+}
+
 TEST(StrategyDeterminism, RepeatedRunsAreBitIdentical) {
   Rng rng(7);
   const SampleParams sample = draw_sample(small_config(3), rng);
