@@ -1,0 +1,289 @@
+// Serving-layer experiment — throughput and latency percentiles vs load.
+//
+// The figure harnesses measure one query at a time; bench_stream measures a
+// fixed schedule. This harness measures the full serving stack
+// (serve/server.hpp): queries *arrive*, pass admission, and a scheduling
+// policy picks what runs next. Two panels:
+//
+//  1. Open loop: Poisson arrivals swept from light load to past the
+//     cluster's calibrated capacity, per scheduling policy — throughput and
+//     p50/p95/p99 latency per offered-load fraction. As the offered rate
+//     crosses capacity, queueing delay dominates and the tail percentiles
+//     blow up first.
+//  2. Closed loop: N think-less clients over a bounded concurrency,
+//     FIFO vs shortest-predicted-cost — the classic SJF result, mean
+//     latency drops when short queries overtake long ones in the queue.
+//
+// Percentiles printed here are exact nearest-rank values over the
+// completed submissions of all --samples trials (not the power-of-two
+// histogram estimates; those go to --trace via the metrics summary). Every
+// trial derives its own RNG stream and results reduce in trial order, so
+// all output is byte-identical at any --jobs value. Composes with
+// --faults (per-trial derived fault streams), --batch and --serve (which
+// overrides the pool size-independent spec knobs: n, queue, inflight,
+// think, clients, seed).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+#include "isomer/serve/planner.hpp"
+#include "isomer/serve/server.hpp"
+#include "isomer/workload/arrivals.hpp"
+
+namespace {
+
+using namespace isomer;
+
+/// Latencies of one (load, policy) cell, pooled across trials.
+struct CellStats {
+  std::vector<SimTime> latencies;  ///< completed submissions, trial order
+  double throughput_sum = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  int trials = 0;
+
+  void fold(const serve::ServeReport& report) {
+    for (const serve::ServeOutcome& outcome : report.outcomes)
+      if (!outcome.rejected) latencies.push_back(outcome.latency());
+    throughput_sum += report.throughput_qps();
+    completed += report.completed;
+    rejected += report.rejected;
+    ++trials;
+  }
+
+  [[nodiscard]] double mean_ms() const {
+    if (latencies.empty()) return 0;
+    double total = 0;
+    for (const SimTime latency : latencies) total += to_milliseconds(latency);
+    return total / static_cast<double>(latencies.size());
+  }
+
+  /// Exact nearest-rank percentile over the pooled latencies, milliseconds.
+  [[nodiscard]] double percentile_ms(double q) {
+    if (latencies.empty()) return 0;
+    std::sort(latencies.begin(), latencies.end());
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(latencies.size())));
+    if (rank == 0) rank = 1;
+    return to_milliseconds(latencies[rank - 1]);
+  }
+
+  [[nodiscard]] double throughput() const {
+    return trials == 0 ? 0 : throughput_sum / trials;
+  }
+};
+
+/// One serve() trial under the harness's fault/batch composition.
+serve::ServeReport run_trial(const Federation& federation,
+                             const std::vector<serve::ServeRequest>& pool,
+                             serve::ServeSpec spec, std::size_t trial,
+                             const bench::HarnessOptions& options,
+                             std::vector<obs::TraceSession>* sessions) {
+  serve::ServeOptions serve_options;
+  serve_options.exec.record_trace = false;
+  serve_options.exec.batch = options.batch;
+  serve_options.sessions = sessions;
+  fault::FaultPlan plan;
+  if (options.faults_set && options.faults.plan.enabled()) {
+    // Same trial-seed mixing as run_point: each trial faces its own
+    // reproducible fault environment (serve() further derives one stream
+    // per submission from this).
+    plan = options.faults.plan;
+    plan.seed = derive_stream(
+        derive_stream(options.seed, options.faults.plan.seed), trial);
+    serve_options.exec.faults = &plan;
+    serve_options.exec.retry = options.faults.retry;
+    serve_options.exec.degrade = options.faults.degrade;
+  }
+  spec.seed = derive_stream(derive_stream(options.seed, spec.seed), trial);
+  return serve::serve(federation, pool, spec, serve_options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace isomer;
+  bench::HarnessOptions options = bench::parse_options(argc, argv);
+  // Serving runs execute n_queries full strategy simulations per trial, so
+  // the unset defaults are lighter than the figure sweeps'.
+  if (!options.samples_set) options.samples = 3;
+  if (!options.scale_set) options.scale = 0.1;
+
+  // One federation for the whole experiment (the serving layer multiplexes
+  // queries over one deployment; re-drawing it per trial would measure the
+  // generator, not the scheduler).
+  Rng fed_rng(options.seed);
+  ParamConfig config;
+  config.n_classes = {3, 4};
+  config.n_preds = {1, 3};
+  config.n_targets = {1, 2};  // >= 1 target keeps the pool variants distinct
+  config.n_objects = {static_cast<int>(5000 * options.scale),
+                      static_cast<int>(6000 * options.scale)};
+  const SampleParams sample = draw_sample(config, fed_rng);
+  const SynthFederation synth = materialize_sample(sample);
+
+  // A pool of query variants so concurrent requests are heterogeneous —
+  // heterogeneity is what gives shortest-predicted-cost room to act.
+  Rng pool_rng(derive_stream(options.seed, 1));
+  const std::vector<GlobalQuery> queries =
+      workload::derive_query_pool(synth.query, 6, pool_rng);
+
+  // Advisor-planned pool: per-query strategy choice + SPC priority.
+  serve::PlannerOptions planner;
+  planner.advisor.batch = options.batch;
+  const std::vector<serve::ServeRequest> pool =
+      serve::plan_pool(*synth.federation, queries, planner);
+
+  // Calibrate the capacity from measured solo responses: with C = inflight
+  // concurrent executions and mean solo response s̄, the cluster absorbs
+  // roughly C/s̄ queries per second (contention makes the true knee lower,
+  // which is exactly what the sweep shows).
+  StrategyOptions solo_options;
+  solo_options.record_trace = false;
+  solo_options.batch = options.batch;
+  double solo_sum = 0;
+  for (const serve::ServeRequest& request : pool)
+    solo_sum += to_seconds(execute_strategy(request.kind, *synth.federation,
+                                            request.query, solo_options)
+                               .response_ns);
+  const double mean_solo_s = solo_sum / static_cast<double>(pool.size());
+
+  serve::ServeSpec base = options.serve;  // defaults unless --serve given
+  if (!options.serve_set) {
+    base.n_queries = 32;
+    base.queue_limit = 0;  // unbounded: percentiles track queueing, not drops
+    base.site_inflight = 2;
+  }
+  const double capacity_qps =
+      static_cast<double>(base.site_inflight == 0 ? 4 : base.site_inflight) /
+      mean_solo_s;
+
+  bench::TraceSink trace(options.trace_path, "bench_serve", options);
+  bench::JsonSink json(options.json_path, options);
+
+  const std::vector<double> load_fractions{0.3, 0.6, 0.9, 1.2};
+  const serve::SchedPolicy policies[] = {serve::SchedPolicy::Fifo,
+                                         serve::SchedPolicy::Spc};
+
+  std::printf("# Serving layer: open-loop Poisson sweep — %d trials/point, "
+              "pool of %zu queries, n=%zu submissions/trial,\n"
+              "# calibrated capacity %.1f q/s (inflight %zu, mean solo "
+              "response %.1f ms). Latencies in ms, exact percentiles.\n",
+              options.samples, pool.size(), base.n_queries, capacity_qps,
+              base.site_inflight, mean_solo_s * 1e3);
+  std::printf("%-10s %-8s %10s %10s %10s %10s %12s %9s\n", "load", "policy",
+              "mean", "p50", "p95", "p99", "thrpt[q/s]", "rejected");
+
+  for (const double fraction : load_fractions) {
+    for (const serve::SchedPolicy policy : policies) {
+      serve::ServeSpec spec = base;
+      spec.mode = serve::ArrivalMode::Open;
+      spec.rate_qps = fraction * capacity_qps;
+      spec.policy = policy;
+
+      const auto samples = static_cast<std::size_t>(options.samples);
+      std::vector<serve::ServeReport> reports(samples);
+      std::vector<std::vector<obs::TraceSession>> sessions(
+          trace.enabled() ? samples : 0);
+      bench::for_each_trial(options.samples, options.seed, options.jobs,
+                            [&](std::size_t trial, Rng&) {
+                              reports[trial] = run_trial(
+                                  *synth.federation, pool, spec, trial,
+                                  options,
+                                  trace.enabled() ? &sessions[trial] : nullptr);
+                            });
+
+      // Reduce in trial order — output independent of --jobs.
+      CellStats cell;
+      obs::MetricsRegistry& metrics = obs::MetricsRegistry::global();
+      trace.set_point("serve_open", "load_fraction", fraction);
+      for (std::size_t trial = 0; trial < reports.size(); ++trial) {
+        cell.fold(reports[trial]);
+        serve::record_serve_metrics(reports[trial], metrics);
+        if (trace.enabled())
+          for (const obs::TraceSession& session : sessions[trial])
+            trace.write_trial(trial, session);
+      }
+
+      const double mean = cell.mean_ms();
+      const double p50 = cell.percentile_ms(0.50);
+      const double p95 = cell.percentile_ms(0.95);
+      const double p99 = cell.percentile_ms(0.99);
+      std::printf("%-10.2f %-8s %10.2f %10.2f %10.2f %10.2f %12.2f %9llu\n",
+                  fraction, std::string(to_string(policy)).c_str(), mean, p50,
+                  p95, p99, cell.throughput(),
+                  static_cast<unsigned long long>(cell.rejected));
+
+      char body[512];
+      std::snprintf(
+          body, sizeof body,
+          "\"figure\": \"serve_open\", \"x_name\": \"load_fraction\", "
+          "\"x\": %.17g, \"policy\": \"%s\", \"rate_qps\": %.17g, "
+          "\"mean_ms\": %.17g, \"p50_ms\": %.17g, \"p95_ms\": %.17g, "
+          "\"p99_ms\": %.17g, \"throughput_qps\": %.17g, "
+          "\"completed\": %llu, \"rejected\": %llu",
+          fraction, std::string(to_string(policy)).c_str(), spec.rate_qps,
+          mean, p50, p95, p99, cell.throughput(),
+          static_cast<unsigned long long>(cell.completed),
+          static_cast<unsigned long long>(cell.rejected));
+      json.raw_row(body);
+    }
+  }
+
+  // Closed loop: more clients than execution slots, zero think time — the
+  // queue is never empty, so scheduling policy is the only difference.
+  std::printf("\n# Closed loop: %s clients, zero think, FIFO vs SPC\n",
+              options.serve_set ? "spec" : "8");
+  std::printf("%-8s %10s %10s %10s %12s\n", "policy", "mean", "p95", "p99",
+              "thrpt[q/s]");
+  for (const serve::SchedPolicy policy : policies) {
+    serve::ServeSpec spec = base;
+    spec.mode = serve::ArrivalMode::Closed;
+    if (!options.serve_set) {
+      spec.clients = 8;
+      spec.think_ns = 0;
+    }
+    spec.policy = policy;
+
+    const auto samples = static_cast<std::size_t>(options.samples);
+    std::vector<serve::ServeReport> reports(samples);
+    bench::for_each_trial(options.samples, options.seed, options.jobs,
+                          [&](std::size_t trial, Rng&) {
+                            reports[trial] =
+                                run_trial(*synth.federation, pool, spec,
+                                          trial, options, nullptr);
+                          });
+    CellStats cell;
+    for (const serve::ServeReport& report : reports) cell.fold(report);
+    const double mean = cell.mean_ms();
+    const double p95 = cell.percentile_ms(0.95);
+    const double p99 = cell.percentile_ms(0.99);
+    std::printf("%-8s %10.2f %10.2f %10.2f %12.2f\n",
+                std::string(to_string(policy)).c_str(), mean, p95, p99,
+                cell.throughput());
+
+    char body[384];
+    std::snprintf(body, sizeof body,
+                  "\"figure\": \"serve_closed\", \"x_name\": \"policy\", "
+                  "\"x\": %d, \"policy\": \"%s\", \"mean_ms\": %.17g, "
+                  "\"p95_ms\": %.17g, \"p99_ms\": %.17g, "
+                  "\"throughput_qps\": %.17g, \"completed\": %llu, "
+                  "\"rejected\": %llu",
+                  policy == serve::SchedPolicy::Spc ? 1 : 0,
+                  std::string(to_string(policy)).c_str(), mean, p95, p99,
+                  cell.throughput(),
+                  static_cast<unsigned long long>(cell.completed),
+                  static_cast<unsigned long long>(cell.rejected));
+    json.raw_row(body);
+  }
+
+  std::printf(
+      "\nOpen loop: past the capacity knee the tail percentiles grow first —\n"
+      "every arrival queues behind unfinished work. Closed loop: SPC beats\n"
+      "FIFO on mean latency by letting cheap queries overtake expensive ones\n"
+      "(SJF), at identical throughput; the p99 gap narrows because the most\n"
+      "expensive query pays for everyone's queue-jumping.\n");
+  return 0;
+}

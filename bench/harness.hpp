@@ -36,6 +36,7 @@
 #include "isomer/obs/jsonl.hpp"
 #include "isomer/obs/metrics.hpp"
 #include "isomer/obs/trace_session.hpp"
+#include "isomer/serve/serve_spec.hpp"
 #include "isomer/workload/synth.hpp"
 
 namespace isomer::bench {
@@ -63,7 +64,20 @@ struct HarnessOptions {
   /// frames; a positive N additionally caps a frame at N records.
   BatchOptions batch;
   bool batch_set = false;
+  /// --serve=SPEC (serve::parse_serve_spec grammar): arrival process and
+  /// scheduler configuration for the serving-layer harness (bench_serve).
+  /// Other benches accept and archive the spec but ignore it.
+  serve::ServeSpec serve;
+  bool serve_set = false;
 };
+
+/// The canonical --batch spec string for provenance headers: "off", "on"
+/// (unbounded frames) or the per-frame record cap.
+[[nodiscard]] inline std::string batch_spec_string(const BatchOptions& batch) {
+  if (!batch.enabled) return "off";
+  if (batch.max_records == 0) return "on";
+  return std::to_string(batch.max_records);
+}
 
 /// The thread count a --jobs value resolves to (0 = all hardware threads) —
 /// what the --json and --trace headers report.
@@ -76,13 +90,18 @@ struct HarnessOptions {
   std::fprintf(stderr,
                "usage: %s [--samples=N] [--scale=F] [--seed=S] [--jobs=N] "
                "[--json=FILE] [--trace=FILE] [--faults=SPEC] "
-               "[--batch=on|off|N] [--signatures] [--paper] [--quick]\n"
+               "[--batch=on|off|N] [--serve=SPEC] [--signatures] [--paper] "
+               "[--quick]\n"
                "  --faults SPEC items (comma-separated): drop=P, spike=P:DUR,"
                " down=DB[@DUR..[DUR]],\n"
                "  seed=N, retries=N, timeout=DUR, backoff=DUR,"
                " degrade=fail|partial (see docs/FAULTS.md)\n"
                "  --batch batched semijoin shipping: on, off (default), or a"
-               " positive per-frame record cap\n",
+               " positive per-frame record cap\n"
+               "  --serve SPEC: (open|closed)[:items] with rate=R, clients=N,"
+               " think=DUR, n=N,\n"
+               "  policy=fifo|spc, queue=N, inflight=N, seed=N"
+               " (see docs/SERVING.md)\n",
                argv0);
   std::exit(2);
 }
@@ -148,6 +167,14 @@ inline HarnessOptions parse_options(int argc, char** argv) {
         options.batch.max_records = static_cast<std::size_t>(cap);
       }
       options.batch_set = true;
+    } else if (const char* v = value("--serve=")) {
+      try {
+        options.serve = serve::parse_serve_spec(v);
+      } catch (const ServeError& error) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+        usage_error(argv[0]);
+      }
+      options.serve_set = true;
     } else if (arg == "--signatures") {
       options.run_signatures = true;
     } else if (arg == "--paper") {
@@ -482,6 +509,20 @@ class JsonSink {
     if (options.batch.enabled)
       std::fprintf(file_, ", \"batch_max_records\": %llu",
                    static_cast<unsigned long long>(options.batch.max_records));
+    // Provenance: the *resolved* spec strings of whichever spec flags the
+    // run was given (canonical re-prints — parse(to_string(x)) == x), so an
+    // archived result file names its exact fault / batch / serve
+    // environment. Each field exists iff its flag was passed, keeping
+    // flagless outputs byte-identical to older ones.
+    if (options.faults_set)
+      std::fprintf(file_, ", \"faults_spec\": \"%s\"",
+                   fault::to_string(options.faults).c_str());
+    if (options.batch_set)
+      std::fprintf(file_, ", \"batch_spec\": \"%s\"",
+                   batch_spec_string(options.batch).c_str());
+    if (options.serve_set)
+      std::fprintf(file_, ", \"serve_spec\": \"%s\"",
+                   serve::to_string(options.serve).c_str());
     std::fputs("}", file_);
     first_ = false;  // rows always follow the header element
   }
@@ -523,6 +564,15 @@ class JsonSink {
       std::fputs("}", file_);
       first_ = false;
     }
+  }
+
+  /// Emits one preformatted row object — for harnesses whose row shape
+  /// differs from the figure sweeps' (bench_serve). `body` is the object's
+  /// contents without the enclosing braces.
+  void raw_row(const std::string& body) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "%s\n  {%s}", first_ ? "" : ",", body.c_str());
+    first_ = false;
   }
 
  private:

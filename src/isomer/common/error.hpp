@@ -54,6 +54,13 @@ class FaultError : public Error {
   using Error::Error;
 };
 
+/// A query-serving failure: a --serve specification is malformed, or the
+/// serving layer was configured into an unservable state.
+class ServeError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A precondition or postcondition stated by the library was violated; this
 /// always indicates a bug in the code that triggered it.
 class ContractViolation : public std::logic_error {

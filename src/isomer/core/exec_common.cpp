@@ -141,6 +141,8 @@ void ExecEnv::transfer_traced(SiteIndex from, SiteIndex to, Bytes bytes,
                               std::string step,
                               Simulator::Callback arrived) {
   const SimTime begin = sim_->now();
+  wire_bytes_ += bytes;
+  ++wire_messages_;
   auto span = open_span(site_name(from) + "->" + site_name(to), step,
                         Phase::Transfer, begin, AccessMeter{}, SpanCounts{});
   if (span != nullptr) {
@@ -302,6 +304,27 @@ void ExecEnv::record_fault_event(SiteIndex site, const std::string& step,
       span != nullptr) {
     span->end_ns = end;
     options_.trace_session->record(std::move(*span));
+  }
+}
+
+void launch_strategy(ExecEnv& env, StrategyKind kind,
+                     std::function<void(QueryResult, SimTime)> on_done) {
+  switch (kind) {
+    case StrategyKind::CA:
+      launch_ca(env, std::move(on_done));
+      break;
+    case StrategyKind::BL:
+      launch_localized(env, false, false, std::move(on_done));
+      break;
+    case StrategyKind::PL:
+      launch_localized(env, false, true, std::move(on_done));
+      break;
+    case StrategyKind::BLS:
+      launch_localized(env, true, false, std::move(on_done));
+      break;
+    case StrategyKind::PLS:
+      launch_localized(env, true, true, std::move(on_done));
+      break;
   }
 }
 

@@ -122,6 +122,17 @@ class ExecEnv {
   /// Folds a site-local meter into the run-wide work aggregate.
   void aggregate(const AccessMeter& meter) { work_ += meter; }
 
+  /// Wire traffic attributable to THIS execution alone. On an owned
+  /// simulator these equal the cluster totals; on a shared cluster (query
+  /// streams, the serving layer) the cluster aggregates every concurrent
+  /// query while these stay per-query — the per-query execution context the
+  /// multi-tenant schedulers account and bill by. Retransmissions under a
+  /// fault plan count: they occupied the wire on this query's behalf.
+  [[nodiscard]] Bytes wire_bytes() const noexcept { return wire_bytes_; }
+  [[nodiscard]] std::uint64_t wire_messages() const noexcept {
+    return wire_messages_;
+  }
+
   /// The component databases declared unreachable so far (ascending DbId).
   [[nodiscard]] const std::set<DbId>& unavailable() const noexcept {
     return dead_;
@@ -169,6 +180,8 @@ class ExecEnv {
   Cluster* cluster_ = nullptr;
   ExecutionTrace trace_;
   AccessMeter work_;
+  Bytes wire_bytes_ = 0;            ///< this execution's transfers only
+  std::uint64_t wire_messages_ = 0;
   std::string span_strategy_;
   std::uint64_t span_query_ = 0;
 
@@ -240,6 +253,11 @@ void launch_ca(ExecEnv& env,
                std::function<void(QueryResult, SimTime)> on_done);
 void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
                       std::function<void(QueryResult, SimTime)> on_done);
+
+/// Dispatches to the launcher for `kind` — the one switch shared by every
+/// multi-query driver (core/stream.cpp, serve/).
+void launch_strategy(ExecEnv& env, StrategyKind kind,
+                     std::function<void(QueryResult, SimTime)> on_done);
 
 /// Wire size of a local-result message: per row the root LOid and entity
 /// GOid, every non-null target value (references — single or set-valued —

@@ -60,23 +60,7 @@ StreamReport run_query_stream(const Federation& federation,
     };
     const StrategyKind kind = entry.kind;
     sim.schedule_at(entry.arrival, [env, kind, on_done] {
-      switch (kind) {
-        case StrategyKind::CA:
-          detail::launch_ca(*env, on_done);
-          break;
-        case StrategyKind::BL:
-          detail::launch_localized(*env, false, false, on_done);
-          break;
-        case StrategyKind::PL:
-          detail::launch_localized(*env, false, true, on_done);
-          break;
-        case StrategyKind::BLS:
-          detail::launch_localized(*env, true, false, on_done);
-          break;
-        case StrategyKind::PLS:
-          detail::launch_localized(*env, true, true, on_done);
-          break;
-      }
+      detail::launch_strategy(*env, kind, on_done);
     });
   }
 

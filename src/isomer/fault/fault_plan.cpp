@@ -1,5 +1,6 @@
 #include "isomer/fault/fault_plan.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <set>
@@ -69,6 +70,29 @@ double parse_real(std::string_view spec, std::string_view text) {
 }
 
 }  // namespace
+
+std::string to_string(const FaultSpec& spec) {
+  std::string out;
+  char buf[64];
+  const auto real = [&](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  out += "drop=" + real(spec.plan.drop_probability);
+  out += ",spike=" + real(spec.plan.spike_probability) + ":" +
+         std::to_string(spec.plan.spike_ns) + "ns";
+  for (const Outage& outage : spec.plan.outages) {
+    out += ",down=" + std::to_string(outage.db.value()) + "@" +
+           std::to_string(outage.from) + "ns..";
+    if (outage.until != kForever) out += std::to_string(outage.until) + "ns";
+  }
+  out += ",seed=" + std::to_string(spec.plan.seed);
+  out += ",retries=" + std::to_string(spec.retry.max_retries);
+  out += ",timeout=" + std::to_string(spec.retry.timeout_ns) + "ns";
+  out += ",backoff=" + std::to_string(spec.retry.backoff_ns) + "ns";
+  out += ",degrade=" + std::string(to_string(spec.degrade));
+  return out;
+}
 
 FaultSpec parse_fault_spec(std::string_view spec) {
   FaultSpec out;

@@ -107,6 +107,12 @@ struct FaultSpec {
   DegradeMode degrade = DegradeMode::Partial;
 };
 
+/// Canonical re-print of a parsed spec: every resolved field in a fixed
+/// order, durations in nanoseconds. parse_fault_spec(to_string(s)) always
+/// reproduces `s`, and the string is what the bench harnesses archive in
+/// their --json headers so runs are self-describing.
+[[nodiscard]] std::string to_string(const FaultSpec& spec);
+
 /// Parses the --faults specification mini-language:
 ///
 ///   SPEC    := item (',' item)*

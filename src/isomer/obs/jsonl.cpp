@@ -88,7 +88,14 @@ std::string metrics_to_json(const MetricsRegistry& registry) {
   first = true;
   for (const auto& [name, snap] : registry.histogram_values()) {
     os << (first ? "" : ",") << "\"" << json_escape(name)
-       << "\":{\"count\":" << snap.count << ",\"sum\":" << snap.sum << "}";
+       << "\":{\"count\":" << snap.count << ",\"sum\":" << snap.sum;
+    // The summary fields only exist on non-empty histograms: an empty
+    // snapshot's min/max are infinities, which JSON cannot carry.
+    if (snap.count > 0)
+      os << ",\"min\":" << snap.min << ",\"max\":" << snap.max
+         << ",\"p50\":" << snap.p50() << ",\"p95\":" << snap.p95()
+         << ",\"p99\":" << snap.p99();
+    os << "}";
     first = false;
   }
   os << "}}";

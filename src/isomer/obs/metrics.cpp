@@ -1,5 +1,6 @@
 #include "isomer/obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -19,6 +20,33 @@ void Histogram::record(double value) {
   if (value < data_.min) data_.min = value;
   if (value > data_.max) data_.max = value;
   ++data_.buckets[bucket];
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Nearest-rank: the r-th smallest sample, r in [1, count].
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t r = rank == 0 ? 1 : rank;
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const std::uint64_t in_bucket = buckets[b];
+    if (in_bucket == 0 || before + in_bucket < r) {
+      before += in_bucket;
+      continue;
+    }
+    // Bucket b covers [2^b, 2^(b+1)), except bucket 0 which also absorbs
+    // everything below 1. Interpolate the rank's position across the range.
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+    const double hi = std::ldexp(1.0, static_cast<int>(b) + 1);
+    const double fraction =
+        static_cast<double>(r - before) / static_cast<double>(in_bucket);
+    const double estimate = lo + fraction * (hi - lo);
+    return std::min(std::max(estimate, min), max);
+  }
+  return max;  // unreachable for a consistent snapshot
 }
 
 Histogram::Snapshot Histogram::snapshot() const {

@@ -58,6 +58,18 @@ class Histogram {
     [[nodiscard]] double mean() const noexcept {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
+
+    /// Bucket-interpolated quantile estimate for q in [0, 1] (0 when the
+    /// histogram is empty). The nearest-rank sample is located in its
+    /// power-of-two bucket and linearly interpolated across the bucket's
+    /// range, then clamped to the recorded [min, max]. Depends only on the
+    /// bucket counts and min/max — both are order-independent — so the
+    /// estimate is identical however concurrent recorders interleaved.
+    [[nodiscard]] double quantile(double q) const;
+
+    [[nodiscard]] double p50() const { return quantile(0.50); }
+    [[nodiscard]] double p95() const { return quantile(0.95); }
+    [[nodiscard]] double p99() const { return quantile(0.99); }
   };
   [[nodiscard]] Snapshot snapshot() const;
   void reset();

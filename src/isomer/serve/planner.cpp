@@ -1,0 +1,27 @@
+#include "isomer/serve/planner.hpp"
+
+namespace isomer::serve {
+
+std::vector<ServeRequest> plan_pool(const Federation& federation,
+                                    const std::vector<GlobalQuery>& pool,
+                                    const PlannerOptions& options) {
+  std::vector<ServeRequest> requests;
+  requests.reserve(pool.size());
+  for (const GlobalQuery& query : pool) {
+    const Advice advice = advise_strategy(federation, query, options.advisor);
+    ServeRequest request;
+    request.query = query;
+    request.kind =
+        options.optimize_response ? advice.best_response : advice.best_total;
+    for (const StrategyEstimate& estimate : advice.estimates) {
+      if (estimate.kind != request.kind) continue;
+      request.predicted_cost_s =
+          options.optimize_response ? estimate.response_s : estimate.total_s;
+      break;
+    }
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+}  // namespace isomer::serve

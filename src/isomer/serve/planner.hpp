@@ -1,0 +1,33 @@
+// Advisor-backed planning for the serving layer.
+//
+// The scheduler's shortest-predicted-cost policy and the per-query strategy
+// choice both need a *prediction*, and the repo already has the predictor:
+// analytic/advisor.hpp prices CA/BL/PL for a concrete (federation, query)
+// pair with Table-1 arithmetic. plan_pool runs the advisor once per pool
+// entry — planning-time work, outside the simulated clock — and packages
+// the recommendation as the ServeRequests the server executes.
+#pragma once
+
+#include <vector>
+
+#include "isomer/analytic/advisor.hpp"
+#include "isomer/serve/server.hpp"
+
+namespace isomer::serve {
+
+struct PlannerOptions {
+  AdvisorOptions advisor{};
+  /// Pick each query's strategy by best response time (what an interactive
+  /// client feels) rather than best total work.
+  bool optimize_response = true;
+};
+
+/// Plans every query of `pool`: asks the advisor for per-strategy cost
+/// estimates, picks the recommended strategy, and records that strategy's
+/// predicted cost (seconds) as the SPC priority. Deterministic at any
+/// `advisor.jobs` value, like the advisor itself.
+[[nodiscard]] std::vector<ServeRequest> plan_pool(
+    const Federation& federation, const std::vector<GlobalQuery>& pool,
+    const PlannerOptions& options = {});
+
+}  // namespace isomer::serve

@@ -1,0 +1,186 @@
+#include "isomer/serve/serve_spec.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <set>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer::serve {
+
+std::string_view to_string(ArrivalMode mode) noexcept {
+  return mode == ArrivalMode::Open ? "open" : "closed";
+}
+
+std::string_view to_string(SchedPolicy policy) noexcept {
+  return policy == SchedPolicy::Fifo ? "fifo" : "spc";
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw ServeError("malformed --serve spec '" + std::string(spec) + "': " +
+                   why);
+}
+
+/// Parses a non-negative integer prefix of `text`; advances `pos`.
+std::uint64_t parse_uint(std::string_view spec, std::string_view text,
+                         std::size_t& pos) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9')
+    bad_spec(spec, "expected a number in '" + std::string(text) + "'");
+  std::uint64_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+    ++pos;
+  }
+  return value;
+}
+
+std::uint64_t parse_whole_uint(std::string_view spec, std::string_view text) {
+  std::size_t pos = 0;
+  const std::uint64_t value = parse_uint(spec, text, pos);
+  if (pos != text.size())
+    bad_spec(spec, "trailing junk in '" + std::string(text) + "'");
+  return value;
+}
+
+/// Parses a duration "INT(ns|us|ms|s)" — the same grammar as --faults.
+SimTime parse_duration(std::string_view spec, std::string_view text) {
+  std::size_t pos = 0;
+  const auto count = static_cast<SimTime>(parse_uint(spec, text, pos));
+  const std::string_view rest = text.substr(pos);
+  SimTime scale = 0;
+  if (rest == "ns")
+    scale = 1;
+  else if (rest == "us")
+    scale = 1'000;
+  else if (rest == "ms")
+    scale = 1'000'000;
+  else if (rest == "s")
+    scale = 1'000'000'000;
+  else
+    bad_spec(spec, "duration needs a unit (ns|us|ms|s) in '" +
+                       std::string(text) + "'");
+  return count * scale;
+}
+
+double parse_real(std::string_view spec, std::string_view text) {
+  char* end = nullptr;
+  const std::string owned(text);
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || *end != '\0' || value < 0)
+    bad_spec(spec, "expected a non-negative real, got '" + owned + "'");
+  return value;
+}
+
+}  // namespace
+
+ServeSpec parse_serve_spec(std::string_view spec) {
+  ServeSpec out;
+  const std::size_t colon = spec.find(':');
+  const std::string_view mode = spec.substr(0, colon);
+  if (mode == "open")
+    out.mode = ArrivalMode::Open;
+  else if (mode == "closed")
+    out.mode = ArrivalMode::Closed;
+  else
+    bad_spec(spec, "mode must be 'open' or 'closed', got '" +
+                       std::string(mode) + "'");
+  if (colon == std::string_view::npos) return out;
+
+  const std::string_view items = spec.substr(colon + 1);
+  // Same rule as --faults: a repeated key is a hard error, never
+  // last-one-wins — a duplicate is almost always a typo'd sweep script.
+  std::set<std::string, std::less<>> seen;
+  const auto note = [&](std::string_view key) {
+    if (!seen.emplace(key).second)
+      bad_spec(spec, "duplicate key '" + std::string(key) + "'");
+  };
+  std::size_t begin = 0;
+  while (begin <= items.size()) {
+    const std::size_t comma = items.find(',', begin);
+    const std::string_view item =
+        items.substr(begin, comma == std::string_view::npos
+                                ? std::string_view::npos
+                                : comma - begin);
+    begin = comma == std::string_view::npos ? items.size() + 1 : comma + 1;
+    if (item.empty()) bad_spec(spec, "empty item");
+
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos)
+      bad_spec(spec, "item '" + std::string(item) + "' has no '='");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (value.empty())
+      bad_spec(spec, "item '" + std::string(item) + "' has no value");
+
+    // Keys of the *other* arrival mode are hard errors, not silently
+    // ignored settings: "closed:rate=50" means the author thinks they are
+    // configuring an offered rate, and a closed loop has none.
+    if (key == "rate") {
+      note(key);
+      if (out.mode != ArrivalMode::Open)
+        bad_spec(spec, "'rate' only applies to open-loop arrivals");
+      out.rate_qps = parse_real(spec, value);
+      if (out.rate_qps <= 0) bad_spec(spec, "rate must be positive");
+    } else if (key == "clients") {
+      note(key);
+      if (out.mode != ArrivalMode::Closed)
+        bad_spec(spec, "'clients' only applies to closed-loop arrivals");
+      out.clients = static_cast<std::size_t>(parse_whole_uint(spec, value));
+      if (out.clients == 0) bad_spec(spec, "need at least one client");
+    } else if (key == "think") {
+      note(key);
+      if (out.mode != ArrivalMode::Closed)
+        bad_spec(spec, "'think' only applies to closed-loop arrivals");
+      out.think_ns = parse_duration(spec, value);
+    } else if (key == "n") {
+      note(key);
+      out.n_queries = static_cast<std::size_t>(parse_whole_uint(spec, value));
+      if (out.n_queries == 0) bad_spec(spec, "need at least one query");
+    } else if (key == "policy") {
+      note(key);
+      if (value == "fifo")
+        out.policy = SchedPolicy::Fifo;
+      else if (value == "spc")
+        out.policy = SchedPolicy::Spc;
+      else
+        bad_spec(spec, "policy wants 'fifo' or 'spc'");
+    } else if (key == "queue") {
+      note(key);
+      out.queue_limit = static_cast<std::size_t>(parse_whole_uint(spec, value));
+    } else if (key == "inflight") {
+      note(key);
+      out.site_inflight =
+          static_cast<std::size_t>(parse_whole_uint(spec, value));
+    } else if (key == "seed") {
+      note(key);
+      out.seed = parse_whole_uint(spec, value);
+    } else {
+      bad_spec(spec, "unknown key '" + std::string(key) + "'");
+    }
+  }
+  return out;
+}
+
+std::string to_string(const ServeSpec& spec) {
+  std::string out(to_string(spec.mode));
+  out += ":";
+  if (spec.mode == ArrivalMode::Open) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", spec.rate_qps);
+    out += "rate=" + std::string(buf);
+  } else {
+    out += "clients=" + std::to_string(spec.clients);
+    out += ",think=" + std::to_string(spec.think_ns) + "ns";
+  }
+  out += ",n=" + std::to_string(spec.n_queries);
+  out += ",policy=" + std::string(to_string(spec.policy));
+  out += ",queue=" + std::to_string(spec.queue_limit);
+  out += ",inflight=" + std::to_string(spec.site_inflight);
+  out += ",seed=" + std::to_string(spec.seed);
+  return out;
+}
+
+}  // namespace isomer::serve

@@ -1,0 +1,86 @@
+// The --serve specification: how a query-serving run offers load and
+// schedules it.
+//
+// A ServeSpec describes one serving experiment over the shared simulated
+// federation: the arrival process (open-loop Poisson at a fixed offered
+// rate, or a closed loop of N clients that each submit, wait, think and
+// resubmit), the total number of query submissions, and the scheduler
+// knobs — policy, admission-queue bound, per-site in-flight cap. It is
+// parsed from the same kind of comma-separated mini-language as --faults
+// (fault/fault_plan.hpp) and --batch, with the same duplicate-key
+// hard-error rule, and re-prints canonically so archived bench headers are
+// self-describing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "isomer/sim/simulator.hpp"
+
+namespace isomer::serve {
+
+/// How queries arrive at the admission controller.
+enum class ArrivalMode : unsigned char {
+  Open,    ///< open loop: Poisson arrivals at `rate_qps`, blind to progress
+  Closed,  ///< closed loop: `clients` submitters, one query in flight each
+};
+
+/// Which waiting query the scheduler starts next.
+enum class SchedPolicy : unsigned char {
+  Fifo,  ///< admission order
+  /// Shortest predicted cost first: the advisor's per-query cost estimate
+  /// (serve/planner.hpp) is the priority; ties fall back to admission order.
+  Spc,
+};
+
+[[nodiscard]] std::string_view to_string(ArrivalMode mode) noexcept;
+[[nodiscard]] std::string_view to_string(SchedPolicy policy) noexcept;
+
+/// One parsed --serve=SPEC. Defaults describe a light open-loop run.
+struct ServeSpec {
+  ArrivalMode mode = ArrivalMode::Open;
+  double rate_qps = 50.0;       ///< open loop: mean arrivals per second
+  std::size_t clients = 4;      ///< closed loop: concurrent submitters
+  SimTime think_ns = 0;         ///< closed loop: pause between completions
+  std::size_t n_queries = 100;  ///< total submissions across the whole run
+  SchedPolicy policy = SchedPolicy::Fifo;
+  /// Admitted-but-not-started queries the queue holds before the admission
+  /// controller rejects new arrivals (0 = unbounded).
+  std::size_t queue_limit = 64;
+  /// Concurrent executions a single site serves before the scheduler holds
+  /// back further starts (0 = unbounded).
+  std::size_t site_inflight = 4;
+  std::uint64_t seed = 0;  ///< arrival / pool-pick RNG stream
+
+  friend bool operator==(const ServeSpec&, const ServeSpec&) = default;
+};
+
+/// Parses the --serve specification mini-language:
+///
+///   SPEC    := MODE [':' item (',' item)*]
+///   MODE    := 'open' | 'closed'
+///   item    := 'rate=' REAL        open loop: offered queries per second
+///            | 'clients=' INT      closed loop: concurrent submitters
+///            | 'think=' DUR        closed loop: pause before resubmitting
+///            | 'n=' INT            total query submissions
+///            | 'policy=' ('fifo' | 'spc')
+///            | 'queue=' INT        admission queue bound (0 = unbounded)
+///            | 'inflight=' INT     per-site in-flight cap (0 = unbounded)
+///            | 'seed=' INT
+///   DUR     := INT ('ns' | 'us' | 'ms' | 's')
+///
+/// Every key may appear at most once — a repeated key is a hard parse
+/// error, never last-one-wins (the rule established for --faults). Keys of
+/// the other arrival mode ('rate' under closed, 'clients'/'think' under
+/// open) are hard errors too. Example: "open:rate=50,n=500,policy=spc".
+/// Throws ServeError on malformed input.
+[[nodiscard]] ServeSpec parse_serve_spec(std::string_view spec);
+
+/// Canonical re-print: mode, then every field of that mode in a fixed
+/// order, durations in nanoseconds. parse_serve_spec(to_string(s))
+/// reproduces `s` exactly; the bench harnesses archive this string in
+/// their --json headers.
+[[nodiscard]] std::string to_string(const ServeSpec& spec);
+
+}  // namespace isomer::serve

@@ -1,0 +1,311 @@
+#include "isomer/serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "isomer/common/error.hpp"
+#include "isomer/core/exec_common.hpp"
+#include "isomer/workload/arrivals.hpp"
+
+namespace isomer::serve {
+
+double ServeReport::mean_latency_ms() const {
+  double total = 0;
+  std::size_t n = 0;
+  for (const ServeOutcome& outcome : outcomes) {
+    if (outcome.rejected) continue;
+    total += to_milliseconds(outcome.latency());
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double ServeReport::throughput_qps() const {
+  if (makespan <= 0 || completed == 0) return 0.0;
+  return static_cast<double>(completed) / to_seconds(makespan);
+}
+
+SimTime ServeReport::latency_percentile(double q) const {
+  std::vector<SimTime> latencies;
+  latencies.reserve(outcomes.size());
+  for (const ServeOutcome& outcome : outcomes)
+    if (!outcome.rejected) latencies.push_back(outcome.latency());
+  if (latencies.empty()) return 0;
+  std::sort(latencies.begin(), latencies.end());
+  if (q > 1) q = 1;
+  auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(latencies.size())));
+  if (rank == 0) rank = 1;
+  return latencies[rank - 1];
+}
+
+namespace {
+
+/// Extra pause a closed-loop client takes after a rejected submission, so a
+/// zero-think client cannot re-hit a still-full queue at the same simulated
+/// instant forever.
+constexpr SimTime kRejectBackoffNs = 1'000'000;  // 1 ms
+
+constexpr std::size_t kNoClient = static_cast<std::size_t>(-1);
+
+/// One admitted-but-not-started submission.
+struct Waiting {
+  std::size_t id = 0;
+  double predicted_cost_s = 0;
+};
+
+/// The admission controller + scheduler driving one serve() run. All state
+/// mutation happens inside simulator callbacks, which the single-threaded
+/// event loop serializes deterministically (FIFO among simultaneous
+/// events), so the whole run is a pure function of its inputs.
+class QueryServer {
+ public:
+  QueryServer(const Federation& federation,
+              const std::vector<ServeRequest>& pool, const ServeSpec& spec,
+              const ServeOptions& options)
+      : fed_(federation),
+        pool_(pool),
+        spec_(spec),
+        options_(options),
+        cluster_(sim_, options.exec.costs, federation.db_count(),
+                 options.exec.topology),
+        inflight_(federation.db_count() + 1, 0) {}
+
+  ServeReport run();
+
+ private:
+  void schedule_client(std::size_t client, SimTime at);
+  void submit(std::size_t pool_index, std::size_t client);
+  void try_dispatch();
+  void start(const Waiting& next);
+  [[nodiscard]] bool capacity_free() const noexcept;
+
+  const Federation& fed_;
+  const std::vector<ServeRequest>& pool_;
+  const ServeSpec& spec_;
+  const ServeOptions& options_;
+  Simulator sim_;
+  Cluster cluster_;
+
+  std::deque<Waiting> waiting_;  ///< admission order
+  /// Executions currently holding each site (0 = global, 1.. components).
+  /// Every strategy touches every site, so the entries move in lockstep and
+  /// the per-site cap acts as a concurrency cap — the representation stays
+  /// per-site so partial-footprint strategies keep working if added later.
+  std::vector<std::size_t> inflight_;
+  std::size_t running_ = 0;
+
+  std::vector<ServeOutcome> outcomes_;   ///< submission order, grows in submit()
+  std::vector<std::size_t> client_of_;   ///< aligned with outcomes_
+  /// Envs and per-query fault plans in pointer-stable storage: the deferred
+  /// simulation callbacks hold references into both.
+  std::vector<std::unique_ptr<detail::ExecEnv>> envs_;
+  std::deque<fault::FaultPlan> fault_plans_;
+
+  std::vector<Rng> client_rngs_;  ///< closed loop: one pick-stream per client
+  std::size_t planned_ = 0;       ///< submissions scheduled so far
+  std::size_t max_queue_depth_ = 0;
+  std::size_t max_inflight_ = 0;
+};
+
+bool QueryServer::capacity_free() const noexcept {
+  if (spec_.site_inflight == 0) return true;
+  for (const std::size_t site_load : inflight_)
+    if (site_load >= spec_.site_inflight) return false;
+  return true;
+}
+
+void QueryServer::schedule_client(std::size_t client, SimTime at) {
+  sim_.schedule_at(at, [this, client] {
+    // Pool pick drawn at submission time from the client's private stream;
+    // the event loop fires these deterministically, so the draw order is a
+    // function of the spec alone.
+    const std::size_t pick = client_rngs_[client].index(pool_.size());
+    submit(pick, client);
+  });
+}
+
+void QueryServer::submit(std::size_t pool_index, std::size_t client) {
+  const SimTime now = sim_.now();
+  const std::size_t id = outcomes_.size();
+  outcomes_.emplace_back();
+  client_of_.push_back(client);
+  ServeOutcome& outcome = outcomes_.back();
+  outcome.arrival = now;
+  outcome.start = now;
+  outcome.pool_index = pool_index;
+  outcome.kind = pool_[pool_index].kind;
+
+  if (spec_.queue_limit > 0 && waiting_.size() >= spec_.queue_limit) {
+    // Backpressure: bounce rather than block the arrival process. The
+    // submission completes immediately as a tagged empty outcome, and a
+    // closed-loop client moves on to its next think cycle after a backoff.
+    outcome.rejected = true;
+    outcome.completion = now;
+    if (client != kNoClient && planned_ < spec_.n_queries) {
+      ++planned_;
+      schedule_client(client, now + spec_.think_ns + kRejectBackoffNs);
+    }
+    return;
+  }
+
+  waiting_.push_back({id, pool_[pool_index].predicted_cost_s});
+  max_queue_depth_ = std::max(max_queue_depth_, waiting_.size());
+  try_dispatch();
+}
+
+void QueryServer::try_dispatch() {
+  // Every query needs every site, so if the head-of-line query cannot start
+  // neither can any other — the loop never starves a waiting query by
+  // skipping over it.
+  while (!waiting_.empty() && capacity_free()) {
+    auto chosen = waiting_.begin();
+    if (spec_.policy == SchedPolicy::Spc) {
+      chosen = std::min_element(
+          waiting_.begin(), waiting_.end(),
+          [](const Waiting& a, const Waiting& b) {
+            if (a.predicted_cost_s != b.predicted_cost_s)
+              return a.predicted_cost_s < b.predicted_cost_s;
+            return a.id < b.id;  // ties: admission order
+          });
+    }
+    const Waiting next = *chosen;
+    waiting_.erase(chosen);
+    start(next);
+  }
+}
+
+void QueryServer::start(const Waiting& next) {
+  const std::size_t id = next.id;
+  ServeOutcome& outcome = outcomes_[id];
+  const ServeRequest& request = pool_[outcome.pool_index];
+  outcome.start = sim_.now();
+
+  StrategyOptions per_query = options_.exec;
+  per_query.record_trace = false;  // per-step traces interleave; spans don't
+  per_query.trace_session =
+      options_.sessions ? &(*options_.sessions)[id] : nullptr;
+  if (per_query.faults != nullptr && per_query.faults->enabled()) {
+    // Each submission gets its own plan copy with a derived seed:
+    // ExecEnv::init_faults seeds its RNG from the plan, so sharing one plan
+    // would make concurrent queries share one fault stream and the replay
+    // would depend on interleaving.
+    fault_plans_.push_back(*per_query.faults);
+    fault_plans_.back().seed = derive_stream(per_query.faults->seed, id);
+    per_query.faults = &fault_plans_.back();
+  }
+
+  envs_.push_back(std::make_unique<detail::ExecEnv>(fed_, request.query,
+                                                    per_query, sim_, cluster_));
+  detail::ExecEnv* env = envs_.back().get();
+  env->set_span_context(to_string(request.kind), id);
+
+  for (std::size_t& site_load : inflight_) ++site_load;
+  ++running_;
+  max_inflight_ = std::max(max_inflight_, running_);
+
+  const std::size_t client = client_of_[id];
+  detail::launch_strategy(
+      *env, request.kind, [this, id, client, env](QueryResult result, SimTime at) {
+        ServeOutcome& done = outcomes_[id];
+        done.result = std::move(result);
+        done.completion = at;
+        done.wire_bytes = env->wire_bytes();
+        done.messages = env->wire_messages();
+        for (std::size_t& site_load : inflight_) --site_load;
+        --running_;
+        if (client != kNoClient && planned_ < spec_.n_queries) {
+          ++planned_;
+          schedule_client(client, at + spec_.think_ns);
+        }
+        try_dispatch();
+      });
+}
+
+ServeReport QueryServer::run() {
+  if (pool_.empty()) throw ServeError("serve() needs a non-empty query pool");
+  if (options_.sessions) {
+    options_.sessions->clear();
+    options_.sessions->resize(spec_.n_queries);
+  }
+  outcomes_.reserve(spec_.n_queries);
+  client_of_.reserve(spec_.n_queries);
+  envs_.reserve(spec_.n_queries);
+
+  if (spec_.mode == ArrivalMode::Open) {
+    Rng arrival_rng(derive_stream(spec_.seed, 0));
+    const auto arrivals = workload::poisson_arrivals(
+        spec_.rate_qps, spec_.n_queries, pool_.size(), arrival_rng);
+    planned_ = arrivals.size();
+    for (const workload::Arrival& arrival : arrivals)
+      sim_.schedule_at(arrival.at, [this, arrival] {
+        submit(arrival.pool_index, kNoClient);
+      });
+  } else {
+    client_rngs_.reserve(spec_.clients);
+    for (std::size_t c = 0; c < spec_.clients; ++c)
+      client_rngs_.emplace_back(derive_stream(spec_.seed, 1 + c));
+    const std::size_t first = std::min(spec_.clients, spec_.n_queries);
+    planned_ = first;
+    for (std::size_t c = 0; c < first; ++c) schedule_client(c, 0);
+  }
+
+  sim_.run();
+
+  ServeReport report;
+  report.outcomes = std::move(outcomes_);
+  for (const ServeOutcome& outcome : report.outcomes) {
+    if (outcome.rejected) {
+      ++report.rejected;
+      continue;
+    }
+    ensures(outcome.completion >= outcome.arrival,
+            "a served query did not complete");
+    ++report.completed;
+    report.makespan = std::max(report.makespan, outcome.completion);
+    report.messages += outcome.messages;
+  }
+  ensures(report.completed + report.rejected == spec_.n_queries,
+          "submission count mismatch");
+  report.total_busy_ns = cluster_.total_busy();
+  report.bytes_transferred = cluster_.bytes_transferred();
+  report.max_queue_depth = max_queue_depth_;
+  report.max_inflight = max_inflight_;
+  return report;
+}
+
+}  // namespace
+
+void record_serve_metrics(const ServeReport& report,
+                          obs::MetricsRegistry& metrics) {
+  obs::Histogram& latency = metrics.histogram("serve.latency_us");
+  obs::Histogram& wait = metrics.histogram("serve.queue_wait_us");
+  obs::Counter& completed = metrics.counter("serve.completed");
+  obs::Counter& rejected = metrics.counter("serve.rejected");
+  for (const ServeOutcome& outcome : report.outcomes) {
+    if (outcome.rejected) {
+      rejected.add();
+      continue;
+    }
+    completed.add();
+    latency.record(static_cast<double>(outcome.latency()) / 1e3);
+    wait.record(static_cast<double>(outcome.queue_wait()) / 1e3);
+  }
+}
+
+ServeReport serve(const Federation& federation,
+                  const std::vector<ServeRequest>& pool, const ServeSpec& spec,
+                  const ServeOptions& options) {
+  QueryServer server(federation, pool, spec, options);
+  ServeReport report = server.run();
+  // Recorded after the run, in submission order: the registry's histogram
+  // quantiles depend only on bucket counts and min/max, but recording
+  // serially keeps even the sum and counter update order deterministic.
+  if (options.metrics != nullptr) record_serve_metrics(report, *options.metrics);
+  return report;
+}
+
+}  // namespace isomer::serve

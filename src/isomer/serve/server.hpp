@@ -1,0 +1,121 @@
+// Query-serving layer: many independent global queries, one federation.
+//
+// The paper — and execute_strategy — simulate one query at a time, and
+// core/stream.hpp already lets a fixed arrival schedule contend for one
+// cluster. The serving layer closes the remaining gap to a deployed
+// federation front-end: queries *arrive* (open-loop Poisson or a closed
+// loop of clients), pass an admission controller with a bounded queue, and
+// a scheduler decides which admitted query starts next (FIFO or shortest
+// predicted cost, the prediction coming from the analytic advisor via
+// serve/planner.hpp) subject to per-site in-flight caps. Everything runs
+// inside ONE discrete-event simulation, so queueing delay, scheduling
+// policy and strategy choice are all measured on the same clock.
+//
+// Backpressure never deadlocks: an arrival that finds the admission queue
+// full is *rejected* — it completes immediately with a tagged, empty
+// outcome — rather than blocking the arrival process. A closed-loop client
+// whose submission is rejected backs off and submits again, so the run
+// always terminates after exactly `spec.n_queries` submissions.
+#pragma once
+
+#include <vector>
+
+#include "isomer/core/strategy.hpp"
+#include "isomer/obs/metrics.hpp"
+#include "isomer/obs/trace_session.hpp"
+#include "isomer/serve/serve_spec.hpp"
+
+namespace isomer::serve {
+
+/// One plannable query of the serving pool: what to run, how, and what the
+/// advisor predicted it costs (the SPC scheduling priority, in seconds).
+/// Build these by hand or with serve/planner.hpp.
+struct ServeRequest {
+  GlobalQuery query;
+  StrategyKind kind = StrategyKind::BL;
+  double predicted_cost_s = 0;
+};
+
+/// One submission's fate, in submission order.
+struct ServeOutcome {
+  QueryResult result;
+  SimTime arrival = 0;     ///< when the submission reached admission
+  SimTime start = 0;       ///< when the scheduler launched it
+  SimTime completion = 0;  ///< when its answer was ready (= arrival if rejected)
+  bool rejected = false;   ///< bounced off the full admission queue
+  StrategyKind kind = StrategyKind::BL;
+  std::size_t pool_index = 0;  ///< which pool entry this submission ran
+  /// Wire traffic attributable to this query alone (ExecEnv accounting);
+  /// zero for rejected submissions.
+  Bytes wire_bytes = 0;
+  std::uint64_t messages = 0;
+
+  [[nodiscard]] SimTime latency() const noexcept {
+    return completion - arrival;
+  }
+  [[nodiscard]] SimTime queue_wait() const noexcept {
+    return start - arrival;
+  }
+};
+
+struct ServeReport {
+  std::vector<ServeOutcome> outcomes;  ///< submission order
+  SimTime makespan = 0;                ///< when the last answer was ready
+  SimTime total_busy_ns = 0;           ///< Σ busy across all resources
+  Bytes bytes_transferred = 0;         ///< cluster total (= Σ per-query wire)
+  std::uint64_t messages = 0;          ///< Σ per-query wire messages
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t max_queue_depth = 0;  ///< admitted-waiting high-water mark
+  std::size_t max_inflight = 0;     ///< concurrent-execution high-water mark
+
+  /// Mean latency over *completed* submissions, milliseconds.
+  [[nodiscard]] double mean_latency_ms() const;
+  /// Completed answers per simulated second of makespan.
+  [[nodiscard]] double throughput_qps() const;
+  /// Exact nearest-rank latency percentile over completed submissions
+  /// (q in (0, 1]; 0 when nothing completed). This is the ground truth the
+  /// MetricsRegistry histogram estimates.
+  [[nodiscard]] SimTime latency_percentile(double q) const;
+};
+
+struct ServeOptions {
+  /// Per-execution options (costs, topology, signatures, faults, batch...).
+  /// `record_trace` is forced off per query — interleaved per-step traces
+  /// of concurrent queries are not meaningful — and `trace_session` is
+  /// superseded by `sessions` below. When a fault plan is attached, each
+  /// submission runs under its own plan copy whose seed is
+  /// derive_stream(plan.seed, submission index), so concurrent queries
+  /// draw independent fault streams and the run replays bit-identically.
+  StrategyOptions exec{};
+  /// Per-submission span sessions: resized to the submission count, entry i
+  /// collecting query i's PhaseSpans (sessions are not thread-safe, but the
+  /// simulator is single-threaded — one session per query keeps them
+  /// separable for serialization in submission order). Null disables spans.
+  std::vector<obs::TraceSession>* sessions = nullptr;
+  /// When set, serve() records per-submission figures after the run, in
+  /// submission order (deterministic): histograms serve.latency_us and
+  /// serve.queue_wait_us over completed submissions, counters
+  /// serve.completed and serve.rejected. Leave null when running many
+  /// serve() calls concurrently and record via record_serve_metrics in a
+  /// deterministic order instead (a histogram's `sum` accumulates in
+  /// recording order, so concurrent recording would make it float-unstable).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Records one report's per-submission figures into `metrics` (see
+/// ServeOptions::metrics for the metric names). Submission order.
+void record_serve_metrics(const ServeReport& report,
+                          obs::MetricsRegistry& metrics);
+
+/// Serves `spec.n_queries` submissions drawn from `pool` against
+/// `federation` in one shared simulation. The whole run is a deterministic
+/// function of (federation, pool, spec, options) — arrivals, pool picks and
+/// client think-loops all derive from spec.seed. Throws ServeError when the
+/// pool is empty, QueryError when a pool query is malformed.
+[[nodiscard]] ServeReport serve(const Federation& federation,
+                                const std::vector<ServeRequest>& pool,
+                                const ServeSpec& spec,
+                                const ServeOptions& options = {});
+
+}  // namespace isomer::serve

@@ -1,0 +1,68 @@
+#include "isomer/workload/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "isomer/common/error.hpp"
+
+namespace isomer::workload {
+
+std::vector<Arrival> poisson_arrivals(double rate_qps, std::size_t n,
+                                      std::size_t pool_size, Rng& rng) {
+  expects(rate_qps > 0, "poisson_arrivals wants a positive rate");
+  expects(pool_size > 0, "poisson_arrivals wants a non-empty pool");
+  std::vector<Arrival> out;
+  out.reserve(n);
+  double clock_s = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Inverse-transform exponential gap. uniform_real never returns 1, so
+    // log(1 - u) is finite.
+    const double u = rng.uniform_real(0.0, 1.0);
+    clock_s += -std::log(1.0 - u) / rate_qps;
+    Arrival arrival;
+    arrival.at = static_cast<SimTime>(std::llround(clock_s * 1e9));
+    arrival.pool_index = rng.index(pool_size);
+    out.push_back(arrival);
+  }
+  return out;
+}
+
+std::vector<GlobalQuery> derive_query_pool(const GlobalQuery& base,
+                                           std::size_t count, Rng& rng) {
+  expects(count > 0, "derive_query_pool wants a positive count");
+  std::vector<GlobalQuery> pool;
+  pool.reserve(count);
+  pool.push_back(base);
+  for (std::size_t i = 1; i < count; ++i) {
+    GlobalQuery variant;
+    variant.range_class = base.range_class;
+
+    // A non-empty subset of the targets (a target-less base stays
+    // target-less), in the base query's order so the variant is
+    // deterministic given the drawn index set.
+    if (!base.targets.empty()) {
+      const std::size_t n_targets = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(base.targets.size())));
+      auto picked = rng.sample_indices(base.targets.size(), n_targets);
+      std::sort(picked.begin(), picked.end());
+      for (const std::size_t t : picked)
+        variant.targets.push_back(base.targets[t]);
+    }
+
+    if (base.disjuncts.empty()) {
+      // Pure conjunction: any predicate subset (possibly empty) is still a
+      // well-formed query.
+      for (const Predicate& pred : base.predicates)
+        if (rng.bernoulli(0.7)) variant.predicates.push_back(pred);
+    } else {
+      // Dropping predicates would invalidate the indices in `disjuncts`;
+      // keep the matching formula intact and vary only the projection.
+      variant.predicates = base.predicates;
+      variant.disjuncts = base.disjuncts;
+    }
+    pool.push_back(std::move(variant));
+  }
+  return pool;
+}
+
+}  // namespace isomer::workload

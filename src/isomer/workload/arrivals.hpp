@@ -1,0 +1,50 @@
+// Arrival processes and query pools for the serving layer.
+//
+// The serving layer (serve/server.hpp) admits a stream of *independent*
+// global queries into one shared simulated federation. This header supplies
+// the two workload-side ingredients: a Poisson arrival schedule for the
+// open-loop mode, and a pool of query variants derived from one base query
+// so concurrent requests are heterogeneous (different target sets,
+// different predicate subsets) while staying answerable against the same
+// synthesized federation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "isomer/common/rng.hpp"
+#include "isomer/query/query.hpp"
+#include "isomer/sim/simulator.hpp"
+
+namespace isomer::workload {
+
+/// One scheduled open-loop submission: which pool entry arrives when.
+struct Arrival {
+  SimTime at = 0;
+  std::size_t pool_index = 0;
+
+  friend bool operator==(const Arrival&, const Arrival&) = default;
+};
+
+/// Draws `n` Poisson arrivals at mean rate `rate_qps` (queries per second):
+/// inter-arrival gaps are exponential with mean 1/rate, rounded to whole
+/// simulated nanoseconds, and each arrival picks a uniformly random entry
+/// of a `pool_size`-entry query pool. All randomness comes from `rng`, so a
+/// fixed seed replays the exact schedule. Requires rate_qps > 0 and
+/// pool_size > 0.
+[[nodiscard]] std::vector<Arrival> poisson_arrivals(double rate_qps,
+                                                    std::size_t n,
+                                                    std::size_t pool_size,
+                                                    Rng& rng);
+
+/// Derives a pool of `count` query variants from `base`. Entry 0 is always
+/// `base` itself; later entries keep the range class but select a random
+/// non-empty subset of the targets (a target-less base stays target-less)
+/// and (for purely conjunctive queries) a random subset of the predicates.
+/// Queries with disjunctive structure only vary their targets — dropping a
+/// predicate would invalidate the indices in `disjuncts`. Requires
+/// count > 0.
+[[nodiscard]] std::vector<GlobalQuery> derive_query_pool(
+    const GlobalQuery& base, std::size_t count, Rng& rng);
+
+}  // namespace isomer::workload

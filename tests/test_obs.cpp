@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <string>
+#include <vector>
 
 #include "isomer/core/explain.hpp"
 #include "isomer/core/stream.hpp"
@@ -101,6 +102,68 @@ TEST(Metrics, CounterAndHistogram) {
   const std::string text = registry.to_text();
   EXPECT_NE(text.find("events"), std::string::npos);
   EXPECT_NE(text.find("latency"), std::string::npos);
+}
+
+TEST(Metrics, QuantilesArePinnedOnKnownSamples) {
+  // The estimator is nearest-rank located in its power-of-two bucket and
+  // linearly interpolated, clamped to [min, max]. For {1, 2, 3, 4}:
+  //   buckets: 1 -> [0,2), {2,3} -> [2,4), 4 -> [4,8)
+  //   p50: rank 2 is the 1st of 2 samples in [2,4) -> 2 + (1/2)*2 = 3.0
+  //   p95/p99: rank 4 fills [4,8) -> interpolates to 8, clamps to max 4.0
+  obs::Histogram hist;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) hist.record(v);
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(snap.p95(), 4.0);
+  EXPECT_DOUBLE_EQ(snap.p99(), 4.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.5);
+
+  // A constant series clamps every quantile to the single recorded value,
+  // whatever the bucket interpolation says.
+  obs::Histogram constant;
+  for (int i = 0; i < 5; ++i) constant.record(100.0);
+  const obs::Histogram::Snapshot flat = constant.snapshot();
+  EXPECT_DOUBLE_EQ(flat.p50(), 100.0);
+  EXPECT_DOUBLE_EQ(flat.p95(), 100.0);
+  EXPECT_DOUBLE_EQ(flat.p99(), 100.0);
+
+  // Empty histograms report 0 rather than infinities.
+  const obs::Histogram::Snapshot empty = obs::Histogram{}.snapshot();
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99(), 0.0);
+}
+
+TEST(Metrics, QuantilesIgnoreRecordingOrder) {
+  // The estimate depends only on bucket counts and min/max, so any
+  // permutation of the same samples — e.g. concurrent recorders under
+  // --jobs — yields bit-identical quantiles.
+  const std::vector<double> samples{7.0, 0.5, 130.0, 33.0, 2.0, 2.0, 65.0};
+  obs::Histogram forward, backward;
+  for (const double v : samples) forward.record(v);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it)
+    backward.record(*it);
+  const obs::Histogram::Snapshot a = forward.snapshot();
+  const obs::Histogram::Snapshot b = backward.snapshot();
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99})
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << q;
+}
+
+TEST(Jsonl, HistogramSummariesCarryQuantiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist = registry.histogram("serve.latency_us");
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) hist.record(v);
+  (void)registry.histogram("untouched");
+  const std::string line = obs::metrics_to_json(registry);
+  for (const char* needle :
+       {"\"serve.latency_us\":{\"count\":4", "\"min\":1", "\"max\":4",
+        "\"p50\":3", "\"p95\":4", "\"p99\":4"})
+    EXPECT_NE(line.find(needle), std::string::npos) << needle << "\n" << line;
+  // Empty histograms must omit the summary fields (their min/max are
+  // infinities, which JSON cannot carry).
+  EXPECT_NE(line.find("\"untouched\":{\"count\":0,\"sum\":0}"),
+            std::string::npos)
+      << line;
 }
 
 TEST(Jsonl, EscapesStrings) {

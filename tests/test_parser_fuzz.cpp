@@ -1,6 +1,7 @@
-// Fuzzing for the two text frontends: the SQL/X-subset query parser
-// (query/parser.hpp) and the --faults specification parser
-// (fault/fault_plan.hpp).
+// Fuzzing for the three text frontends: the SQL/X-subset query parser
+// (query/parser.hpp), the --faults specification parser
+// (fault/fault_plan.hpp), and the --serve specification parser
+// (serve/serve_spec.hpp).
 //
 // Three properties, each over hundreds of deterministic random inputs:
 //   * printer -> parser round-trip: any AST the generator can build prints
@@ -14,10 +15,12 @@
 #include <string>
 #include <vector>
 
+#include "isomer/common/error.hpp"
 #include "isomer/common/rng.hpp"
 #include "isomer/fault/fault_plan.hpp"
 #include "isomer/query/parser.hpp"
 #include "isomer/query/printer.hpp"
+#include "isomer/serve/serve_spec.hpp"
 
 namespace isomer {
 namespace {
@@ -211,6 +214,130 @@ TEST(FaultSpecMutation, CorruptedSpecsFailCleanlyOrParse) {
       (void)fault::parse_fault_spec(text);
     } catch (const FaultError&) {
       // the documented failure mode for malformed specs
+    }
+  }
+}
+
+// ---- serve spec (serve/serve_spec.hpp) ----
+
+/// A random but valid ServeSpec. Fields the spec grammar ties to the other
+/// arrival mode are left at their defaults — the parser would reject them,
+/// and to_string never prints them — so round-trip equality is exact.
+serve::ServeSpec random_serve_spec(Rng& rng) {
+  serve::ServeSpec spec;
+  if (rng.bernoulli(0.5)) {
+    spec.mode = serve::ArrivalMode::Open;
+    spec.rate_qps = rng.uniform_real(0.001, 5000.0);
+  } else {
+    spec.mode = serve::ArrivalMode::Closed;
+    spec.clients = 1 + rng.index(64);
+    spec.think_ns = static_cast<SimTime>(rng.uniform_int(0, 5'000'000));
+  }
+  spec.n_queries = 1 + rng.index(10'000);
+  spec.policy =
+      rng.bernoulli(0.5) ? serve::SchedPolicy::Fifo : serve::SchedPolicy::Spc;
+  spec.queue_limit = rng.index(256);     // 0 = unbounded
+  spec.site_inflight = rng.index(32);    // 0 = uncapped
+  spec.seed = rng.uniform_int(0, 1 << 20);
+  return spec;
+}
+
+class ServeSpecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServeSpecRoundTrip, PrintedSpecsParseBackIdentically) {
+  Rng rng(derive_stream(0x5E27'E014ULL, GetParam()));
+  const serve::ServeSpec spec = random_serve_spec(rng);
+  const std::string text = serve::to_string(spec);
+  serve::ServeSpec parsed;
+  ASSERT_NO_THROW(parsed = serve::parse_serve_spec(text)) << text;
+  EXPECT_EQ(parsed, spec) << text;
+  // The canonical form is a fixed point: printing the parse reproduces it.
+  EXPECT_EQ(serve::to_string(parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeSpecRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 301));
+
+TEST(ServeSpecErrors, DuplicateKeysAreHardErrors) {
+  // Same policy as --faults: last-one-wins would silently discard half the
+  // operator's intent, so every key may appear at most once.
+  const char* const duplicated[] = {
+      "open:rate=1,rate=2",
+      "open:n=5,queue=2,n=6",
+      "closed:clients=2,clients=3",
+      "closed:think=1ms,think=2ms",
+      "open:policy=fifo,policy=spc",
+      "open:inflight=2,inflight=2",
+      "open:seed=1,seed=1",
+      "open:queue=4,rate=9,queue=4",
+  };
+  for (const char* spec : duplicated)
+    EXPECT_THROW((void)serve::parse_serve_spec(spec), ServeError) << spec;
+}
+
+TEST(ServeSpecErrors, KeysOfTheOtherModeAreHardErrors) {
+  // rate= describes an open-loop arrival process; clients=/think= describe a
+  // closed loop. Accepting one under the other mode would silently ignore
+  // it, so the parser rejects the combination outright.
+  const char* const mismatched[] = {
+      "closed:rate=5",
+      "open:clients=2",
+      "open:think=1ms",
+      "closed:clients=2,rate=0.5",
+  };
+  for (const char* spec : mismatched)
+    EXPECT_THROW((void)serve::parse_serve_spec(spec), ServeError) << spec;
+}
+
+TEST(ServeSpecErrors, MalformedSpecsAreHardErrors) {
+  const char* const malformed[] = {
+      "",             // missing mode
+      "open:",        // empty item list
+      "poisson",      // unknown mode
+      "open:rate=0",  // rate must be positive
+      "open:rate=-3",
+      "closed:clients=0",  // needs at least one client
+      "open:n=0",          // needs at least one submission
+      "open:bogus=1",      // unknown key
+      "open:rate",         // missing '='
+      "closed:think=5",    // duration needs a unit
+      "closed:think=5m",   // unknown unit
+      "open:policy=lifo",  // unknown policy
+  };
+  for (const char* spec : malformed)
+    EXPECT_THROW((void)serve::parse_serve_spec(spec), ServeError) << spec;
+}
+
+TEST(ServeSpecMutation, CorruptedSpecsFailCleanlyOrParse) {
+  const std::string valid_open =
+      "open:rate=120.5,n=64,policy=spc,queue=16,inflight=2,seed=9";
+  const std::string valid_closed =
+      "closed:clients=8,think=2ms,n=100,policy=fifo,queue=32,inflight=4";
+  Rng rng(0x5E27'F022ULL);
+  for (int i = 0; i < 500; ++i) {
+    std::string text = rng.bernoulli(0.5) ? valid_open : valid_closed;
+    const std::size_t rounds = 1 + rng.index(4);
+    for (std::size_t r = 0; r < rounds; ++r)
+      text = mutate(std::move(text), rng);
+    try {
+      (void)serve::parse_serve_spec(text);
+    } catch (const ServeError&) {
+      // the documented failure mode for malformed specs
+    }
+  }
+}
+
+TEST(ServeSpecGarbage, ArbitraryPrintableStringsNeverCrashTheParser) {
+  Rng rng(0x5E27'1112ULL);
+  const char kPool[] = "openclosedratethinkqueuft=,:0123456789.smnu -_";
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    const std::size_t len = rng.index(50);
+    for (std::size_t c = 0; c < len; ++c)
+      text += kPool[rng.index(sizeof(kPool) - 1)];
+    try {
+      (void)serve::parse_serve_spec(text);
+    } catch (const ServeError&) {
     }
   }
 }

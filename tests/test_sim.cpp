@@ -2,6 +2,8 @@
 // cluster's network models, cost parameters, and trace bookkeeping.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "isomer/sim/barrier.hpp"
 #include "isomer/sim/cluster.hpp"
 #include "isomer/sim/trace.hpp"
@@ -115,6 +117,56 @@ TEST(Barrier, ArrivalCallbackKeepsBarrierAlive) {
   }  // local shared_ptr dropped; callbacks hold it
   sim.run();
   EXPECT_TRUE(fired);
+}
+
+TEST(Barrier, FiresExactlyOnce) {
+  int fired = 0;
+  auto barrier = Barrier::create(1, [&] { ++fired; });
+  EXPECT_EQ(barrier->pending(), 1u);
+  barrier->arrive();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(barrier->pending(), 0u);
+  // Nothing re-fires afterwards: the continuation was consumed, and further
+  // arrivals violate the contract instead of double-completing.
+  EXPECT_THROW(barrier->arrive(), ContractViolation);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Barrier, OverArrivalThroughScheduledCallbacksIsCaught) {
+  // Same contract as calling arrive() directly, but through the arrival()
+  // closures the strategies actually schedule: one callback too many makes
+  // the simulation run surface the violation instead of silently firing a
+  // second time.
+  Simulator sim;
+  int fired = 0;
+  {
+    auto barrier = Barrier::create(2, [&] { ++fired; });
+    sim.schedule_at(1, barrier->arrival());
+    sim.schedule_at(2, barrier->arrival());
+    sim.schedule_at(3, barrier->arrival());  // one more than expected
+  }
+  EXPECT_THROW(sim.run(), ContractViolation);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Barrier, CompletionReleasesTheCallbackState) {
+  // The continuation (and anything it captured) is dropped at fire time, so
+  // a fired barrier kept alive by stray handles doesn't pin resources.
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  auto barrier = Barrier::create(1, [held = std::move(token)] {});
+  EXPECT_FALSE(watch.expired());  // captured by the pending continuation
+  barrier->arrive();
+  EXPECT_TRUE(watch.expired());  // consumed and destroyed on fire
+  EXPECT_EQ(barrier->pending(), 0u);
+}
+
+TEST(Barrier, ZeroExpectedReportsNothingPending) {
+  bool fired = false;
+  auto barrier = Barrier::create(0, [&] { fired = true; });
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(barrier->pending(), 0u);
+  EXPECT_THROW(barrier->arrive(), ContractViolation);
 }
 
 // --- cost params ---
