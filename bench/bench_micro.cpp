@@ -7,7 +7,9 @@
 
 #include "isomer/core/local_exec.hpp"
 #include "isomer/core/strategy.hpp"
+#include "isomer/federation/goid_table.hpp"
 #include "isomer/federation/materializer.hpp"
+#include "isomer/query/kernels.hpp"
 #include "isomer/obs/trace_session.hpp"
 #include "isomer/query/eval.hpp"
 #include "isomer/query/eval_cache.hpp"
@@ -134,6 +136,160 @@ void BM_SignatureScreen(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SignatureScreen);
+
+// ---- Row vs columnar hot loops (docs/PERFORMANCE.md) -----------------------
+//
+// The pairs below isolate the two hot paths the columnar work targets:
+// simple-predicate evaluation over a whole extent, and LOid -> GOid probes.
+// Each pair runs the same logical work through the row-at-a-time path and
+// the vectorized / batched path so their ratio is the speedup
+// tools/check_bench_micro.py watches. All report an explicit objects_per_s
+// or probes_per_s rate counter in the JSON output.
+
+/// One class, one Real attribute, ~1/16 of rows null (the missing-data case).
+ComponentDatabase make_scan_db(std::int64_t n) {
+  ComponentSchema schema(DbId{1}, "DB1");
+  schema.add_class("Scan").add_attribute("v", PrimType::Real);
+  ComponentDatabase db(std::move(schema));
+  db.reserve("Scan", static_cast<std::size_t>(n));
+  Rng rng(99);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(1.0 / 16.0))
+      db.insert("Scan");  // v stays null
+    else
+      db.insert("Scan", {{"v", Value(rng.uniform_real(0.0, 1000.0))}});
+  }
+  return db;
+}
+
+void BM_PredicateEvalRow(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const ComponentDatabase db = make_scan_db(n);
+  const auto& objects = db.extent("Scan").objects();
+  const Value literal{500.0};
+  for (auto _ : state) {
+    std::size_t trues = 0;
+    for (const Object& obj : objects)
+      trues += is_true(apply(CompOp::Lt, obj.value(0), literal)) ? 1u : 0u;
+    benchmark::DoNotOptimize(trues);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["objects_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * n),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PredicateEvalRow)->Arg(100'000)->Arg(1'000'000);
+
+void BM_PredicateEvalColumnar(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const ComponentDatabase db = make_scan_db(n);
+  const ColumnarExtent& columnar = db.extent("Scan").columnar();
+  const ColumnarExtent::Column& col = columnar.column(0);
+  const Value literal{500.0};
+  std::vector<Truth> truths(columnar.rows());
+  for (auto _ : state) {
+    eval_predicate_column(col, columnar.rows(), CompOp::Lt, literal,
+                          truths.data());
+    benchmark::DoNotOptimize(count_truth(truths, Truth::True));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["objects_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * n),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PredicateEvalColumnar)->Arg(100'000)->Arg(1'000'000);
+
+/// n singleton entities plus a deterministically shuffled probe order, so
+/// the probe loops below are cache-miss-bound like a real semijoin batch.
+GoidTable make_goid_table(std::int64_t n, std::vector<LOid>& probe_order) {
+  GoidTable goids;
+  goids.reserve(static_cast<std::size_t>(n));
+  probe_order.clear();
+  probe_order.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const LOid id{DbId{1}, static_cast<std::uint32_t>(i + 1)};
+    goids.register_entity("C", {id});
+    probe_order.push_back(id);
+  }
+  Rng rng(5);
+  for (std::size_t i = probe_order.size(); i > 1; --i)
+    std::swap(probe_order[i - 1], probe_order[rng.index(i)]);
+  return goids;
+}
+
+void BM_GoidProbeScalar(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<LOid> order;
+  const GoidTable goids = make_goid_table(n, order);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const LOid id : order) sum += goids.goid_of(id)->value();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["probes_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * n),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GoidProbeScalar)->Arg(100'000)->Arg(1'000'000);
+
+void BM_GoidProbeBatch(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<LOid> order;
+  const GoidTable goids = make_goid_table(n, order);
+  std::vector<GOid> out(order.size());
+  for (auto _ : state) {
+    goids.goids_of(order, out.data());
+    benchmark::DoNotOptimize(out.front().value() + out.back().value());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["probes_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * n),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GoidProbeBatch)->Arg(100'000)->Arg(1'000'000);
+
+/// The pre-sharding probe baseline: one big std::unordered_map, probed in the
+/// same shuffled order. Kept as a benchmark (not production code) so the
+/// sharded table's advantage stays measurable.
+void BM_GoidProbeReferenceMap(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<LOid> order;
+  const GoidTable goids = make_goid_table(n, order);
+  std::unordered_map<LOid, std::uint64_t> reference;
+  reference.reserve(order.size());
+  for (const LOid id : order) reference.emplace(id, goids.goid_of(id)->value());
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const LOid id : order) sum += reference.find(id)->second;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["probes_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations() * n),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GoidProbeReferenceMap)->Arg(100'000)->Arg(1'000'000);
+
+/// Full local query execution, row path vs columnar fast path, on the same
+/// synthetic federation. The two are bitwise-identical in results and meter
+/// (tests/test_columnar_parity.cpp); this pair measures the wall-clock gap.
+void BM_LocalQueryRowVsColumnar(benchmark::State& state) {
+  const SynthFederation synth = make_synth(static_cast<int>(state.range(1)));
+  const bool use_columnar = state.range(0) != 0;
+  for (auto _ : state) {
+    LocalExecution exec = run_local_query(*synth.federation, synth.query,
+                                          DbId{1}, nullptr, use_columnar);
+    benchmark::DoNotOptimize(exec.rows.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+  state.counters["objects_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * state.range(1)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LocalQueryRowVsColumnar)
+    ->Args({0, 20000})
+    ->Args({1, 20000});
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,45 @@
+// Shared hashing utilities.
+//
+// TransparentStringHash lets unordered containers keyed by std::string be
+// probed with std::string_view (heterogeneous lookup) so hot probe paths do
+// not allocate a temporary std::string per call.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "isomer/common/ids.hpp"
+
+namespace isomer {
+
+/// Heterogeneous (transparent) hash for string-keyed unordered containers:
+/// `map.find(string_view)` works without materializing a std::string.
+struct TransparentStringHash {
+  using is_transparent = void;
+
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Finalizer-quality 64-bit mix of an LOid (same splitmix construction as
+/// std::hash<LOid>, exposed as a free function so open-addressed tables can
+/// derive both their shard and their slot from one well-mixed word).
+[[nodiscard]] inline std::uint64_t hash_loid(const LOid& id) noexcept {
+  const auto combined = (static_cast<std::uint64_t>(id.db.value()) << 32) |
+                        static_cast<std::uint64_t>(id.local);
+  std::uint64_t x = combined + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace isomer

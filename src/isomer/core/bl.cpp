@@ -193,9 +193,22 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
       const SiteIndex site = env.site_of(target);
       auto outcome = std::make_shared<CheckOutcome>(
           run_checks(env.fed(), env.query(), target, tasks, signatures));
-      // Semijoin requests carry GOids, not assistant LOids: the target pays
-      // one replicated-GOid-table probe per task to re-derive them.
-      if (env.batching()) outcome->meter.table_probes += tasks.size();
+      // Semijoin requests carry GOids, not assistant LOids: the target
+      // re-derives each task's assistant through its replicated GOid table.
+      // One batched probe pass over all assistants charges exactly one
+      // table probe per task.
+      if (env.batching() && !tasks.empty()) {
+        std::vector<LOid> assistants;
+        assistants.reserve(tasks.size());
+        for (const CheckTask& task : tasks)
+          assistants.push_back(task.assistant);
+        std::vector<GOid> derived(tasks.size());
+        env.fed().goids().goids_of(assistants, derived.data(),
+                                   &outcome->meter);
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+          ensures(derived[i] == tasks[i].item,
+                  "semijoin re-derivation disagrees with the shipped task");
+      }
       auto self = shared_from_this();
       SpanCounts counts;
       counts.objects_in = tasks.size();
@@ -302,7 +315,8 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
     // --- Step B: phase P — evaluate the local predicates.
     const auto run_p = [&env, run, eager_phase_o, lazy_o] {
       run->exec = run_local_query(env.fed(), env.query(), run->home,
-                                  env.options().indexes);
+                                  env.options().indexes,
+                                  env.options().columnar);
       AccessMeter p_meter = run->exec.meter;
       if (eager_phase_o) {
         // Pages already read by the eager walk stay cached in memory.

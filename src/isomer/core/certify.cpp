@@ -34,6 +34,9 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
     for (const LocalRow& row : local->rows)
       rows_by_entity[row.entity].push_back(&row);
 
+  // Flat ascending view of the homes for the batched presence probe below.
+  const std::vector<DbId> home_list(homes.begin(), homes.end());
+
   // Verdict index: (item, predicate) -> Kleene-or of all assistant verdicts,
   // with False dominating (any violating assistant eliminates).
   std::map<std::pair<GOid, std::size_t>, Truth> verdict_index;
@@ -56,11 +59,10 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
     // object must have shipped a row, else the object was eliminated locally
     // and the entity fails the conjunction.
     bool eliminated = false;
-    std::size_t expected_rows = 0;
-    for (const DbId home : homes) {
-      const auto isomer = federation.goids().loid_in(entity, home, meter);
-      if (isomer) ++expected_rows;
-    }
+    // One merge pass over the entity's isomers, charging one table probe
+    // per home — meter-identical to probing loid_in home by home.
+    const std::size_t expected_rows =
+        federation.goids().present_in(entity, home_list, meter);
     if (rows.size() != expected_rows) eliminated = true;
 
     // Pool the evidence per predicate across rows and check verdicts:

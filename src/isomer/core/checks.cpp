@@ -50,6 +50,11 @@ std::vector<UnsolvedItem> unsolved_items_of_all_roots(
   FetchCache cache;
   for (const Object& obj : database.scan(root_class, &local, &cache)) {
     for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+      // A single-step predicate can only be unsolved at the root (step 0),
+      // which this collection ignores, and its walk touches no nested
+      // object and charges only comparisons — zeroed below. Skipping it is
+      // meter- and item-identical to evaluating it.
+      if (query.predicates[p].path.length() == 1) continue;
       const LocalPredOutcome outcome = eval_global_predicate_at(
           federation, home, obj, range, query.predicates[p], 0, &local,
           &cache);

@@ -1,6 +1,7 @@
 #include "isomer/core/local_exec.hpp"
 
 #include "isomer/common/error.hpp"
+#include "isomer/query/kernels.hpp"
 
 namespace isomer {
 
@@ -152,7 +153,8 @@ Value eval_global_path(const Federation& federation, DbId db,
 
 LocalExecution run_local_query(const Federation& federation,
                                const GlobalQuery& query, DbId db,
-                               const ExtentIndexes* indexes) {
+                               const ExtentIndexes* indexes,
+                               bool use_columnar) {
   const GlobalSchema& schema = federation.schema();
   const GlobalClass& range = schema.cls(query.range_class);
   const auto constituent = range.constituent_in(db);
@@ -205,33 +207,93 @@ LocalExecution run_local_query(const Federation& federation,
       candidates.push_back(&obj);
   exec.considered = candidates.size();
 
-  for (const Object* obj_ptr : candidates) {
-    const Object& obj = *obj_ptr;
-    LocalRow row;
-    row.root = obj.id();
-    row.preds.reserve(query.predicates.size());
+  // How each predicate is evaluated over this candidate set:
+  //   Row         row-at-a-time walk per candidate (the reference path);
+  //   Kernel      one vectorized pass over the root extent's columnar
+  //               mirror, truths precomputed for all candidates;
+  //   MissingRoot the step-0 attribute is schema-missing here, so every
+  //               candidate is Unknown at the root — no walk at all.
+  // Kernel/MissingRoot apply only to full scans (candidates == extent rows
+  // in order); index executions keep the row walk.
+  enum class PredMode : unsigned char { Row, Kernel, MissingRoot };
+  const std::size_t n_preds = query.predicates.size();
+  std::vector<PredMode> modes(n_preds, PredMode::Row);
+  std::vector<std::vector<Truth>> kernel_truths(n_preds);
+  if (use_columnar && !via_index && !candidates.empty()) {
+    const Extent& root_extent = database.extent(root_class_name);
+    for (std::size_t p = 0; p < n_preds; ++p) {
+      const Predicate& pred = query.predicates[p];
+      const auto attr = local_attr_index(database, range, pred.path.step(0));
+      if (!attr) {
+        // The row path returns Unknown(root, step 0) per candidate with no
+        // comparison, then charges one goid probe for the unknown holder —
+        // surviving or not. Same totals, charged in bulk.
+        modes[p] = PredMode::MissingRoot;
+        exec.meter.table_probes += candidates.size();
+        continue;
+      }
+      if (pred.path.length() != 1) continue;  // navigation: row walk
+      const ColumnarExtent::Column& col =
+          root_extent.columnar().column(*attr);
+      if (!kernel_applicable(col.kind, pred.op, pred.literal)) continue;
+      modes[p] = PredMode::Kernel;
+      kernel_truths[p].resize(candidates.size());
+      eval_predicate_column(col, candidates.size(), pred.op, pred.literal,
+                            kernel_truths[p].data());
+      // Row-path charges for a present last-step attribute: one comparison
+      // per candidate (nulls included — apply() still runs), one goid probe
+      // per Unknown outcome whether or not the candidate survives.
+      exec.meter.comparisons += candidates.size();
+      exec.meter.table_probes +=
+          count_truth(kernel_truths[p], Truth::Unknown);
+    }
+  }
+
+  // Per-candidate scratch, reused across iterations. RowEval's unsolved-site
+  // fields are only read when truth is Unknown, and are always freshly
+  // written in that case.
+  struct RowEval {
+    Truth truth = Truth::Unknown;
+    GOid item;
+    std::size_t step = 0;
+    bool root_level = false;
+  };
+  std::vector<RowEval> evals(n_preds);
+  std::vector<Truth> truths(n_preds);
+
+  for (std::size_t r = 0; r < candidates.size(); ++r) {
+    const Object& obj = *candidates[r];
 
     // Every predicate is evaluated (no short-circuiting): comparison counts
     // stay deterministic, and under disjunctive queries a False conjunct
     // does not decide the object's fate by itself.
-    std::vector<Truth> truths;
-    truths.reserve(query.predicates.size());
-    for (const Predicate& pred : query.predicates) {
-      const LocalPredOutcome outcome = eval_global_predicate_at(
-          federation, db, obj, range, pred, 0, &exec.meter, &cache);
-      truths.push_back(outcome.truth);
-      PredStatus status;
-      status.truth = outcome.truth;
-      if (is_unknown(outcome.truth)) {
-        const auto item_entity =
-            federation.goids().goid_of(outcome.holder, &exec.meter);
-        ensures(item_entity.has_value(),
-                "every constituent object is GOid-mapped");
-        status.item = *item_entity;
-        status.step = outcome.step;
-        status.root_level = (outcome.holder == obj.id() && outcome.step == 0);
+    for (std::size_t p = 0; p < n_preds; ++p) {
+      RowEval& e = evals[p];
+      if (modes[p] == PredMode::Row) {
+        const LocalPredOutcome outcome = eval_global_predicate_at(
+            federation, db, obj, range, query.predicates[p], 0, &exec.meter,
+            &cache);
+        e.truth = outcome.truth;
+        if (is_unknown(outcome.truth)) {
+          const auto item_entity =
+              federation.goids().goid_of(outcome.holder, &exec.meter);
+          ensures(item_entity.has_value(),
+                  "every constituent object is GOid-mapped");
+          e.item = *item_entity;
+          e.step = outcome.step;
+          e.root_level = (outcome.holder == obj.id() && outcome.step == 0);
+        }
+      } else {
+        e.truth = modes[p] == PredMode::Kernel ? kernel_truths[p][r]
+                                               : Truth::Unknown;
+        if (is_unknown(e.truth)) {
+          // The holder is the root itself at step 0 (bulk-charged above);
+          // its entity equals the row's, resolved below only if it survives.
+          e.step = 0;
+          e.root_level = true;
+        }
       }
-      row.preds.push_back(status);
+      truths[p] = e.truth;
     }
     // The object is eliminated locally when the whole matching formula is
     // provably False here (for conjunctive queries: any False conjunct).
@@ -239,7 +301,22 @@ LocalExecution run_local_query(const Federation& federation,
 
     const auto entity = federation.goids().goid_of(obj.id(), &exec.meter);
     ensures(entity.has_value(), "every constituent object is GOid-mapped");
+
+    LocalRow row;
+    row.root = obj.id();
     row.entity = *entity;
+    row.preds.reserve(n_preds);
+    for (std::size_t p = 0; p < n_preds; ++p) {
+      const RowEval& e = evals[p];
+      PredStatus status;
+      status.truth = e.truth;
+      if (is_unknown(e.truth)) {
+        status.item = modes[p] == PredMode::Row ? e.item : *entity;
+        status.step = e.step;
+        status.root_level = e.root_level;
+      }
+      row.preds.push_back(status);
+    }
 
     row.targets.reserve(query.targets.size());
     for (const PathExpr& target : query.targets)

@@ -98,10 +98,19 @@ struct LocalExecution {
 /// query's conjunctive equality predicates here, in which case only the
 /// matching + null-bucket candidates are fetched (identical rows, less
 /// disk; see federation/indexes.hpp for why the null bucket is required).
+///
+/// With `use_columnar` (the default), full-scan executions evaluate simple
+/// single-step predicates through the extent's columnar mirror and the
+/// vectorized kernels (query/kernels.hpp); predicates the kernels cannot
+/// mirror exactly — navigation paths, mixed-kind columns — take the
+/// row-at-a-time walk per object. Rows, meter counts and cache evolution
+/// are bitwise identical either way; `use_columnar = false` forces the row
+/// walk everywhere and exists as the parity suite's reference.
 [[nodiscard]] LocalExecution run_local_query(const Federation& federation,
                                              const GlobalQuery& query,
                                              DbId db,
                                              const ExtentIndexes* indexes =
-                                                 nullptr);
+                                                 nullptr,
+                                             bool use_columnar = true);
 
 }  // namespace isomer

@@ -94,6 +94,12 @@ struct StrategyOptions {
   /// What to do once retries are exhausted: abort the query (Fail) or
   /// degrade gracefully per fault/degrade.hpp (Partial).
   fault::DegradeMode degrade = fault::DegradeMode::Fail;
+  /// Evaluate simple single-step predicates through the columnar extent
+  /// mirrors and vectorized kernels (query/kernels.hpp) during full-scan
+  /// local executions. Rows, meter counts and simulated times are bitwise
+  /// identical either way; `false` forces the row-at-a-time walk everywhere
+  /// and exists as the parity suite's reference and for layout ablations.
+  bool columnar = true;
   /// Batched semijoin shipping; off by default (see BatchOptions).
   BatchOptions batch{};
 };

@@ -1,10 +1,80 @@
 #include "isomer/federation/goid_table.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "isomer/common/error.hpp"
 
 namespace isomer {
+
+namespace {
+
+constexpr std::size_t kMinShardCapacity = 16;
+
+/// Smallest power of two holding `n` entries below the 7/8 load bound.
+std::size_t capacity_for(std::size_t n) {
+  std::size_t cap = kMinShardCapacity;
+  while (cap - cap / 8 < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+std::uint64_t GoidTable::loid_lookup(LOid key) const noexcept {
+  const std::uint64_t hash = hash_loid(key);
+  const Shard& shard = by_loid_[shard_of(hash)];
+  if (shard.slots.empty()) return 0;
+  const std::size_t mask = shard.slots.size() - 1;
+  for (std::size_t i = static_cast<std::size_t>(hash) & mask;;
+       i = (i + 1) & mask) {
+    const Shard::Slot& slot = shard.slots[i];
+    if (slot.goid == 0) return 0;
+    if (slot.key == key) return slot.goid;
+  }
+}
+
+void GoidTable::grow_shard(Shard& shard, std::size_t min_capacity) {
+  std::vector<Shard::Slot> old = std::move(shard.slots);
+  shard.slots.assign(std::bit_ceil(min_capacity), Shard::Slot{});
+  const std::size_t mask = shard.slots.size() - 1;
+  for (const Shard::Slot& slot : old) {
+    if (slot.goid == 0) continue;
+    std::size_t i = static_cast<std::size_t>(hash_loid(slot.key)) & mask;
+    while (shard.slots[i].goid != 0) i = (i + 1) & mask;
+    shard.slots[i] = slot;
+  }
+}
+
+bool GoidTable::loid_insert(LOid key, std::uint64_t goid) {
+  const std::uint64_t hash = hash_loid(key);
+  Shard& shard = by_loid_[shard_of(hash)];
+  // Grow at 7/8 load (or first insert) before probing for a free slot.
+  if (shard.slots.empty() ||
+      shard.size + 1 > shard.slots.size() - shard.slots.size() / 8)
+    grow_shard(shard, std::max(kMinShardCapacity, shard.slots.size() * 2));
+  const std::size_t mask = shard.slots.size() - 1;
+  for (std::size_t i = static_cast<std::size_t>(hash) & mask;;
+       i = (i + 1) & mask) {
+    Shard::Slot& slot = shard.slots[i];
+    if (slot.goid == 0) {
+      slot.key = key;
+      slot.goid = goid;
+      ++shard.size;
+      return true;
+    }
+    if (slot.key == key) return false;
+  }
+}
+
+void GoidTable::reserve(std::size_t objects) {
+  entries_.reserve(objects);
+  // Hash sharding spreads keys near-uniformly; size every shard for its
+  // expected share (growth still handles any imbalance).
+  const std::size_t per_shard = objects / kShardCount + 1;
+  for (Shard& shard : by_loid_)
+    if (shard.slots.size() < capacity_for(per_shard))
+      grow_shard(shard, capacity_for(per_shard));
+}
 
 GOid GoidTable::register_entity(std::string_view global_class,
                                 const std::vector<LOid>& isomers) {
@@ -19,11 +89,11 @@ GOid GoidTable::register_entity(std::string_view global_class,
     if (i > 0 && entry.isomers[i - 1].db == isomer.db)
       throw FederationError("entity has two objects in DB" +
                             std::to_string(isomer.db.value()));
-    if (by_loid_.find(isomer) != by_loid_.end())
+    if (loid_lookup(isomer) != 0)
       throw FederationError("LOid " + to_string(isomer) +
                             " already mapped to an entity");
   }
-  for (const LOid& isomer : entry.isomers) by_loid_.emplace(isomer, id);
+  for (const LOid& isomer : entry.isomers) loid_insert(isomer, id.value());
   by_class_[entry.global_class].push_back(id);
   entries_.push_back(std::move(entry));
   ++next_goid_;
@@ -34,7 +104,7 @@ void GoidTable::add_isomer(GOid entity, LOid isomer) {
   expects(entity.value() >= 1 && entity.value() < next_goid_,
           "GoidTable::add_isomer on unknown entity");
   Entry& e = entries_[entity.value() - 1];
-  if (by_loid_.find(isomer) != by_loid_.end())
+  if (loid_lookup(isomer) != 0)
     throw FederationError("LOid " + to_string(isomer) +
                           " already mapped to an entity");
   const auto same_db = [&](const LOid& other) { return other.db == isomer.db; };
@@ -46,14 +116,34 @@ void GoidTable::add_isomer(GOid entity, LOid isomer) {
       std::upper_bound(e.isomers.begin(), e.isomers.end(), isomer,
                        [](const LOid& a, const LOid& b) { return a.db < b.db; }),
       isomer);
-  by_loid_.emplace(isomer, entity);
+  loid_insert(isomer, entity.value());
 }
 
 std::optional<GOid> GoidTable::goid_of(LOid local, AccessMeter* meter) const {
   if (meter != nullptr) ++meter->table_probes;
-  const auto it = by_loid_.find(local);
-  if (it == by_loid_.end()) return std::nullopt;
-  return it->second;
+  const std::uint64_t goid = loid_lookup(local);
+  if (goid == 0) return std::nullopt;
+  return GOid{goid};
+}
+
+void GoidTable::goids_of(std::span<const LOid> locals, GOid* out,
+                         AccessMeter* meter) const {
+  const std::size_t n = locals.size();
+  if (meter != nullptr) meter->table_probes += n;
+  constexpr std::size_t kAhead = 8;  // deep enough to cover one DRAM miss
+  for (std::size_t i = 0; i < n; ++i) {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i + kAhead < n) {
+      const std::uint64_t hash = hash_loid(locals[i + kAhead]);
+      const Shard& shard = by_loid_[shard_of(hash)];
+      if (!shard.slots.empty())
+        __builtin_prefetch(
+            &shard.slots[static_cast<std::size_t>(hash) &
+                         (shard.slots.size() - 1)]);
+    }
+#endif
+    out[i] = GOid{loid_lookup(locals[i])};
+  }
 }
 
 std::optional<LOid> GoidTable::loid_in(GOid entity, DbId db,
@@ -62,6 +152,21 @@ std::optional<LOid> GoidTable::loid_in(GOid entity, DbId db,
   for (const LOid& isomer : entry(entity).isomers)
     if (isomer.db == db) return isomer;
   return std::nullopt;
+}
+
+std::size_t GoidTable::present_in(GOid entity, std::span<const DbId> homes,
+                                  AccessMeter* meter) const {
+  if (meter != nullptr) meter->table_probes += homes.size();
+  // Both lists are ascending in DbId: one merge pass replaces per-home
+  // isomer-list scans.
+  const std::vector<LOid>& isomers = entry(entity).isomers;
+  std::size_t present = 0;
+  std::size_t i = 0;
+  for (const DbId home : homes) {
+    while (i < isomers.size() && isomers[i].db < home) ++i;
+    if (i < isomers.size() && isomers[i].db == home) ++present;
+  }
+  return present;
 }
 
 const std::vector<LOid>& GoidTable::isomers_of(GOid entity) const {
@@ -75,7 +180,7 @@ const std::string& GoidTable::class_of(GOid entity) const {
 const std::vector<GOid>& GoidTable::entities_of(
     std::string_view global_class) const {
   static const std::vector<GOid> empty;
-  const auto it = by_class_.find(std::string(global_class));
+  const auto it = by_class_.find(global_class);  // heterogeneous: no alloc
   if (it == by_class_.end()) return empty;
   return it->second;
 }

@@ -18,6 +18,11 @@ const MaterializedObject* MaterializedExtent::find(GOid id) const noexcept {
   return &objects_[it->second];
 }
 
+void MaterializedExtent::reserve(std::size_t n) {
+  objects_.reserve(n);
+  by_id_.reserve(n);
+}
+
 void MaterializedExtent::insert(MaterializedObject obj) {
   const auto [it, inserted] = by_id_.emplace(obj.id, objects_.size());
   if (!inserted)
@@ -72,7 +77,11 @@ MaterializedView materialize(const Federation& federation,
     const GlobalClass& cls = schema.cls(class_name);
     MaterializedExtent& extent = view.add_extent(cls);
 
-    for (const GOid entity : goids.entities_of(class_name)) {
+    // The GOid table knows the class's entity count before the outerjoin
+    // starts: every entity yields exactly one materialized object.
+    const std::vector<GOid>& entities = goids.entities_of(class_name);
+    extent.reserve(entities.size());
+    for (const GOid entity : entities) {
       MaterializedObject merged{entity,
                                 std::vector<Value>(cls.def().attribute_count())};
       // Isomers are kept in ascending DbId order; first non-null wins.

@@ -46,6 +46,10 @@ class MaterializedExtent {
 
   void insert(MaterializedObject obj);
 
+  /// Pre-sizes for `n` objects (the outerjoin knows the entity count of the
+  /// class up front — reserve before inserting to avoid rehash churn).
+  void reserve(std::size_t n);
+
  private:
   const GlobalClass* cls_ = nullptr;
   std::vector<MaterializedObject> objects_;

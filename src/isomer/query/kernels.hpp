@@ -1,0 +1,59 @@
+// Vectorized predicate kernels.
+//
+// These kernels evaluate one simple comparison predicate (`attr op literal`)
+// over a whole columnar extent at once, producing one Kleene Truth per row.
+// They are the batch counterpart of query/query.hpp's `apply` and reproduce
+// its semantics *exactly* — null rows map to Unknown, Ne/Ge/Le are the
+// Kleene negations of Eq/Lt, numeric columns compare as doubles just like
+// Value::as_number() — so the row-at-a-time evaluator and the kernels are
+// interchangeable bit for bit.
+//
+// Dispatch contract: a caller may use a kernel only when
+// `kernel_applicable(col.kind, op, literal)` says so. Applicability is
+// decided from the *column's* storage kind (a whole-extent property), never
+// per row, so the kernels are branch-light and auto-vectorizable; every
+// combination the kernels cannot mirror exactly — mixed-kind columns,
+// incompatible operand kinds whose row path throws QueryError, ordered
+// comparison on bools — must take the row-at-a-time fallback.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "isomer/common/truth.hpp"
+#include "isomer/common/value.hpp"
+#include "isomer/query/query.hpp"
+#include "isomer/store/columnar.hpp"
+
+namespace isomer {
+
+/// True when `col_kind op literal` can be evaluated by a kernel with results
+/// identical to row-at-a-time `apply` on every possible row — including the
+/// rows where the row path would throw QueryError (those make the predicate
+/// non-vectorizable, so the fallback reproduces the throw).
+[[nodiscard]] bool kernel_applicable(ColumnarExtent::ColKind col_kind,
+                                     CompOp op, const Value& literal);
+
+/// Evaluates `col[r] op literal` for rows [0, rows), writing one Truth per
+/// row into `out` (capacity >= rows). Precondition: kernel_applicable.
+void eval_predicate_column(const ColumnarExtent::Column& col,
+                           std::size_t rows, CompOp op, const Value& literal,
+                           Truth* out);
+
+/// Selection-vector variant: evaluates only the rows listed in `sel`,
+/// writing out[i] = truth of row sel[i] (out capacity >= sel.size()).
+void eval_predicate_column(const ColumnarExtent::Column& col,
+                           std::span<const std::uint32_t> sel, CompOp op,
+                           const Value& literal, Truth* out);
+
+/// Number of entries in `truths` equal to `want`.
+[[nodiscard]] std::size_t count_truth(std::span<const Truth> truths,
+                                      Truth want) noexcept;
+
+/// Writes the indices whose truth equals `want` into `out` (capacity >=
+/// truths.size()) and returns how many were written — a selection vector
+/// over the kernel's output.
+std::size_t collect_rows(std::span<const Truth> truths, Truth want,
+                         std::uint32_t* out) noexcept;
+
+}  // namespace isomer

@@ -1,0 +1,172 @@
+#include "isomer/store/columnar.hpp"
+
+#include <limits>
+
+#include "isomer/common/error.hpp"
+#include "isomer/store/extent.hpp"
+
+namespace isomer {
+
+namespace {
+
+/// What one column looks like after the classification pass.
+struct ColPlan {
+  ColumnarExtent::ColKind kind = ColumnarExtent::ColKind::AllNull;
+  std::size_t str_bytes = 0;  ///< total string payload (String columns)
+};
+
+/// Folds one value's kind into the column's running classification.
+void classify(ColPlan& plan, const Value& v) {
+  using ColKind = ColumnarExtent::ColKind;
+  if (v.is_null()) return;
+  ColKind vk;
+  std::size_t bytes = 0;
+  switch (v.kind()) {
+    case ValueKind::Int:
+    case ValueKind::Real:
+      vk = ColKind::Num;
+      break;
+    case ValueKind::Bool:
+      vk = ColKind::Bool;
+      break;
+    case ValueKind::String:
+      vk = ColKind::String;
+      bytes = v.as_string().size();
+      break;
+    default:
+      vk = ColKind::Other;
+      break;
+  }
+  if (plan.kind == ColKind::AllNull)
+    plan.kind = vk;
+  else if (plan.kind != vk)
+    plan.kind = ColKind::Other;  // mixed non-numeric kinds: row path only
+  if (plan.kind == ColKind::String) plan.str_bytes += bytes;
+}
+
+}  // namespace
+
+ColumnarExtent::ColumnarExtent(const Extent& extent) {
+  const std::vector<Object>& objects = extent.objects();
+  rows_ = objects.size();
+  const std::size_t attrs = extent.cls().attribute_count();
+  cols_.resize(attrs);
+  if (attrs == 0) return;
+
+  // ---- Pass 1: classify every column and size the arenas.
+  std::vector<ColPlan> plans(attrs);
+  for (const Object& obj : objects)
+    for (std::size_t a = 0; a < attrs; ++a) classify(plans[a], obj.value(a));
+
+  const std::size_t bitmap_words = (rows_ + 63) / 64;
+  const std::size_t bool_words = (rows_ + 7) / 8;
+  std::size_t words = 0;
+  std::size_t str_total = 0;
+  std::size_t offset_total = 0;
+  for (const ColPlan& plan : plans) {
+    words += bitmap_words;  // every column gets a validity bitmap
+    switch (plan.kind) {
+      case ColKind::Num:
+        words += rows_;  // one 64-bit word per double
+        break;
+      case ColKind::Bool:
+        words += bool_words;
+        break;
+      case ColKind::String:
+        expects(plan.str_bytes <
+                    std::numeric_limits<std::uint32_t>::max(),
+                "string column exceeds 4 GiB arena");
+        str_total += plan.str_bytes;
+        offset_total += rows_ + 1;
+        break;
+      case ColKind::AllNull:
+      case ColKind::Other:
+        break;
+    }
+  }
+  arena_.assign(words, 0);
+  str_arena_.resize(str_total);
+  offset_arena_.assign(offset_total, 0);
+
+  // ---- Carve per-column views out of the arenas.
+  std::size_t word_at = 0;
+  std::size_t str_at = 0;
+  std::size_t offset_at = 0;
+  for (std::size_t a = 0; a < attrs; ++a) {
+    Column& col = cols_[a];
+    col.kind = plans[a].kind;
+    col.valid = arena_.data() + word_at;
+    word_at += bitmap_words;
+    switch (col.kind) {
+      case ColKind::Num:
+        col.nums = reinterpret_cast<const double*>(arena_.data() + word_at);
+        word_at += rows_;
+        break;
+      case ColKind::Bool:
+        col.bools =
+            reinterpret_cast<const std::uint8_t*>(arena_.data() + word_at);
+        word_at += bool_words;
+        break;
+      case ColKind::String:
+        col.str_offsets = offset_arena_.data() + offset_at;
+        offset_at += rows_ + 1;
+        col.str_bytes = str_arena_.data() + str_at;
+        str_at += plans[a].str_bytes;
+        break;
+      case ColKind::AllNull:
+      case ColKind::Other:
+        break;
+    }
+  }
+
+  // ---- Pass 2: fill values and validity bits.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const Object& obj = objects[r];
+    for (std::size_t a = 0; a < attrs; ++a) {
+      Column& col = cols_[a];
+      const Value& v = obj.value(a);
+      // String offsets advance for every row (null rows get length 0).
+      if (col.kind == ColKind::String) {
+        auto* offsets = const_cast<std::uint32_t*>(col.str_offsets);
+        offsets[r + 1] = offsets[r];
+      }
+      if (v.is_null()) continue;
+      const_cast<std::uint64_t*>(col.valid)[r >> 6] |= std::uint64_t{1}
+                                                       << (r & 63);
+      switch (col.kind) {
+        case ColKind::Num:
+          const_cast<double*>(col.nums)[r] = v.as_number();
+          break;
+        case ColKind::Bool:
+          const_cast<std::uint8_t*>(col.bools)[r] =
+              static_cast<std::uint8_t>(v.as_bool());
+          break;
+        case ColKind::String: {
+          const std::string& s = v.as_string();
+          auto* offsets = const_cast<std::uint32_t*>(col.str_offsets);
+          char* base = const_cast<char*>(col.str_bytes);
+          std::copy(s.begin(), s.end(), base + offsets[r]);
+          offsets[r + 1] =
+              offsets[r] + static_cast<std::uint32_t>(s.size());
+          break;
+        }
+        case ColKind::AllNull:
+        case ColKind::Other:
+          break;
+      }
+    }
+  }
+}
+
+const ColumnarExtent::Column& ColumnarExtent::column(
+    std::size_t attr_index) const {
+  expects(attr_index < cols_.size(), "columnar attribute index out of range");
+  return cols_[attr_index];
+}
+
+std::size_t ColumnarExtent::arena_bytes() const noexcept {
+  return arena_.size() * sizeof(std::uint64_t) + str_arena_.size() +
+         offset_arena_.size() * sizeof(std::uint32_t);
+}
+
+}  // namespace isomer

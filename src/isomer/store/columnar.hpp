@@ -1,0 +1,83 @@
+// Columnar extent mirror.
+//
+// A ColumnarExtent re-lays one class extent per attribute: each attribute's
+// values sit in one contiguous arena-backed array with a validity bitmap
+// marking where the value is non-null — the paper's missing data, preserved
+// exactly. The mirror is a read-only *projection* of the row extent (the
+// Extent stays the system of record, so point lookups, mutation and the
+// existing API are untouched); the vectorized predicate kernels in
+// query/kernels.hpp scan these arrays instead of walking Object values
+// variant by variant, which is where the 10-100x on the local hot path
+// comes from.
+//
+// Numeric columns deliberately store doubles regardless of the declared
+// Int/Real type: three-valued comparison (common/value.cpp) converts *both*
+// operands through Value::as_number() before comparing, so a double array
+// reproduces the row path's results bit for bit — including the places where
+// an int64 beyond 2^53 would round. Columns whose values the kernels cannot
+// mirror exactly (references, ref sets, non-numeric kind mixes) are tagged
+// Other and predicate evaluation falls back to the row walk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace isomer {
+
+class Extent;
+
+/// Per-attribute columnar projection of one Extent. Immutable once built;
+/// Extent::columnar() caches one per extent and rebuilds it after mutation.
+class ColumnarExtent {
+ public:
+  /// Storage class of a column, chosen from the values actually present.
+  enum class ColKind : unsigned char {
+    AllNull,  ///< every row is null (schema present, data all missing)
+    Num,      ///< every non-null value is Int or Real -> double array
+    Bool,     ///< every non-null value is Bool -> byte array
+    String,   ///< every non-null value is String -> offset + byte arena
+    Other,    ///< references / ref sets / mixed kinds: row-path only
+  };
+
+  /// One attribute laid out contiguously. Pointers alias the extent-owned
+  /// arenas and stay valid as long as the ColumnarExtent lives.
+  struct Column {
+    ColKind kind = ColKind::AllNull;
+    /// Validity bitmap, bit r set = row r non-null; never null for a built
+    /// column (AllNull columns carry an all-zero bitmap).
+    const std::uint64_t* valid = nullptr;
+    const double* nums = nullptr;          ///< Num: one double per row
+    const std::uint8_t* bools = nullptr;   ///< Bool: one byte per row
+    /// String: rows+1 offsets into `str_bytes`.
+    const std::uint32_t* str_offsets = nullptr;
+    const char* str_bytes = nullptr;
+
+    [[nodiscard]] bool is_valid(std::size_t row) const noexcept {
+      return ((valid[row >> 6] >> (row & 63)) & 1) != 0;
+    }
+  };
+
+  /// Builds the projection of `extent` (two passes: classify + fill).
+  explicit ColumnarExtent(const Extent& extent);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return cols_.size();
+  }
+  [[nodiscard]] const Column& column(std::size_t attr_index) const;
+
+  /// Bytes held by the arenas (diagnostics / bench reporting).
+  [[nodiscard]] std::size_t arena_bytes() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::vector<Column> cols_;
+  /// One arena for all fixed-width data: per column, bitmap words followed
+  /// by the value array (doubles stored as bit patterns, bools packed one
+  /// byte each). Single allocation, 8-byte aligned.
+  std::vector<std::uint64_t> arena_;
+  std::vector<char> str_arena_;             ///< all string bytes
+  std::vector<std::uint32_t> offset_arena_;  ///< rows+1 offsets per string col
+};
+
+}  // namespace isomer

@@ -83,14 +83,23 @@ LOid ComponentDatabase::insert(std::string_view class_name,
     obj.set_value(*index, value);
   }
   ext.insert(std::move(obj));
-  loid_to_class_.emplace(id, cls.name());
+  loid_to_extent_.emplace(id, &ext);
   return id;
+}
+
+void ComponentDatabase::reserve(std::string_view class_name, std::size_t n) {
+  Extent& ext = mutable_extent(class_name);
+  ext.reserve(ext.size() + n);
+  loid_to_extent_.reserve(loid_to_extent_.size() + n);
 }
 
 void ComponentDatabase::set_attribute(LOid id, std::string_view attr_name,
                                       Value v) {
-  const std::string& class_name = class_of(id);
-  Extent& ext = mutable_extent(class_name);
+  const auto it = loid_to_extent_.find(id);
+  if (it == loid_to_extent_.end())
+    throw FederationError("LOid " + to_string(id) + " unknown to database " +
+                          schema_.db_name());
+  Extent& ext = *it->second;
   Object* obj = ext.find(id);
   ensures(obj != nullptr, "LOid registered but absent from extent");
   const auto index = ext.cls().find_attribute(attr_name);
@@ -102,7 +111,7 @@ void ComponentDatabase::set_attribute(LOid id, std::string_view attr_name,
 }
 
 const Extent& ComponentDatabase::extent(std::string_view class_name) const {
-  const auto it = extents_.find(std::string(class_name));
+  const auto it = extents_.find(class_name);
   if (it == extents_.end())
     throw SchemaError("database " + schema_.db_name() + " has no class " +
                       std::string(class_name));
@@ -110,11 +119,11 @@ const Extent& ComponentDatabase::extent(std::string_view class_name) const {
 }
 
 bool ComponentDatabase::has_extent(std::string_view class_name) const noexcept {
-  return extents_.find(std::string(class_name)) != extents_.end();
+  return extents_.find(class_name) != extents_.end();
 }
 
 Extent& ComponentDatabase::mutable_extent(std::string_view class_name) {
-  const auto it = extents_.find(std::string(class_name));
+  const auto it = extents_.find(class_name);
   if (it == extents_.end())
     throw SchemaError("database " + schema_.db_name() + " has no class " +
                       std::string(class_name));
@@ -122,18 +131,18 @@ Extent& ComponentDatabase::mutable_extent(std::string_view class_name) {
 }
 
 const std::string& ComponentDatabase::class_of(LOid id) const {
-  const auto it = loid_to_class_.find(id);
-  if (it == loid_to_class_.end())
+  const auto it = loid_to_extent_.find(id);
+  if (it == loid_to_extent_.end())
     throw FederationError("LOid " + to_string(id) + " unknown to database " +
                           schema_.db_name());
-  return it->second;
+  return it->second->cls().name();
 }
 
 const Object* ComponentDatabase::fetch(LOid id, AccessMeter* meter,
                                        FetchCache* cache) const {
-  const auto it = loid_to_class_.find(id);
-  if (it == loid_to_class_.end()) return nullptr;
-  const Extent& ext = extent(it->second);
+  const auto it = loid_to_extent_.find(id);
+  if (it == loid_to_extent_.end()) return nullptr;
+  const Extent& ext = *it->second;
   const Object* obj = ext.find(id);
   if (obj != nullptr && meter != nullptr &&
       (cache == nullptr || cache->admit(id))) {
@@ -171,13 +180,13 @@ ResolvedObject ComponentDatabase::resolve(LOid id, AccessMeter* meter,
       return ResolvedObject{entry.obj, entry.cls};
     }
   }
-  const auto it = loid_to_class_.find(id);
-  if (it == loid_to_class_.end()) {
+  const auto it = loid_to_extent_.find(id);
+  if (it == loid_to_extent_.end()) {
     if (resolved != nullptr)
       resolved->entries.emplace(id, DerefCache::Entry{});
     return ResolvedObject{};
   }
-  const Extent& ext = extent(it->second);
+  const Extent& ext = *it->second;
   const Object* obj = ext.find(id);
   const SlotCounts counts = slot_counts(ext.cls());
   charge(obj, counts.prims, counts.refs);

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "isomer/common/hash.hpp"
 #include "isomer/objmodel/schema.hpp"
 #include "isomer/store/deref_cache.hpp"
 #include "isomer/store/extent.hpp"
@@ -45,6 +46,10 @@ class ComponentDatabase {
 
   /// Inserts an object with all attributes null.
   LOid insert(std::string_view class_name) { return insert(class_name, {}); }
+
+  /// Pre-sizes the class extent (and the LOid directory) for `n` more
+  /// objects; call before bulk-loading a known cardinality.
+  void reserve(std::string_view class_name, std::size_t n);
 
   /// Overwrites one attribute of an existing object (type-checked).
   void set_attribute(LOid id, std::string_view attr_name, Value v);
@@ -85,7 +90,9 @@ class ComponentDatabase {
                                                 AccessMeter* meter,
                                                 FetchCache* cache = nullptr) const;
 
-  [[nodiscard]] std::size_t object_count() const noexcept { return loid_to_class_.size(); }
+  [[nodiscard]] std::size_t object_count() const noexcept {
+    return loid_to_extent_.size();
+  }
 
  private:
   Extent& mutable_extent(std::string_view class_name);
@@ -93,8 +100,15 @@ class ComponentDatabase {
                   const Value& v) const;
 
   ComponentSchema schema_;
-  std::unordered_map<std::string, Extent> extents_;
-  std::unordered_map<LOid, std::string> loid_to_class_;
+  /// Extents keyed by class name; node-based, so Extent addresses are
+  /// stable and the LOid directory below can point straight at them.
+  std::unordered_map<std::string, Extent, TransparentStringHash,
+                     std::equal_to<>>
+      extents_;
+  /// LOid directory: one hash lookup resolves an LOid to its extent (and
+  /// through it its class), keeping fetch() to a single probe on the hot
+  /// navigation path.
+  std::unordered_map<LOid, Extent*> loid_to_extent_;
   std::uint32_t next_loid_ = 1;
 };
 

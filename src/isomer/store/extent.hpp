@@ -1,14 +1,20 @@
 // Class extents.
 //
 // An extent holds every object of one class in one component database, with
-// an LOid index for point lookups.
+// an LOid index for point lookups. The row store (`objects_`) is the system
+// of record; a columnar per-attribute mirror (store/columnar.hpp) is built
+// lazily for the vectorized predicate kernels and invalidated whenever the
+// extent mutates, so the two layouts can never disagree.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "isomer/objmodel/class_def.hpp"
 #include "isomer/objmodel/object.hpp"
+#include "isomer/store/columnar.hpp"
 
 namespace isomer {
 
@@ -17,13 +23,18 @@ namespace isomer {
 /// outlive the extent.
 class Extent {
  public:
-  Extent() = default;
-  explicit Extent(const ClassDef& cls) : cls_(&cls) {}
+  Extent() : mirror_(std::make_unique<Mirror>()) {}
+  explicit Extent(const ClassDef& cls)
+      : cls_(&cls), mirror_(std::make_unique<Mirror>()) {}
 
   [[nodiscard]] const ClassDef& cls() const;
 
   [[nodiscard]] std::size_t size() const noexcept { return objects_.size(); }
   [[nodiscard]] bool empty() const noexcept { return objects_.empty(); }
+
+  /// Pre-sizes the row store and LOid index for `n` objects; call before
+  /// bulk-appending a known cardinality to avoid rehash/realloc churn.
+  void reserve(std::size_t n);
 
   /// Appends an object; throws FederationError when the LOid already exists.
   Object& insert(Object obj);
@@ -31,15 +42,38 @@ class Extent {
   [[nodiscard]] const Object* find(LOid id) const noexcept;
   [[nodiscard]] Object* find(LOid id) noexcept;
 
+  /// Row position of an LOid (index into objects()); nullopt when absent.
+  [[nodiscard]] std::optional<std::size_t> row_of(LOid id) const noexcept;
+
   [[nodiscard]] const std::vector<Object>& objects() const noexcept {
     return objects_;
   }
-  [[nodiscard]] std::vector<Object>& objects() noexcept { return objects_; }
+  [[nodiscard]] std::vector<Object>& objects() noexcept {
+    invalidate_columnar();  // mutable view: assume the caller writes
+    return objects_;
+  }
+
+  /// The columnar mirror of this extent, built on first use and cached.
+  /// Thread-safe against concurrent readers; any mutation (insert, find
+  /// non-const, set_attribute through the database) invalidates it, so the
+  /// returned reference is valid until the next mutation.
+  [[nodiscard]] const ColumnarExtent& columnar() const;
+
+  /// Drops the cached columnar mirror (called by every mutating path).
+  void invalidate_columnar() noexcept;
 
  private:
   const ClassDef* cls_ = nullptr;
   std::vector<Object> objects_;
   std::unordered_map<LOid, std::size_t> by_id_;
+
+  /// Lazily built columnar projection. Boxed so Extent stays movable; the
+  /// mutex only guards the build/reset handshake, never the scan itself.
+  struct Mirror {
+    std::mutex m;
+    std::shared_ptr<const ColumnarExtent> built;
+  };
+  std::unique_ptr<Mirror> mirror_;
 };
 
 }  // namespace isomer

@@ -126,6 +126,12 @@ SynthFederation materialize_sample(const SampleParams& sample,
   for (std::size_t k = n_classes; k-- > 0;) {
     const SampleParams::PerClass& cls = sample.classes[k];
     loids[k].resize(entities[k].size());
+    // Pre-size every (db, class) extent for its object quota so the bulk
+    // load below never rehashes or reallocates mid-insert.
+    for (std::size_t i = 0; i < cls.dbs.size() && i < sample.n_db; ++i)
+      if (cls.dbs[i].n_objects > 0)
+        databases[i]->reserve(class_name(k),
+                              static_cast<std::size_t>(cls.dbs[i].n_objects));
     for (std::size_t e = 0; e < entities[k].size(); ++e) {
       const Entity& entity = entities[k][e];
       for (const DbId db : entity.dbs) {
@@ -170,6 +176,12 @@ SynthFederation materialize_sample(const SampleParams& sample,
 
   // ---- GOid tables.
   GoidTable goids;
+  {
+    std::size_t total_objects = 0;
+    for (std::size_t k = 0; k < n_classes; ++k)
+      for (const auto& per_entity : loids[k]) total_objects += per_entity.size();
+    goids.reserve(total_objects);
+  }
   for (std::size_t k = 0; k < n_classes; ++k)
     for (std::size_t e = 0; e < entities[k].size(); ++e) {
       std::vector<LOid> isomers;

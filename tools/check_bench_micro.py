@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare a bench_micro JSON run against the checked-in baseline.
+
+Usage:
+    build/bench/bench_micro \
+        --benchmark_filter='PredicateEval(Row|Columnar)|GoidProbe' \
+        --benchmark_format=json --benchmark_out=now.json
+    python3 tools/check_bench_micro.py now.json
+
+Two kinds of checks, from tools/bench_micro_baseline.json:
+
+  * ratios — machine-relative invariants (columnar vs row predicate
+    evaluation, batched vs unordered_map GOid probes). These are the
+    load-bearing performance contracts of docs/PERFORMANCE.md and always
+    FAIL the run when violated, on any machine.
+  * absolutes — items_per_second floors recorded on the baseline machine.
+    Other machines differ, so by default a miss only WARNs; pass --strict
+    to make absolute misses fail too (e.g. on the machine that recorded
+    the baseline, or in a pinned CI runner).
+
+Exit status: 0 when every enforced check passes, 1 otherwise, 2 on usage
+errors. Re-record the baseline with --update after an intentional change.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    with open(path) as f:
+        data = json.load(f)
+    rates = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rate = bench.get("items_per_second")
+        if rate:
+            rates[bench["name"]] = float(rate)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="bench_micro --benchmark_out JSON")
+    parser.add_argument("--baseline", default="tools/bench_micro_baseline.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="absolute floor = tolerance * baseline rate (default 0.5)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="absolute misses fail instead of warning",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline's absolute rates from this run",
+    )
+    args = parser.parse_args()
+
+    rates = load_rates(args.results)
+    if not rates:
+        print(f"error: no rate-carrying benchmarks in {args.results}",
+              file=sys.stderr)
+        return 2
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    if args.update:
+        baseline["absolutes"] = {
+            name: rate for name, rate in sorted(rates.items())
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"baseline absolutes rewritten from {args.results}")
+        return 0
+
+    failed = False
+
+    for check in baseline.get("ratios", []):
+        num, den = check["numerator"], check["denominator"]
+        if num not in rates or den not in rates:
+            print(f"SKIP  ratio {num} / {den}: benchmark missing from run "
+                  f"(filter too narrow?)")
+            continue
+        ratio = rates[num] / rates[den]
+        ok = ratio >= check["min"]
+        print(f"{'PASS' if ok else 'FAIL'}  {num} / {den} = {ratio:.2f}x "
+              f"(need >= {check['min']}x) — {check['why']}")
+        failed = failed or not ok
+
+    for name, expected in baseline.get("absolutes", {}).items():
+        if name not in rates:
+            continue
+        floor = expected * args.tolerance
+        ok = rates[name] >= floor
+        verdict = "PASS" if ok else ("FAIL" if args.strict else "WARN")
+        print(f"{verdict}  {name}: {rates[name] / 1e6:.2f} M/s "
+              f"(floor {floor / 1e6:.2f} M/s = {args.tolerance} x baseline)")
+        if args.strict:
+            failed = failed or not ok
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
