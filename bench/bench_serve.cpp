@@ -75,16 +75,23 @@ struct CellStats {
   }
 };
 
-/// One serve() trial under the harness's fault/batch composition.
+/// One serve() trial under the harness's fault/batch/plan composition.
+/// Non-static planning gets a per-trial stats book: completed hybrid
+/// executions feed observations back, and requests carrying replan knobs
+/// re-plan at launch against it. The book lives and dies with the trial,
+/// so trials stay independent and the run stays --jobs-invariant.
 serve::ServeReport run_trial(const Federation& federation,
                              const std::vector<serve::ServeRequest>& pool,
                              serve::ServeSpec spec, std::size_t trial,
                              const bench::HarnessOptions& options,
+                             serve::PlanMode planning,
                              std::vector<obs::TraceSession>* sessions) {
   serve::ServeOptions serve_options;
   serve_options.exec.record_trace = false;
   serve_options.exec.batch = options.batch;
   serve_options.sessions = sessions;
+  SiteStatsBook book;
+  if (planning != serve::PlanMode::Static) serve_options.stats_book = &book;
   fault::FaultPlan plan;
   if (options.faults_set && options.faults.plan.enabled()) {
     // Same trial-seed mixing as run_point: each trial faces its own
@@ -130,8 +137,13 @@ int main(int argc, char** argv) {
   const std::vector<GlobalQuery> queries =
       workload::derive_query_pool(synth.query, 6, pool_rng);
 
-  // Advisor-planned pool: per-query strategy choice + SPC priority.
+  // Planned pool: per-query strategy choice + SPC priority. --plan picks
+  // the planning mode (docs/PLANNING.md): "static" asks the advisor for one
+  // whole-federation strategy per query; "adaptive"/"hybrid" plan per home
+  // site and re-plan at launch from each trial's stats book.
+  const serve::PlanMode plan_mode = serve::parse_plan_mode(options.plan);
   serve::PlannerOptions planner;
+  planner.mode = plan_mode;
   planner.advisor.batch = options.batch;
   const std::vector<serve::ServeRequest> pool =
       serve::plan_pool(*synth.federation, queries, planner);
@@ -168,11 +180,12 @@ int main(int argc, char** argv) {
                                          serve::SchedPolicy::Spc};
 
   std::printf("# Serving layer: open-loop Poisson sweep — %d trials/point, "
-              "pool of %zu queries, n=%zu submissions/trial,\n"
+              "pool of %zu queries (plan=%s), n=%zu submissions/trial,\n"
               "# calibrated capacity %.1f q/s (inflight %zu, mean solo "
               "response %.1f ms). Latencies in ms, exact percentiles.\n",
-              options.samples, pool.size(), base.n_queries, capacity_qps,
-              base.site_inflight, mean_solo_s * 1e3);
+              options.samples, pool.size(),
+              std::string(to_string(plan_mode)).c_str(), base.n_queries,
+              capacity_qps, base.site_inflight, mean_solo_s * 1e3);
   std::printf("%-10s %-8s %10s %10s %10s %10s %12s %9s\n", "load", "policy",
               "mean", "p50", "p95", "p99", "thrpt[q/s]", "rejected");
 
@@ -191,7 +204,7 @@ int main(int argc, char** argv) {
                             [&](std::size_t trial, Rng&) {
                               reports[trial] = run_trial(
                                   *synth.federation, pool, spec, trial,
-                                  options,
+                                  options, plan_mode,
                                   trace.enabled() ? &sessions[trial] : nullptr);
                             });
 
@@ -253,7 +266,7 @@ int main(int argc, char** argv) {
                           [&](std::size_t trial, Rng&) {
                             reports[trial] =
                                 run_trial(*synth.federation, pool, spec,
-                                          trial, options, nullptr);
+                                          trial, options, plan_mode, nullptr);
                           });
     CellStats cell;
     for (const serve::ServeReport& report : reports) cell.fold(report);
@@ -279,11 +292,170 @@ int main(int argc, char** argv) {
     json.raw_row(body);
   }
 
+  // Panel 3 — per-site planning on a *skewed* federation. The pool panels
+  // above draw statistically-alike sites, where one whole-federation
+  // strategy is already near-optimal; this panel hand-builds the skew the
+  // adaptive planner exists for (docs/PLANNING.md). DB1 is large and
+  // evaluates every predicate locally (selective — a handful of rows beat
+  // its wide extent), while DB2/DB3 cannot evaluate any predicate
+  // (survive ~ 1 — their full row sets ship under BL, but their projected
+  // extents are narrow because the predicate attributes are schema-level
+  // missing). Pure CA overpays at DB1, pure BL/PL overpay at DB2/DB3; the
+  // per-site plan ships rows from DB1 and extents from DB2/DB3.
+  SampleParams skew;
+  skew.n_db = 3;
+  skew.n_targets = 2;
+  skew.iso_ratio = 0.15;
+  {
+    SampleParams::PerClass root;
+    root.n_preds = 2;
+    root.pred_selectivity = 0.25;
+    root.ref_ratio = 0.8;
+    SampleParams::PerDb evaluating;  // DB1: all predicates present
+    evaluating.n_objects =
+        std::max(1, static_cast<int>(6000 * options.scale));
+    evaluating.present_preds = {0, 1};
+    SampleParams::PerDb blind;  // DB2/DB3: every predicate missing
+    blind.n_objects = std::max(1, static_cast<int>(1000 * options.scale));
+    root.dbs = {evaluating, blind, blind};
+    skew.classes.push_back(std::move(root));
+  }
+  skew.materialize_seed = derive_stream(options.seed, 7);
+  const SynthFederation skewed = materialize_sample(skew);
+  Rng skew_rng(derive_stream(options.seed, 8));
+  const std::vector<GlobalQuery> skew_queries =
+      workload::derive_query_pool(skewed.query, 4, skew_rng);
+
+  // One serving run per planning mode over the identical workload: the
+  // paper's whole-federation strategies verbatim (CA/BL/PL), the advisor's
+  // per-query pick (static), per-site planning with launch-time replanning
+  // (adaptive), and adaptive with the armed mid-flight switch (hybrid).
+  struct PlanRow {
+    std::string mode;
+    serve::PlanMode planning;
+    std::vector<serve::ServeRequest> pool;
+  };
+  const auto pure_pool = [&](StrategyKind kind) {
+    std::vector<serve::ServeRequest> pure;
+    for (const GlobalQuery& query : skew_queries) {
+      serve::ServeRequest request;
+      request.query = query;
+      request.kind = kind;
+      pure.push_back(std::move(request));
+    }
+    return pure;
+  };
+  serve::PlannerOptions skew_planner;
+  skew_planner.advisor.batch = options.batch;
+  std::vector<PlanRow> plan_rows;
+  for (const StrategyKind kind :
+       {StrategyKind::CA, StrategyKind::BL, StrategyKind::PL})
+    plan_rows.push_back(PlanRow{std::string(to_string(kind)),
+                                serve::PlanMode::Static, pure_pool(kind)});
+  for (const serve::PlanMode mode :
+       {serve::PlanMode::Static, serve::PlanMode::Adaptive,
+        serve::PlanMode::Hybrid}) {
+    skew_planner.mode = mode;
+    plan_rows.push_back(
+        PlanRow{std::string(to_string(mode)), mode,
+                serve::plan_pool(*skewed.federation, skew_queries,
+                                 skew_planner)});
+  }
+
+  serve::ServeSpec plan_spec;  // FIFO: isolate wire traffic from scheduling
+  plan_spec.mode = serve::ArrivalMode::Closed;
+  plan_spec.clients = 4;
+  plan_spec.think_ns = 0;
+  plan_spec.n_queries = 24;
+  plan_spec.queue_limit = 0;
+  plan_spec.site_inflight = 2;
+  plan_spec.policy = serve::SchedPolicy::Fifo;
+
+  std::printf("\n# Skewed federation: DB1 evaluates both predicates locally "
+              "(%d objects), DB2/DB3 neither (%d each) — per-site plans\n"
+              "# vs the paper's whole-federation strategies. Closed loop, "
+              "%zu submissions/trial, FIFO. Wire figures are per-trial "
+              "cluster totals.\n",
+              skew.classes[0].dbs[0].n_objects,
+              skew.classes[0].dbs[1].n_objects, plan_spec.n_queries);
+  std::printf("%-9s %12s %10s %10s %9s %9s\n", "mode", "wire[KB]", "msgs",
+              "mean_ms", "hybrid", "switches");
+
+  double best_static_wire = 0, adaptive_wire = 0;
+  for (std::size_t m = 0; m < plan_rows.size(); ++m) {
+    const PlanRow& row = plan_rows[m];
+    const auto samples = static_cast<std::size_t>(options.samples);
+    std::vector<serve::ServeReport> reports(samples);
+    std::vector<std::vector<obs::TraceSession>> sessions(
+        trace.enabled() ? samples : 0);
+    bench::for_each_trial(
+        options.samples, options.seed, options.jobs,
+        [&](std::size_t trial, Rng&) {
+          reports[trial] =
+              run_trial(*skewed.federation, row.pool, plan_spec, trial,
+                        options, row.planning,
+                        trace.enabled() ? &sessions[trial] : nullptr);
+        });
+
+    CellStats cell;
+    double wire_bytes = 0, messages = 0;
+    std::uint64_t hybrid_runs = 0, switches = 0;
+    trace.set_point("serve_plan", "mode", static_cast<double>(m));
+    for (std::size_t trial = 0; trial < reports.size(); ++trial) {
+      const serve::ServeReport& report = reports[trial];
+      cell.fold(report);
+      wire_bytes += static_cast<double>(report.bytes_transferred);
+      messages += static_cast<double>(report.messages);
+      for (const serve::ServeOutcome& outcome : report.outcomes) {
+        hybrid_runs += outcome.hybrid ? 1 : 0;
+        switches += outcome.plan_switches;
+      }
+      if (trace.enabled())
+        for (const obs::TraceSession& session : sessions[trial])
+          trace.write_trial(trial, session);
+    }
+    wire_bytes /= static_cast<double>(reports.size());
+    messages /= static_cast<double>(reports.size());
+    // "static" covers the pure strategies too: the advisor never prices
+    // worse than its own candidates, but the pure rows anchor the paper's
+    // baselines explicitly.
+    if (row.planning == serve::PlanMode::Static)
+      best_static_wire = best_static_wire == 0
+                             ? wire_bytes
+                             : std::min(best_static_wire, wire_bytes);
+    if (row.mode == "adaptive") adaptive_wire = wire_bytes;
+
+    const double mean = cell.mean_ms();
+    std::printf("%-9s %12.1f %10.0f %10.2f %9llu %9llu\n", row.mode.c_str(),
+                wire_bytes / 1e3, messages, mean,
+                static_cast<unsigned long long>(hybrid_runs),
+                static_cast<unsigned long long>(switches));
+
+    char body[512];
+    std::snprintf(
+        body, sizeof body,
+        "\"figure\": \"serve_plan\", \"x_name\": \"mode\", \"x\": %zu, "
+        "\"mode\": \"%s\", \"wire_bytes\": %.17g, \"messages\": %.17g, "
+        "\"mean_ms\": %.17g, \"throughput_qps\": %.17g, "
+        "\"hybrid_runs\": %llu, \"plan_switches\": %llu",
+        m, row.mode.c_str(), wire_bytes, messages, mean, cell.throughput(),
+        static_cast<unsigned long long>(hybrid_runs),
+        static_cast<unsigned long long>(switches));
+    json.raw_row(body);
+  }
+  std::printf("adaptive wire %.1f KB vs best static %.1f KB (%s)\n",
+              adaptive_wire / 1e3, best_static_wire / 1e3,
+              adaptive_wire <= best_static_wire ? "adaptive <= best static"
+                                                : "ADAPTIVE REGRESSION");
+
   std::printf(
       "\nOpen loop: past the capacity knee the tail percentiles grow first —\n"
       "every arrival queues behind unfinished work. Closed loop: SPC beats\n"
       "FIFO on mean latency by letting cheap queries overtake expensive ones\n"
       "(SJF), at identical throughput; the p99 gap narrows because the most\n"
-      "expensive query pays for everyone's queue-jumping.\n");
+      "expensive query pays for everyone's queue-jumping. Skewed panel: one\n"
+      "strategy per federation overpays somewhere; pricing each home site\n"
+      "separately ships rows where predicates filter and extents where they\n"
+      "cannot, so adaptive wire stays at or below the best static column.\n");
   return 0;
 }

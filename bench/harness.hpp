@@ -69,6 +69,14 @@ struct HarnessOptions {
   /// Other benches accept and archive the spec but ignore it.
   serve::ServeSpec serve;
   bool serve_set = false;
+  /// --plan=static|adaptive|hybrid (serve::PlanMode): how bench_serve plans
+  /// its query pool. "static" (the default) uses the whole-federation
+  /// advisor; "adaptive" plans per home site and re-plans at launch from the
+  /// stats book; "hybrid" additionally arms the mid-flight switch (see
+  /// docs/PLANNING.md). Other benches accept and archive the value but
+  /// ignore it.
+  std::string plan = "static";
+  bool plan_set = false;
 };
 
 /// The canonical --batch spec string for provenance headers: "off", "on"
@@ -90,7 +98,8 @@ struct HarnessOptions {
   std::fprintf(stderr,
                "usage: %s [--samples=N] [--scale=F] [--seed=S] [--jobs=N] "
                "[--json=FILE] [--trace=FILE] [--faults=SPEC] "
-               "[--batch=on|off|N] [--serve=SPEC] [--signatures] [--paper] "
+               "[--batch=on|off|N] [--serve=SPEC] "
+               "[--plan=static|adaptive|hybrid] [--signatures] [--paper] "
                "[--quick]\n"
                "  --faults SPEC items (comma-separated): drop=P, spike=P:DUR,"
                " down=DB[@DUR..[DUR]],\n"
@@ -101,7 +110,10 @@ struct HarnessOptions {
                "  --serve SPEC: (open|closed)[:items] with rate=R, clients=N,"
                " think=DUR, n=N,\n"
                "  policy=fifo|spc, queue=N, inflight=N, seed=N"
-               " (see docs/SERVING.md)\n",
+               " (see docs/SERVING.md)\n"
+               "  --plan pool planning mode for bench_serve: static"
+               " (advisor, default), adaptive, hybrid"
+               " (see docs/PLANNING.md)\n",
                argv0);
   std::exit(2);
 }
@@ -175,6 +187,16 @@ inline HarnessOptions parse_options(int argc, char** argv) {
         usage_error(argv[0]);
       }
       options.serve_set = true;
+    } else if (const char* v = value("--plan=")) {
+      options.plan = v;
+      if (options.plan != "static" && options.plan != "adaptive" &&
+          options.plan != "hybrid") {
+        std::fprintf(stderr,
+                     "%s: --plan wants static, adaptive or hybrid\n",
+                     argv[0]);
+        usage_error(argv[0]);
+      }
+      options.plan_set = true;
     } else if (arg == "--signatures") {
       options.run_signatures = true;
     } else if (arg == "--paper") {
@@ -523,6 +545,8 @@ class JsonSink {
     if (options.serve_set)
       std::fprintf(file_, ", \"serve_spec\": \"%s\"",
                    serve::to_string(options.serve).c_str());
+    if (options.plan_set)
+      std::fprintf(file_, ", \"plan_mode\": \"%s\"", options.plan.c_str());
     std::fputs("}", file_);
     first_ = false;  // rows always follow the header element
   }

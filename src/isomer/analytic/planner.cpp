@@ -1,0 +1,113 @@
+#include "isomer/analytic/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "isomer/analytic/advisor.hpp"
+#include "isomer/core/exec_common.hpp"
+
+namespace isomer {
+
+PlanChoice plan_adaptive(const Federation& federation,
+                         const GlobalQuery& query, const PlannerKnobs& knobs,
+                         const SiteStatsBook* book) {
+  AdvisorOptions advisor;
+  advisor.costs = knobs.costs;
+  advisor.sample_size = knobs.sample_size;
+  advisor.seed = knobs.seed;
+  advisor.jobs = knobs.jobs;
+  advisor.batch = knobs.batch;
+  const Advice advice = advise_strategy(federation, query, advisor);
+
+  const CostParams& c = knobs.costs;
+  const auto involved =
+      detail::involved_attributes(federation.schema(), query);
+  const double task_bytes =
+      knobs.batch.enabled ? static_cast<double>(c.semijoin_task_bytes(false))
+                          : static_cast<double>(c.check_task_bytes());
+
+  PlanChoice choice;
+  choice.ca_bytes = advice.estimates[0].bytes;  // exact catalog arithmetic
+  choice.est_total_s = advice.estimates[0].total_s;
+  choice.est_response_s = advice.estimates[0].response_s;
+  for (const StrategyEstimate& estimate : advice.estimates) {
+    choice.est_total_s = std::min(choice.est_total_s, estimate.total_s);
+    choice.est_response_s =
+        std::min(choice.est_response_s, estimate.response_s);
+  }
+  for (const AdvisorStats::PerDb& db : advice.stats.dbs) {
+    SitePlanEstimate site;
+    site.db = db.db;
+    const double n = static_cast<double>(db.root_objects);
+    const double rows = n * db.survive_rate;
+    // The advisor's shipped-row width: ids, target values, unsolved markers.
+    const double row_bytes =
+        static_cast<double>(c.loid_bytes + c.goid_bytes) +
+        static_cast<double>(query.targets.size()) *
+            static_cast<double>(c.attr_bytes) +
+        db.unknowns_per_row * static_cast<double>(c.goid_bytes + 8);
+    site.sampled_rows_bytes = rows * row_bytes;
+    site.est_rows_bytes = site.sampled_rows_bytes;
+    if (book != nullptr) {
+      if (const auto observed = book->rows_bytes(db.db)) {
+        site.est_rows_bytes = *observed;
+        site.from_book = true;
+      }
+    }
+    site.extent_bytes = static_cast<double>(
+        detail::ca_projected_bytes(federation, db.db, involved, c));
+    site.path = site.extent_bytes < site.est_rows_bytes
+                    ? SitePath::Central
+                    : SitePath::Localized;
+    // Check traffic rides either path identically (lazy protocol).
+    const double tasks =
+        rows * db.nested_items_per_row * db.assistants_per_item;
+    choice.check_bytes +=
+        tasks * (task_bytes + static_cast<double>(c.verdict_bytes()));
+    choice.localized_bytes += site.est_rows_bytes;
+    choice.hybrid_bytes += std::min(site.est_rows_bytes, site.extent_bytes);
+    choice.sites.push_back(site);
+  }
+  choice.localized_bytes += choice.check_bytes;
+  choice.hybrid_bytes += choice.check_bytes;
+
+  const bool any_central = std::any_of(
+      choice.sites.begin(), choice.sites.end(),
+      [](const SitePlanEstimate& s) { return s.path == SitePath::Central; });
+  std::ostringstream rationale;
+  rationale.setf(std::ios::fixed);
+  rationale.precision(1);
+  if (!any_central) {
+    // Rows win everywhere: the pure localized strategy (bitwise BL).
+    choice.plan = ExecPlan::pure(StrategyKind::BL);
+    rationale << "every home site ships fewer row bytes than extent bytes"
+              << " -> pure BL (~" << choice.localized_bytes / 1e3 << "KB)";
+  } else if (choice.ca_bytes <= choice.hybrid_bytes &&
+             choice.ca_bytes <= choice.localized_bytes) {
+    // Shipping everything (including branch extents, which the hybrid
+    // Central path replaces with check traffic) is cheapest outright.
+    choice.plan = ExecPlan::pure(StrategyKind::CA);
+    rationale << "full extent shipping (~" << choice.ca_bytes / 1e3
+              << "KB) undercuts rows+checks (~"
+              << choice.localized_bytes / 1e3 << "KB) -> pure CA";
+  } else {
+    choice.plan.label = StrategyKind::BL;  // Localized homes run lazy BL
+    choice.plan.hybrid = true;
+    choice.plan.switch_factor = knobs.switch_factor;
+    for (const SitePlanEstimate& site : choice.sites)
+      choice.plan.sites.push_back(SiteAssignment{
+          site.db, site.path, site.est_rows_bytes, site.extent_bytes});
+    std::size_t central = 0;
+    for (const SitePlanEstimate& site : choice.sites)
+      if (site.path == SitePath::Central) ++central;
+    rationale << central << "/" << choice.sites.size()
+              << " home sites ship their extent, the rest ship rows -> "
+              << "hybrid (~" << choice.hybrid_bytes / 1e3 << "KB vs CA ~"
+              << choice.ca_bytes / 1e3 << "KB, BL ~"
+              << choice.localized_bytes / 1e3 << "KB)";
+  }
+  choice.rationale = rationale.str();
+  return choice;
+}
+
+}  // namespace isomer

@@ -1,0 +1,86 @@
+// Adaptive runtime planner: per-site strategy choice over the composable
+// operators (core/plan.hpp), refreshed from observed executions.
+//
+// The paper (and the advisor, advisor.hpp) picks ONE strategy for the whole
+// federation. That is the right call when the sites are statistically alike
+// — but a skewed federation wants both at once: a site whose local
+// predicates eliminate most objects should run the Localized path (ship a
+// few rows), while a site that cannot evaluate the predicates at all
+// (survive rate ~1, narrow projected extent) should run the Central path
+// (ship the extent, evaluate at the global site). The planner prices each
+// home site independently:
+//
+//   est_rows_bytes  sampled survive-rate x row width — replaced by the
+//                   SiteStatsBook's observed moving average once the site
+//                   has executed (adaptive feedback);
+//   extent_bytes    exact catalog arithmetic (detail::ca_projected_bytes).
+//
+// Check traffic is path-independent (the same unsolved items spawn the same
+// check tasks either way), so the per-site comparison is rows-vs-extent
+// alone. Uniform verdicts collapse to the pure strategies — which execute
+// bitwise-identically to the paper's CA/BL — and mixed verdicts yield a
+// hybrid ExecPlan, optionally armed with a mid-flight switch factor
+// (ExecPlan::switch_factor) as insurance against estimation error. See
+// docs/PLANNING.md for the worked example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isomer/analytic/site_stats.hpp"
+#include "isomer/core/plan.hpp"
+
+namespace isomer {
+
+struct PlannerKnobs {
+  CostParams costs{};
+  /// Root objects sampled per database (advisor machinery).
+  std::size_t sample_size = 100;
+  std::uint64_t seed = 1;
+  /// Threads profiling databases concurrently (advice is jobs-invariant).
+  int jobs = 1;
+  /// Price check tasks as the batched executors ship them.
+  BatchOptions batch{};
+  /// Armed on hybrid plans: a Localized home re-decides mid-flight when its
+  /// observed row payload reaches this factor times the estimate (and the
+  /// extent is by then cheaper). 0 disables switching.
+  double switch_factor = 2.0;
+};
+
+/// One home site's economics, for EXPLAIN and tests.
+struct SitePlanEstimate {
+  DbId db{};
+  SitePath path = SitePath::Localized;
+  double est_rows_bytes = 0;      ///< what the plan uses (book-corrected)
+  double sampled_rows_bytes = 0;  ///< the raw sampling estimate
+  double extent_bytes = 0;        ///< exact projected-extent payload
+  bool from_book = false;         ///< estimate came from observations
+};
+
+/// The planner's decision with its pricing, ready to execute_plan /
+/// launch_plan.
+struct PlanChoice {
+  ExecPlan plan;
+  std::vector<SitePlanEstimate> sites;  ///< home-site order
+  double ca_bytes = 0;         ///< predicted pure-CA wire payload (exact)
+  double localized_bytes = 0;  ///< predicted pure-BL wire payload
+  double hybrid_bytes = 0;     ///< predicted per-site-best wire payload
+  double check_bytes = 0;      ///< path-independent check traffic estimate
+  /// The advisor's cheapest pure-strategy estimates (seconds) — a cost
+  /// proxy for schedulers that prioritize by predicted cost.
+  double est_total_s = 0;
+  double est_response_s = 0;
+  std::string rationale;
+};
+
+/// Plans `query` adaptively: samples (or recalls from `book`, when
+/// non-null and the site has been observed) each home site's row payload,
+/// compares against the exact extent payload, and emits the cheapest plan —
+/// pure when one path wins everywhere, hybrid otherwise. Deterministic for
+/// fixed inputs and book state.
+[[nodiscard]] PlanChoice plan_adaptive(const Federation& federation,
+                                       const GlobalQuery& query,
+                                       const PlannerKnobs& knobs = {},
+                                       const SiteStatsBook* book = nullptr);
+
+}  // namespace isomer

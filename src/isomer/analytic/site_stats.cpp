@@ -1,0 +1,33 @@
+#include "isomer/analytic/site_stats.hpp"
+
+namespace isomer {
+
+void SiteStatsBook::observe(DbId db, double rows_bytes) {
+  auto [it, inserted] = stats_.try_emplace(db);
+  Entry& entry = it->second;
+  if (inserted || entry.observations == 0)
+    entry.rows_bytes = rows_bytes;
+  else
+    entry.rows_bytes =
+        (1.0 - alpha_) * entry.rows_bytes + alpha_ * rows_bytes;
+  ++entry.observations;
+}
+
+void SiteStatsBook::fold(const PlanTelemetry& telemetry) {
+  for (const SiteDecision& decision : telemetry.decisions)
+    observe(decision.db, decision.observed_rows_bytes);
+}
+
+std::optional<double> SiteStatsBook::rows_bytes(DbId db) const {
+  const auto it = stats_.find(db);
+  if (it == stats_.end() || it->second.observations == 0)
+    return std::nullopt;
+  return it->second.rows_bytes;
+}
+
+std::uint64_t SiteStatsBook::observations(DbId db) const {
+  const auto it = stats_.find(db);
+  return it == stats_.end() ? 0 : it->second.observations;
+}
+
+}  // namespace isomer

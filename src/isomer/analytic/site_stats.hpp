@@ -1,0 +1,55 @@
+// Per-site runtime statistics the adaptive planner learns from.
+//
+// Every plan execution observes, per home database, the payload its
+// surviving rows would occupy on the wire (SiteDecision::observed_rows_bytes
+// — measured on either path, since the Central path evaluates the shipped
+// extent at the global site). The book keeps an exponentially weighted
+// moving average of that payload per database; the planner
+// (analytic/planner.hpp) prefers the book's figure over its sampling
+// estimate whenever the site has been observed, so a fleet of queries
+// converges onto measured behavior instead of re-sampling forever
+// (docs/PLANNING.md).
+//
+// The book is plain deterministic arithmetic — no clocks, no RNG — so a
+// serving run that folds telemetry in submission order reproduces bit-equal
+// plans across runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "isomer/core/plan.hpp"
+
+namespace isomer {
+
+class SiteStatsBook {
+ public:
+  /// `alpha` weights the newest observation (0 < alpha <= 1); the default
+  /// follows fresh skew quickly while smoothing per-query noise.
+  explicit SiteStatsBook(double alpha = 0.5) noexcept : alpha_(alpha) {}
+
+  /// Folds one observed row payload for `db` into the moving average. The
+  /// first observation seeds the average directly.
+  void observe(DbId db, double rows_bytes);
+
+  /// Folds every decision of one execution's telemetry.
+  void fold(const PlanTelemetry& telemetry);
+
+  /// The smoothed row payload for `db`; empty until first observed.
+  [[nodiscard]] std::optional<double> rows_bytes(DbId db) const;
+
+  [[nodiscard]] std::uint64_t observations(DbId db) const;
+  [[nodiscard]] std::size_t sites() const noexcept { return stats_.size(); }
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  struct Entry {
+    double rows_bytes = 0;
+    std::uint64_t observations = 0;
+  };
+  double alpha_;
+  std::map<DbId, Entry> stats_;
+};
+
+}  // namespace isomer

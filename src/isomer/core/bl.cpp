@@ -1,68 +1,54 @@
-// Localized approaches (paper §3.2 and §3.3).
+// Localized-path operators (paper §3.2 and §3.3) and the pure BL/PL
+// compositions.
 //
 // BL — basic localized, phase order P -> O -> I:
 //   BL_G1  the global site derives a local query per home database (those
-//          holding a constituent of the range class) and ships it.
+//          holding a constituent of the range class) and ships it
+//          (ShipLocalQuery).
 //   BL_C1  each home database evaluates its local predicates (phase P);
-//          objects violating a local predicate are eliminated on the spot.
+//          objects violating a local predicate are eliminated on the spot
+//          (LocalFilter).
 //   BL_C2  for the unsolved items of the surviving local maybe results, the
-//          home database probes the GOid tables for assistant objects and
-//          ships check requests to their databases; the local result rows
-//          go to the global site (phase O, lookup part).
+//          home database probes the GOid tables for assistant objects
+//          (AssistantLookup) and ships check requests to their databases
+//          (CheckProtocol::dispatch); the local result rows go to the
+//          global site (ShipRows).
 //   BL_C3  a database receiving a check request evaluates the appended
 //          suffix predicates on the listed assistants and reports verdicts
-//          to the global site (phase O, checking part).
+//          to the global site (CheckProtocol::serve).
 //   BL_G2  once every local result and every announced verdict has arrived,
-//          the global site certifies (phase I) and produces the answer.
+//          the global site certifies (phase I) and produces the answer
+//          (maybe_certify).
 //
 // PL — parallel localized, phase order O -> P -> I: identical protocol
 // except that each home database *first* walks every root object's nested
 // complex attributes that hold schema-level missing data, looks up their
-// assistants, and ships those check requests (PL_C1) — so remote checking
-// (PL_C3) overlaps with its own predicate evaluation (PL_C2). The price is
-// checking assistants for objects that local evaluation would have
-// eliminated: more mapping-table probes, transfers and remote work, which
-// is exactly the overhead the paper measures in Fig. 10. Unsolved sites
-// discovered only during evaluation (null values) are dispatched in a
-// second wave.
+// assistants, and ships those check requests (EagerLookup / PL_C1) — so
+// remote checking (PL_C3) overlaps with its own predicate evaluation
+// (PL_C2). The price is checking assistants for objects that local
+// evaluation would have eliminated: more mapping-table probes, transfers
+// and remote work, which is exactly the overhead the paper measures in
+// Fig. 10. Unsolved sites discovered only during evaluation (null values)
+// are dispatched in a second wave.
 //
 // The signature variants (BLS/PLS) screen candidate assistants against the
 // replicated signature index while planning checks: provably violating
 // assistants become local False verdicts that ride along with the row
 // message instead of being shipped for checking.
+//
+// Each operator lives here as a free function over the shared
+// OperatorContext (core/operators.hpp); hybrid plans reuse the same
+// functions per site, with maybe_switch_to_central hooked between
+// AssistantLookup and ShipRows.
 #include <algorithm>
 #include <memory>
 
 #include "isomer/core/certify.hpp"
-#include "isomer/core/exec_common.hpp"
+#include "isomer/core/operators.hpp"
 #include "isomer/fault/degrade.hpp"
 #include "isomer/schema/translate.hpp"
 
 namespace isomer::detail {
-
-namespace {
-
-/// Global-site completion accounting shared by BL and PL: the run finishes
-/// when all home results have arrived and every announced check verdict has
-/// arrived (verdict announcements travel with the dispatching home's
-/// bookkeeping, so arrival order does not matter).
-struct GlobalState {
-  std::size_t homes_pending = 0;
-  std::uint64_t verdicts_announced = 0;
-  std::uint64_t verdicts_received = 0;
-  std::vector<LocalExecution> locals;
-  std::vector<CheckVerdict> verdicts;
-  bool done = false;
-  QueryResult result;
-  SimTime response = 0;
-  std::function<void(QueryResult, SimTime)> on_done;
-  /// Keeps an executor-built signature index alive through the run.
-  std::unique_ptr<SignatureIndex> owned_signatures;
-
-  [[nodiscard]] bool complete() const noexcept {
-    return homes_pending == 0 && verdicts_received == verdicts_announced;
-  }
-};
 
 void maybe_certify(ExecEnv& env, const std::shared_ptr<GlobalState>& state) {
   if (state->done || !state->complete()) return;
@@ -92,8 +78,6 @@ void maybe_certify(ExecEnv& env, const std::shared_ptr<GlobalState>& state) {
              });
 }
 
-/// Saturating meter difference, used to model the home database's memory
-/// cache: pages read by PL's eager phase O are not re-read by phase P.
 AccessMeter meter_minus(const AccessMeter& a, const AccessMeter& b) {
   const auto sub = [](std::uint64_t x, std::uint64_t y) {
     return x > y ? x - y : 0;
@@ -108,18 +92,207 @@ AccessMeter meter_minus(const AccessMeter& a, const AccessMeter& b) {
   return out;
 }
 
-/// The per-home execution pipeline. Owned by shared_ptr so the chained
-/// callbacks keep it alive.
-struct HomeRun {
-  DbId home{};
-  SiteIndex site{};
-  LocalExecution exec;
-  CheckPlan eager_plan;             ///< PL only
-  std::vector<UnsolvedItem> eager;  ///< PL only
-  AccessMeter eager_meter;          ///< PL only: scan + walks + probes
-};
+/// Under batching the request degrades to a semijoin: only the item GOids
+/// (+ predicate indexes) travel, and the target re-derives the assistant
+/// LOids from its replicated GOid table (serve() charges the extra probes).
+void CheckProtocol::dispatch(SiteIndex from, const CheckPlan& plan) {
+  state->verdicts_announced += plan.task_count();
+  auto self = shared_from_this();
+  for (const auto& [target, tasks] : plan.by_target)
+    env.ship_record(
+        from, env.site_of(target),
+        env.batching() ? semijoin_check_request_bytes(env.costs(), tasks)
+                       : check_request_wire_bytes(env.costs(), tasks.size()),
+        "C2 check request",
+        [self, target, tasks] { self->serve(target, tasks); },
+        // Abandoned request: its announced verdicts will never
+        // come — account for them so certification can release.
+        [self, n = tasks.size()](SiteIndex) {
+          self->state->verdicts_received += n;
+          maybe_certify(self->env, self->state);
+        });
+}
 
-}  // namespace
+void CheckProtocol::serve(DbId target, const std::vector<CheckTask>& tasks) {
+  const SiteIndex site = env.site_of(target);
+  auto outcome = std::make_shared<CheckOutcome>(
+      run_checks(env.fed(), env.query(), target, tasks, signatures));
+  // Semijoin requests carry GOids, not assistant LOids: the target
+  // re-derives each task's assistant through its replicated GOid table.
+  // One batched probe pass over all assistants charges exactly one
+  // table probe per task.
+  if (env.batching() && !tasks.empty()) {
+    std::vector<LOid> assistants;
+    assistants.reserve(tasks.size());
+    for (const CheckTask& task : tasks)
+      assistants.push_back(task.assistant);
+    std::vector<GOid> derived(tasks.size());
+    env.fed().goids().goids_of(assistants, derived.data(), &outcome->meter);
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      ensures(derived[i] == tasks[i].item,
+              "semijoin re-derivation disagrees with the shipped task");
+  }
+  auto self = shared_from_this();
+  SpanCounts counts;
+  counts.objects_in = tasks.size();
+  counts.objects_out = outcome->verdicts.size();
+  env.charge(
+      site, outcome->meter, Phase::O, "C3 check assistants", counts,
+      [self, site, outcome] {
+        // Cascaded follow-up checks fan out from here; their local
+        // signature verdicts ride along with this response.
+        self->dispatch(site, outcome->follow_up);
+        auto verdicts = std::make_shared<std::vector<CheckVerdict>>(
+            std::move(outcome->verdicts));
+        self->state->verdicts_announced +=
+            outcome->follow_up.local_verdicts.size();
+        verdicts->insert(verdicts->end(),
+                         outcome->follow_up.local_verdicts.begin(),
+                         outcome->follow_up.local_verdicts.end());
+        self->env.ship_record(
+            site, kGlobalSite,
+            self->env.batching()
+                ? static_cast<Bytes>(verdicts->size()) *
+                      self->env.costs().verdict_bytes()
+                : check_response_wire_bytes(self->env.costs(),
+                                            verdicts->size()),
+            "C3 verdicts",
+            [self, verdicts] {
+              self->state->verdicts_received += verdicts->size();
+              self->state->verdicts.insert(self->state->verdicts.end(),
+                                           verdicts->begin(),
+                                           verdicts->end());
+              maybe_certify(self->env, self->state);
+            },
+            [self, n = verdicts->size()](SiteIndex) {
+              self->state->verdicts_received += n;
+              maybe_certify(self->env, self->state);
+            });
+      });
+}
+
+// ---- ShipRows: send the surviving rows (plus any signature verdicts) to
+// the global site.
+void ship_rows(const std::shared_ptr<OperatorContext>& ctx,
+               const std::shared_ptr<HomeRun>& run,
+               const CheckPlan& lazy_plan) {
+  ExecEnv& env = ctx->env;
+  const std::shared_ptr<GlobalState>& state = ctx->state;
+  auto local_verdicts = std::make_shared<std::vector<CheckVerdict>>(
+      run->eager_plan.local_verdicts);
+  local_verdicts->insert(local_verdicts->end(),
+                         lazy_plan.local_verdicts.begin(),
+                         lazy_plan.local_verdicts.end());
+  state->verdicts_announced += local_verdicts->size();
+  const Bytes bytes = rows_wire_bytes(env.costs(), run->exec.rows) +
+                      static_cast<Bytes>(local_verdicts->size()) *
+                          env.costs().verdict_bytes();
+  env.ship_record(run->site, kGlobalSite, bytes, "C2 local results",
+                  [&env, state, run, local_verdicts] {
+                    state->locals.push_back(std::move(run->exec));
+                    state->verdicts.insert(state->verdicts.end(),
+                                           local_verdicts->begin(),
+                                           local_verdicts->end());
+                    state->verdicts_received += local_verdicts->size();
+                    --state->homes_pending;
+                    maybe_certify(env, state);
+                  },
+                  // The home went dark after evaluating: neither its rows
+                  // nor the attached local verdicts will ever arrive.
+                  [&env, state, n = local_verdicts->size()](SiteIndex) {
+                    state->verdicts_received += n;
+                    --state->homes_pending;
+                    maybe_certify(env, state);
+                  });
+}
+
+// ---- AssistantLookup: lazy phase O — plan checks for the unsolved items
+// of the surviving rows (minus anything PL already dispatched eagerly).
+void assistant_lookup(const std::shared_ptr<OperatorContext>& ctx,
+                      const std::shared_ptr<HomeRun>& run) {
+  ExecEnv& env = ctx->env;
+  std::vector<UnsolvedItem> items = unsolved_items_of_rows(run->exec.rows);
+  if (!run->eager.empty()) {
+    std::vector<UnsolvedItem> wave2;
+    std::set_difference(items.begin(), items.end(), run->eager.begin(),
+                        run->eager.end(), std::back_inserter(wave2));
+    items = std::move(wave2);
+  }
+  const auto items_in = static_cast<std::uint64_t>(items.size());
+  auto plan = std::make_shared<CheckPlan>(plan_checks(
+      env.fed(), env.query(), run->home, items, ctx->signatures));
+  SpanCounts counts;
+  counts.objects_in = items_in;
+  counts.objects_out = plan->task_count();
+  env.charge(run->site, plan->meter, Phase::O, "C2 assistant lookup", counts,
+             [ctx, run, plan] {
+               // Hybrid plans re-decide here: the rows are known, so the
+               // observed payload can be held against the estimate.
+               if (maybe_switch_to_central(ctx, run, *plan)) return;
+               ctx->protocol->dispatch(run->site, *plan);
+               ship_rows(ctx, run, *plan);
+             });
+}
+
+// ---- LocalFilter: phase P — evaluate the local predicates.
+void local_filter(const std::shared_ptr<OperatorContext>& ctx,
+                  const std::shared_ptr<HomeRun>& run) {
+  ExecEnv& env = ctx->env;
+  run->exec = run_local_query(env.fed(), env.query(), run->home,
+                              env.options().indexes, env.options().columnar);
+  AccessMeter p_meter = run->exec.meter;
+  if (ctx->plan.eager) {
+    // Pages already read by the eager walk stay cached in memory.
+    p_meter = meter_minus(p_meter, run->eager_meter);
+  }
+  SpanCounts counts;
+  counts.objects_in = run->exec.considered;
+  counts.objects_out = run->exec.rows.size();
+  env.charge(run->site, p_meter, Phase::P, "C1 evaluate local predicates",
+             counts, [ctx, run] { assistant_lookup(ctx, run); });
+}
+
+// ---- EagerLookup (PL only): eager phase O over all root objects.
+void eager_lookup(const std::shared_ptr<OperatorContext>& ctx,
+                  const std::shared_ptr<HomeRun>& run) {
+  ExecEnv& env = ctx->env;
+  run->eager = unsolved_items_of_all_roots(env.fed(), env.query(), run->home,
+                                           &run->eager_meter);
+  run->eager_plan = plan_checks(env.fed(), env.query(), run->home,
+                                run->eager, ctx->signatures);
+  AccessMeter charge_meter = run->eager_meter;
+  charge_meter += run->eager_plan.meter;
+  SpanCounts counts;
+  counts.objects_in = run->eager.size();
+  counts.objects_out = run->eager_plan.task_count();
+  env.charge(run->site, charge_meter, Phase::O, "PL_C1 eager lookup", counts,
+             [ctx, run] {
+               ctx->protocol->dispatch(run->site, run->eager_plan);
+               local_filter(ctx, run);
+             });
+}
+
+// ---- ShipLocalQuery (G1): ship the local query to the home database. An
+// unreachable home never evaluates: drop it from the pending count and
+// certify from whatever the live homes deliver.
+void ship_local_query(const std::shared_ptr<OperatorContext>& ctx,
+                      const std::shared_ptr<HomeRun>& run) {
+  ExecEnv& env = ctx->env;
+  // Batched frames carry one shared header (kBatchHeaderBytes), so each
+  // record drops its own per-message header (the request's S_a envelope).
+  env.ship_record(
+      kGlobalSite, run->site,
+      env.costs().request_bytes(env.query().predicates.size()) -
+          (env.batching() ? env.costs().attr_bytes : 0),
+      "G1 local query",
+      ctx->plan.eager
+          ? Simulator::Callback([ctx, run] { eager_lookup(ctx, run); })
+          : Simulator::Callback([ctx, run] { local_filter(ctx, run); }),
+      [ctx](SiteIndex) {
+        --ctx->state->homes_pending;
+        maybe_certify(ctx->env, ctx->state);
+      });
+}
 
 void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
                       std::function<void(QueryResult, SimTime)> on_done) {
@@ -150,258 +323,20 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
     }
   }
 
-  // The checking protocol: dispatching a plan ships one request per target
-  // database; a served request may cascade a follow-up plan of its own (see
-  // CheckOutcome::follow_up), so the two operations are mutually recursive.
-  struct Protocol : std::enable_shared_from_this<Protocol> {
-    ExecEnv& env;
-    std::shared_ptr<GlobalState> state;
-    const SignatureIndex* signatures;
-
-    Protocol(ExecEnv& e, std::shared_ptr<GlobalState> s,
-             const SignatureIndex* sig)
-        : env(e), state(std::move(s)), signatures(sig) {}
-
-    /// Ships a plan's check requests and announces their future verdicts.
-    /// The plan's local (signature) verdicts are NOT handled here — the
-    /// caller attaches them to whatever message carries them.
-    /// Under batching the request degrades to a semijoin: only the item
-    /// GOids (+ predicate indexes) travel, and the target re-derives the
-    /// assistant LOids from its replicated GOid table (serve() charges the
-    /// extra probes).
-    void dispatch(SiteIndex from, const CheckPlan& plan) {
-      state->verdicts_announced += plan.task_count();
-      auto self = shared_from_this();
-      for (const auto& [target, tasks] : plan.by_target)
-        env.ship_record(
-            from, env.site_of(target),
-            env.batching()
-                ? semijoin_check_request_bytes(env.costs(), tasks)
-                : check_request_wire_bytes(env.costs(), tasks.size()),
-            "C2 check request",
-            [self, target, tasks] { self->serve(target, tasks); },
-            // Abandoned request: its announced verdicts will never
-            // come — account for them so certification can release.
-            [self, n = tasks.size()](SiteIndex) {
-              self->state->verdicts_received += n;
-              maybe_certify(self->env, self->state);
-            });
-    }
-
-    /// C3: serve a check request at its target database.
-    void serve(DbId target, const std::vector<CheckTask>& tasks) {
-      const SiteIndex site = env.site_of(target);
-      auto outcome = std::make_shared<CheckOutcome>(
-          run_checks(env.fed(), env.query(), target, tasks, signatures));
-      // Semijoin requests carry GOids, not assistant LOids: the target
-      // re-derives each task's assistant through its replicated GOid table.
-      // One batched probe pass over all assistants charges exactly one
-      // table probe per task.
-      if (env.batching() && !tasks.empty()) {
-        std::vector<LOid> assistants;
-        assistants.reserve(tasks.size());
-        for (const CheckTask& task : tasks)
-          assistants.push_back(task.assistant);
-        std::vector<GOid> derived(tasks.size());
-        env.fed().goids().goids_of(assistants, derived.data(),
-                                   &outcome->meter);
-        for (std::size_t i = 0; i < tasks.size(); ++i)
-          ensures(derived[i] == tasks[i].item,
-                  "semijoin re-derivation disagrees with the shipped task");
-      }
-      auto self = shared_from_this();
-      SpanCounts counts;
-      counts.objects_in = tasks.size();
-      counts.objects_out = outcome->verdicts.size();
-      env.charge(
-          site, outcome->meter, Phase::O, "C3 check assistants", counts,
-          [self, site, outcome] {
-            // Cascaded follow-up checks fan out from here; their local
-            // signature verdicts ride along with this response.
-            self->dispatch(site, outcome->follow_up);
-            auto verdicts = std::make_shared<std::vector<CheckVerdict>>(
-                std::move(outcome->verdicts));
-            self->state->verdicts_announced +=
-                outcome->follow_up.local_verdicts.size();
-            verdicts->insert(verdicts->end(),
-                             outcome->follow_up.local_verdicts.begin(),
-                             outcome->follow_up.local_verdicts.end());
-            self->env.ship_record(
-                site, kGlobalSite,
-                self->env.batching()
-                    ? static_cast<Bytes>(verdicts->size()) *
-                          self->env.costs().verdict_bytes()
-                    : check_response_wire_bytes(self->env.costs(),
-                                                verdicts->size()),
-                "C3 verdicts",
-                [self, verdicts] {
-                  self->state->verdicts_received += verdicts->size();
-                  self->state->verdicts.insert(self->state->verdicts.end(),
-                                               verdicts->begin(),
-                                               verdicts->end());
-                  maybe_certify(self->env, self->state);
-                },
-                [self, n = verdicts->size()](SiteIndex) {
-                  self->state->verdicts_received += n;
-                  maybe_certify(self->env, self->state);
-                });
-          });
-    }
-  };
-  auto protocol = std::make_shared<Protocol>(env, state, signatures);
-  const auto dispatch_plan = [protocol](SiteIndex from, const CheckPlan& plan) {
-    protocol->dispatch(from, plan);
-  };
+  const StrategyKind kind =
+      eager_phase_o ? (use_signatures ? StrategyKind::PLS : StrategyKind::PL)
+                    : (use_signatures ? StrategyKind::BLS : StrategyKind::BL);
+  auto ctx = std::make_shared<OperatorContext>(env, ExecPlan::pure(kind));
+  ctx->state = state;
+  ctx->signatures = signatures;
+  ctx->protocol = std::make_shared<CheckProtocol>(env, state, signatures);
 
   for (const DbId home : homes) {
     auto run = std::make_shared<HomeRun>();
     run->home = home;
     run->site = env.site_of(home);
-
-    // --- Step D: ship rows (plus any signature verdicts) to the global site.
-    const auto ship_rows = [&env, state, run](const CheckPlan& lazy_plan) {
-      auto local_verdicts = std::make_shared<std::vector<CheckVerdict>>(
-          run->eager_plan.local_verdicts);
-      local_verdicts->insert(local_verdicts->end(),
-                             lazy_plan.local_verdicts.begin(),
-                             lazy_plan.local_verdicts.end());
-      state->verdicts_announced += local_verdicts->size();
-      const Bytes bytes =
-          rows_wire_bytes(env.costs(), run->exec.rows) +
-          static_cast<Bytes>(local_verdicts->size()) *
-              env.costs().verdict_bytes();
-      env.ship_record(run->site, kGlobalSite, bytes, "C2 local results",
-               [&env, state, run, local_verdicts] {
-                 state->locals.push_back(std::move(run->exec));
-                 state->verdicts.insert(state->verdicts.end(),
-                                        local_verdicts->begin(),
-                                        local_verdicts->end());
-                 state->verdicts_received += local_verdicts->size();
-                 --state->homes_pending;
-                 maybe_certify(env, state);
-               },
-               // The home went dark after evaluating: neither its rows nor
-               // the attached local verdicts will ever arrive.
-               [&env, state, n = local_verdicts->size()](SiteIndex) {
-                 state->verdicts_received += n;
-                 --state->homes_pending;
-                 maybe_certify(env, state);
-               });
-    };
-
-    // --- Step C: lazy phase O — plan checks for the unsolved items of the
-    // surviving rows (minus anything PL already dispatched eagerly).
-    const auto lazy_o = [&env, run, signatures, dispatch_plan, ship_rows] {
-      std::vector<UnsolvedItem> items = unsolved_items_of_rows(run->exec.rows);
-      if (!run->eager.empty()) {
-        std::vector<UnsolvedItem> wave2;
-        std::set_difference(items.begin(), items.end(), run->eager.begin(),
-                            run->eager.end(), std::back_inserter(wave2));
-        items = std::move(wave2);
-      }
-      const auto items_in = static_cast<std::uint64_t>(items.size());
-      auto plan = std::make_shared<CheckPlan>(
-          plan_checks(env.fed(), env.query(), run->home, items, signatures));
-      SpanCounts counts;
-      counts.objects_in = items_in;
-      counts.objects_out = plan->task_count();
-      env.charge(run->site, plan->meter, Phase::O, "C2 assistant lookup",
-                 counts, [run, plan, dispatch_plan, ship_rows] {
-                   dispatch_plan(run->site, *plan);
-                   ship_rows(*plan);
-                 });
-    };
-
-    // --- Step B: phase P — evaluate the local predicates.
-    const auto run_p = [&env, run, eager_phase_o, lazy_o] {
-      run->exec = run_local_query(env.fed(), env.query(), run->home,
-                                  env.options().indexes,
-                                  env.options().columnar);
-      AccessMeter p_meter = run->exec.meter;
-      if (eager_phase_o) {
-        // Pages already read by the eager walk stay cached in memory.
-        p_meter = meter_minus(p_meter, run->eager_meter);
-      }
-      SpanCounts counts;
-      counts.objects_in = run->exec.considered;
-      counts.objects_out = run->exec.rows.size();
-      env.charge(run->site, p_meter, Phase::P, "C1 evaluate local predicates",
-                 counts, lazy_o);
-    };
-
-    // --- Step A (PL only): eager phase O over all root objects.
-    const auto run_o_eager = [&env, run, signatures, dispatch_plan, run_p] {
-      run->eager = unsolved_items_of_all_roots(env.fed(), env.query(),
-                                               run->home, &run->eager_meter);
-      run->eager_plan = plan_checks(env.fed(), env.query(), run->home,
-                                    run->eager, signatures);
-      AccessMeter charge_meter = run->eager_meter;
-      charge_meter += run->eager_plan.meter;
-      SpanCounts counts;
-      counts.objects_in = run->eager.size();
-      counts.objects_out = run->eager_plan.task_count();
-      env.charge(run->site, charge_meter, Phase::O, "PL_C1 eager lookup",
-                 counts, [run, dispatch_plan, run_p] {
-                   dispatch_plan(run->site, run->eager_plan);
-                   run_p();
-                 });
-    };
-
-    // --- G1: ship the local query to the home database. An unreachable
-    // home never evaluates: drop it from the pending count and certify from
-    // whatever the live homes deliver.
-    // Batched frames carry one shared header (kBatchHeaderBytes), so each
-    // record drops its own per-message header (the request's S_a envelope).
-    env.ship_record(
-        kGlobalSite, run->site,
-        env.costs().request_bytes(query.predicates.size()) -
-            (env.batching() ? env.costs().attr_bytes : 0),
-        "G1 local query", eager_phase_o ? Simulator::Callback(run_o_eager)
-                                        : Simulator::Callback(run_p),
-        [&env, state](SiteIndex) {
-          --state->homes_pending;
-          maybe_certify(env, state);
-        });
+    ship_local_query(ctx, run);
   }
-}
-
-namespace {
-
-StrategyReport execute_localized(const Federation& federation,
-                                 const GlobalQuery& query,
-                                 const StrategyOptions& options,
-                                 bool use_signatures, bool eager_phase_o) {
-  ExecEnv env(federation, query, options);
-  const StrategyKind kind =
-      eager_phase_o ? (use_signatures ? StrategyKind::PLS : StrategyKind::PL)
-                    : (use_signatures ? StrategyKind::BLS : StrategyKind::BL);
-  env.set_span_context(to_string(kind));
-  QueryResult result;
-  SimTime response = 0;
-  launch_localized(env, use_signatures, eager_phase_o,
-                   [&result, &response](QueryResult r, SimTime at) {
-                     result = std::move(r);
-                     response = at;
-                   });
-  env.sim().run();
-  ensures(response > 0, "localized strategy did not complete");
-  return env.finish(std::move(result), response);
-}
-
-}  // namespace
-
-StrategyReport execute_bl(const Federation& federation,
-                          const GlobalQuery& query,
-                          const StrategyOptions& options,
-                          bool use_signatures) {
-  return execute_localized(federation, query, options, use_signatures, false);
-}
-
-StrategyReport execute_pl(const Federation& federation,
-                          const GlobalQuery& query,
-                          const StrategyOptions& options,
-                          bool use_signatures) {
-  return execute_localized(federation, query, options, use_signatures, true);
 }
 
 }  // namespace isomer::detail

@@ -1,21 +1,59 @@
-// Centralized approach (paper §3.1): phase order O -> I -> P.
+// Central-path operators (paper §3.1) and the pure CA composition —
+// phase order O -> I -> P:
 //
 //   CA_G1  global site requests the objects of every involved constituent
 //          class from every component database.
 //   CA_C1  each database scans those extents, projects the objects onto the
-//          LOid and the attributes involved in the query, and ships them.
+//          LOid and the attributes involved in the query, and ships them
+//          (RetrieveExtent — shared with hybrid Central homes and the
+//          mid-flight switch).
 //   CA_G2  the global site materializes each involved global class with an
 //          outerjoin over GOids (phase O: mapping-table probes; phase I:
-//          value integration).
+//          value integration) — Materialize.
 //   CA_G3  the global query is evaluated on the materialized classes
 //          (phase P), yielding the certain and maybe results.
 #include <memory>
 
-#include "isomer/core/exec_common.hpp"
+#include "isomer/core/operators.hpp"
 #include "isomer/fault/degrade.hpp"
 #include "isomer/federation/materializer.hpp"
 
 namespace isomer::detail {
+
+// ---- RetrieveExtent + ShipExtent (C1 of the Central path).
+void retrieve_and_ship_extent(
+    ExecEnv& env, DbId db, const std::vector<std::string>& classes,
+    const std::map<std::string, std::set<std::size_t>>& involved,
+    const std::string& retrieve_step, const std::string& ship_step,
+    const AccessMeter* cached, Simulator::Callback arrived,
+    ExecEnv::FailHandler on_fail) {
+  AccessMeter scan_meter;
+  const ComponentDatabase& database = env.fed().db(db);
+  for (const std::string& class_name : classes) {
+    const GlobalClass& cls = env.fed().schema().cls(class_name);
+    const auto constituent = cls.constituent_in(db);
+    if (!constituent) continue;
+    (void)database.scan(cls.constituents()[*constituent].local_class,
+                        &scan_meter);
+  }
+  // Projection pass: one comparison per scanned object.
+  scan_meter.comparisons += scan_meter.objects_scanned;
+  const Bytes out_bytes =
+      ca_projected_bytes(env.fed(), db, involved, env.costs());
+  SpanCounts counts;
+  counts.objects_in = scan_meter.objects_scanned;
+  counts.objects_out = scan_meter.objects_scanned;
+  // A mid-flight switch ships the extent the site just evaluated: those
+  // pages are still in the buffer cache, so credit the evaluation's reads.
+  if (cached != nullptr) scan_meter = meter_minus(scan_meter, *cached);
+  const SiteIndex site = env.site_of(db);
+  env.charge(site, scan_meter, Phase::Setup, retrieve_step, counts,
+             [&env, site, out_bytes, step = ship_step,
+              arrived = std::move(arrived), on_fail = std::move(on_fail)] {
+               env.ship_record(site, kGlobalSite, out_bytes, step,
+                               std::move(arrived), std::move(on_fail));
+             });
+}
 
 void launch_ca(ExecEnv& env,
                std::function<void(QueryResult, SimTime)> on_done) {
@@ -46,7 +84,7 @@ void launch_ca(ExecEnv& env,
   }
   const std::vector<DbId>& participants = shared->participants;
 
-  // CA_G2/G3 run once every projected extent has arrived.
+  // CA_G2/G3 run once every projected extent has arrived (Materialize).
   auto all_arrived = Barrier::create(participants.size(), [&env, shared] {
     // Phase O + I: outerjoin over GOids. The materializer's mapping-table
     // probes are phase O work, the value merging is phase I; charge them as
@@ -132,53 +170,14 @@ void launch_ca(ExecEnv& env,
         kGlobalSite, site,
         env.batching() ? Bytes{0} : env.costs().request_bytes(0),
         "CA_G1 request",
-             [&env, db, site, shared, all_arrived, give_up_on_site] {
-               // CA_C1: scan + project the involved constituent extents.
-               AccessMeter scan_meter;
-               const ComponentDatabase& database = env.fed().db(db);
-               for (const std::string& class_name : shared->classes) {
-                 const GlobalClass& cls = env.fed().schema().cls(class_name);
-                 const auto constituent = cls.constituent_in(db);
-                 if (!constituent) continue;
-                 (void)database.scan(
-                     cls.constituents()[*constituent].local_class,
-                     &scan_meter);
-               }
-               // Projection pass: one comparison per scanned object.
-               scan_meter.comparisons += scan_meter.objects_scanned;
-               const Bytes out_bytes = ca_projected_bytes(
-                   env.fed(), db, shared->involved, env.costs());
-               SpanCounts counts;
-               counts.objects_in = scan_meter.objects_scanned;
-               counts.objects_out = scan_meter.objects_scanned;
-               env.charge(site, scan_meter, Phase::Setup, "CA_C1 retrieve",
-                          counts,
-                          [&env, site, out_bytes, all_arrived,
-                           give_up_on_site] {
-                            env.ship_record(site, kGlobalSite, out_bytes,
-                                            "CA_C1 objects",
-                                            all_arrived->arrival(),
-                                            give_up_on_site);
-                          });
-             },
-             give_up_on_site);
+        [&env, db, shared, all_arrived, give_up_on_site] {
+          retrieve_and_ship_extent(env, db, shared->classes, shared->involved,
+                                   "CA_C1 retrieve", "CA_C1 objects",
+                                   /*cached=*/nullptr, all_arrived->arrival(),
+                                   give_up_on_site);
+        },
+        give_up_on_site);
   }
-}
-
-StrategyReport execute_ca(const Federation& federation,
-                          const GlobalQuery& query,
-                          const StrategyOptions& options) {
-  ExecEnv env(federation, query, options);
-  env.set_span_context(to_string(StrategyKind::CA));
-  QueryResult result;
-  SimTime response = 0;
-  launch_ca(env, [&result, &response](QueryResult r, SimTime at) {
-    result = std::move(r);
-    response = at;
-  });
-  env.sim().run();
-  ensures(response > 0, "CA did not complete");
-  return env.finish(std::move(result), response);
 }
 
 }  // namespace isomer::detail

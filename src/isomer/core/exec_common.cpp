@@ -307,6 +307,18 @@ void ExecEnv::record_fault_event(SiteIndex site, const std::string& step,
   }
 }
 
+void ExecEnv::record_plan_event(SiteIndex site, const std::string& step,
+                                SimTime begin, SimTime end) {
+  if (options_.record_trace)
+    trace_.record(site_name(site), step, Phase::Plan, begin, end);
+  if (auto span = open_span(site_name(site), step, Phase::Plan, begin,
+                            AccessMeter{}, SpanCounts{});
+      span != nullptr) {
+    span->end_ns = end;
+    options_.trace_session->record(std::move(*span));
+  }
+}
+
 void launch_strategy(ExecEnv& env, StrategyKind kind,
                      std::function<void(QueryResult, SimTime)> on_done) {
   switch (kind) {

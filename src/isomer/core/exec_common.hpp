@@ -148,6 +148,14 @@ class ExecEnv {
   void record_fault_event(SiteIndex site, const std::string& step,
                           SimTime begin, SimTime end);
 
+  /// Records a Phase::Plan trace event (and span) — the planner's per-site
+  /// path markers ("plan.site ...") and the mid-flight switch marker
+  /// ("plan.switch"). Instantaneous: planning bookkeeping costs nothing in
+  /// the simulation; the marker exists so EXPLAIN and traces show what the
+  /// adaptive machinery decided and when.
+  void record_plan_event(SiteIndex site, const std::string& step,
+                         SimTime begin, SimTime end);
+
   /// Runs the simulator to completion and assembles the report.
   [[nodiscard]] StrategyReport finish(QueryResult result, SimTime response);
 

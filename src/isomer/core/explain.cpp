@@ -236,8 +236,11 @@ std::string render_phase_tree(const obs::TraceSession& session) {
     if (executions.size() > 1 || query != 0) os << "  (query " << query << ")";
     os << "\n";
 
-    // Phases in order of first span start — the executing flow. Transfers
-    // always render last: they are the glue between phases, not a phase.
+    // Phases in order of first span start — the executing flow. Plan
+    // markers always render first (what the adaptive planner decided per
+    // site, plus any mid-flight switch, frames the phases that follow);
+    // Transfers always render last: they are the glue between phases, not
+    // a phase.
     std::vector<Phase> phases;
     const auto phase_key = [&](Phase phase) {
       return std::find(phases.begin(), phases.end(), phase) != phases.end();
@@ -251,7 +254,13 @@ std::string render_phase_tree(const obs::TraceSession& session) {
                        return a->start_ns < b->start_ns;
                      });
     for (const obs::PhaseSpan* span : spans)
-      if (span->phase != Phase::Transfer && !phase_key(span->phase))
+      if (span->phase == Phase::Plan) {
+        phases.push_back(Phase::Plan);
+        break;
+      }
+    for (const obs::PhaseSpan* span : spans)
+      if (span->phase != Phase::Transfer && span->phase != Phase::Plan &&
+          !phase_key(span->phase))
         phases.push_back(span->phase);
     phases.push_back(Phase::Transfer);
 

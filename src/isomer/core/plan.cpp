@@ -1,0 +1,56 @@
+#include "isomer/core/plan.hpp"
+
+#include <sstream>
+
+namespace isomer {
+
+std::string_view to_string(SitePath path) noexcept {
+  switch (path) {
+    case SitePath::Localized:
+      return "localized";
+    case SitePath::Central:
+      return "central";
+  }
+  return "localized";
+}
+
+ExecPlan ExecPlan::pure(StrategyKind kind) noexcept {
+  ExecPlan plan;
+  plan.label = kind;
+  plan.eager = kind == StrategyKind::PL || kind == StrategyKind::PLS;
+  plan.use_signatures =
+      kind == StrategyKind::BLS || kind == StrategyKind::PLS;
+  return plan;
+}
+
+std::string ExecPlan::to_text() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(1);
+  if (!hybrid) {
+    os << "plan pure " << to_string(label) << "\n";
+    return os.str();
+  }
+  os << "plan hybrid";
+  if (use_signatures) os << " +signatures";
+  if (switch_factor > 0) {
+    os.precision(2);
+    os << " (switch at x" << switch_factor << ")";
+    os.precision(1);
+  }
+  os << "\n";
+  for (const SiteAssignment& site : sites)
+    os << "  DB" << site.db.value() << "  " << to_string(site.path)
+       << "  rows~" << site.est_rows_bytes / 1e3 << "KB  extent "
+       << site.extent_bytes / 1e3 << "KB\n";
+  return os.str();
+}
+
+std::uint64_t PlanTelemetry::switches() const noexcept {
+  std::uint64_t count = 0;
+  for (const SiteDecision& decision : decisions)
+    if (decision.switched) ++count;
+  return count;
+}
+
+}  // namespace isomer

@@ -1,0 +1,91 @@
+// Executable plans over the composable phase operators (core/operators.hpp).
+//
+// The paper picks one of three fixed strategies per query, up front. A plan
+// generalizes that choice to *per home site*: every component database
+// holding a constituent of the range class is assigned either the Localized
+// path (evaluate the local predicates at the site, ship the surviving rows —
+// BL's C-steps) or the Central path (ship the projected extents, let the
+// global site evaluate — CA's C-steps), and the global site certifies
+// whatever mixture arrives. Pure plans reproduce the paper's CA/BL/PL (and
+// the signature variants) bit for bit; mixed plans are the hybrid
+// strategies the adaptive planner (analytic/planner.hpp) emits, surfaced in
+// traces as Phase::Plan spans and in EXPLAIN via ExecPlan::to_text /
+// render_phase_tree (docs/PLANNING.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isomer/core/strategy.hpp"
+
+namespace isomer {
+
+enum class SitePath : unsigned char { Localized, Central };
+
+[[nodiscard]] std::string_view to_string(SitePath path) noexcept;
+
+/// One home site's assignment in a hybrid plan, with the planner's wire
+/// economics the mid-flight switch rule tests against. Check traffic is
+/// identical on both paths (the same unsolved items spawn the same check
+/// tasks), so the per-site comparison is rows-vs-extent only.
+struct SiteAssignment {
+  DbId db{};
+  SitePath path = SitePath::Localized;
+  /// Estimated row-shipping payload if this site runs Localized
+  /// (rows_wire_bytes of the predicted surviving rows).
+  double est_rows_bytes = 0;
+  /// Projected-extent payload if this site runs Central. Exact catalog
+  /// arithmetic (detail::ca_projected_bytes), not an estimate.
+  double extent_bytes = 0;
+};
+
+/// What execute_plan runs. Either a pure strategy (label alone; bitwise
+/// identical to the monolithic executors) or a hybrid per-site mixture.
+struct ExecPlan {
+  /// Pure plans: the strategy to run. Hybrid plans: the flavor its
+  /// Localized homes borrow (always the lazy BL protocol today).
+  StrategyKind label = StrategyKind::BL;
+  bool hybrid = false;
+  /// Localized homes walk all roots eagerly (PL style) before evaluating.
+  bool eager = false;
+  /// Screen candidate assistants against the signature index (BLS/PLS).
+  bool use_signatures = false;
+  /// Hybrid only: one entry per home site, in local_query_sites order
+  /// (ascending DbId); must cover exactly the query's home sites.
+  std::vector<SiteAssignment> sites;
+  /// Hybrid only: a Localized home re-decides after evaluating when its
+  /// observed row payload reaches this factor times the estimate and the
+  /// exact extent payload is by then the cheaper shipment. 0 disables
+  /// mid-flight switching.
+  double switch_factor = 0;
+
+  [[nodiscard]] static ExecPlan pure(StrategyKind kind) noexcept;
+
+  /// EXPLAIN rendering: the chosen paths with their per-site economics.
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// What one hybrid execution actually did at one home site.
+struct SiteDecision {
+  DbId db{};
+  SitePath planned = SitePath::Localized;
+  SitePath executed = SitePath::Localized;
+  bool switched = false;  ///< mid-flight Localized -> Central
+  double est_rows_bytes = 0;  ///< the plan's estimate, for comparison
+  double extent_bytes = 0;
+  /// Observed row payload (rows_wire_bytes of the site's surviving rows) —
+  /// known after evaluation on either path; what SiteStatsBook learns from.
+  double observed_rows_bytes = 0;
+  std::uint64_t rows = 0;  ///< surviving local result rows
+};
+
+/// Telemetry of one hybrid execution, filled while the simulation runs.
+/// Decisions are indexed like ExecPlan::sites; empty for pure plans.
+struct PlanTelemetry {
+  std::vector<SiteDecision> decisions;
+
+  [[nodiscard]] std::uint64_t switches() const noexcept;
+};
+
+}  // namespace isomer

@@ -1,5 +1,6 @@
 #include "isomer/core/strategy.hpp"
 
+#include "isomer/core/operators.hpp"
 #include "isomer/federation/materializer.hpp"
 
 namespace isomer {
@@ -24,19 +25,9 @@ StrategyReport execute_strategy(StrategyKind kind,
                                 const Federation& federation,
                                 const GlobalQuery& query,
                                 const StrategyOptions& options) {
-  switch (kind) {
-    case StrategyKind::CA:
-      return detail::execute_ca(federation, query, options);
-    case StrategyKind::BL:
-      return detail::execute_bl(federation, query, options, false);
-    case StrategyKind::PL:
-      return detail::execute_pl(federation, query, options, false);
-    case StrategyKind::BLS:
-      return detail::execute_bl(federation, query, options, true);
-    case StrategyKind::PLS:
-      return detail::execute_pl(federation, query, options, true);
-  }
-  throw ContractViolation("unknown strategy kind");
+  // A strategy is just a pure plan over the phase operators.
+  return execute_plan(federation, query, ExecPlan::pure(kind), options)
+      .report;
 }
 
 QueryResult reference_answer(const Federation& federation,

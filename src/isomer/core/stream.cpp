@@ -2,7 +2,7 @@
 
 #include <memory>
 
-#include "isomer/core/exec_common.hpp"
+#include "isomer/core/operators.hpp"
 
 namespace isomer {
 
@@ -50,7 +50,10 @@ StreamReport run_query_stream(const Federation& federation,
     envs.push_back(std::make_unique<detail::ExecEnv>(
         federation, entry.query, per_query, sim, cluster));
     detail::ExecEnv* env = envs.back().get();
-    env->set_span_context(to_string(entry.kind), i);
+    const bool hybrid = entry.plan != nullptr && entry.plan->hybrid;
+    env->set_span_context(hybrid ? std::string_view{"HY"}
+                                 : to_string(entry.kind),
+                          i);
     StreamOutcome& outcome = report.outcomes[i];
     outcome.arrival = entry.arrival;
 
@@ -58,9 +61,14 @@ StreamReport run_query_stream(const Federation& federation,
       outcome.result = std::move(result);
       outcome.completion = at;
     };
-    const StrategyKind kind = entry.kind;
-    sim.schedule_at(entry.arrival, [env, kind, on_done] {
-      detail::launch_strategy(*env, kind, on_done);
+    // Every stream entry is an operator plan; a bare kind runs its pure
+    // plan, which is bitwise identical to the monolithic executor.
+    auto plan = entry.plan != nullptr
+                    ? entry.plan
+                    : std::make_shared<const ExecPlan>(
+                          ExecPlan::pure(entry.kind));
+    sim.schedule_at(entry.arrival, [env, plan, on_done] {
+      detail::launch_plan(*env, *plan, nullptr, on_done);
     });
   }
 

@@ -9,8 +9,10 @@
 // everyone behind it, while the localized strategies interleave.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "isomer/core/plan.hpp"
 #include "isomer/core/strategy.hpp"
 
 namespace isomer {
@@ -20,6 +22,10 @@ struct StreamQuery {
   GlobalQuery query;
   SimTime arrival = 0;                      ///< when it is submitted
   StrategyKind kind = StrategyKind::BL;     ///< per-query strategy
+  /// Optional explicit plan (e.g. a hybrid from plan_adaptive); when null
+  /// the entry runs ExecPlan::pure(kind). Shared so one plan can serve many
+  /// stream entries.
+  std::shared_ptr<const ExecPlan> plan;
 };
 
 /// One query's outcome.

@@ -1,12 +1,64 @@
 #include "isomer/serve/planner.hpp"
 
+#include "isomer/common/error.hpp"
+
 namespace isomer::serve {
+
+std::string_view to_string(PlanMode mode) noexcept {
+  switch (mode) {
+    case PlanMode::Static:
+      return "static";
+    case PlanMode::Adaptive:
+      return "adaptive";
+    case PlanMode::Hybrid:
+      return "hybrid";
+  }
+  return "static";
+}
+
+PlanMode parse_plan_mode(std::string_view text) {
+  if (text == "static") return PlanMode::Static;
+  if (text == "adaptive") return PlanMode::Adaptive;
+  if (text == "hybrid") return PlanMode::Hybrid;
+  throw ServeError("unknown plan mode '" + std::string(text) +
+                   "' (expected static, adaptive, or hybrid)");
+}
 
 std::vector<ServeRequest> plan_pool(const Federation& federation,
                                     const std::vector<GlobalQuery>& pool,
                                     const PlannerOptions& options) {
   std::vector<ServeRequest> requests;
   requests.reserve(pool.size());
+
+  if (options.mode != PlanMode::Static) {
+    // Per-site planning. The knobs inherit the advisor's arithmetic so
+    // static and adaptive runs price from identical samples.
+    auto knobs = std::make_shared<PlannerKnobs>();
+    knobs->costs = options.advisor.costs;
+    knobs->sample_size = options.advisor.sample_size;
+    knobs->seed = options.advisor.seed;
+    knobs->jobs = options.advisor.jobs;
+    knobs->batch = options.advisor.batch;
+    knobs->switch_factor =
+        options.mode == PlanMode::Hybrid ? options.knobs.switch_factor : 0;
+    for (const GlobalQuery& query : pool) {
+      const PlanChoice choice =
+          plan_adaptive(federation, query, *knobs, options.book);
+      ServeRequest request;
+      request.query = query;
+      request.kind = choice.plan.label;
+      request.predicted_cost_s = options.optimize_response
+                                     ? choice.est_response_s
+                                     : choice.est_total_s;
+      request.plan = std::make_shared<const ExecPlan>(choice.plan);
+      // A serve() run with a stats book re-plans at launch from observed
+      // payloads; without a book the up-front plan above runs as-is.
+      request.replan = knobs;
+      requests.push_back(std::move(request));
+    }
+    return requests;
+  }
+
   for (const GlobalQuery& query : pool) {
     const Advice advice = advise_strategy(federation, query, options.advisor);
     ServeRequest request;

@@ -8,24 +8,54 @@
 // the recommendation as the ServeRequests the server executes.
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "isomer/analytic/advisor.hpp"
+#include "isomer/analytic/planner.hpp"
 #include "isomer/serve/server.hpp"
 
 namespace isomer::serve {
+
+/// How plan_pool chooses each query's execution plan (harness --plan=...).
+enum class PlanMode : unsigned char {
+  /// One whole-federation strategy per query, picked by the advisor — the
+  /// paper's model, and the behavior of every pre-planner harness.
+  Static,
+  /// Per-site path choice (analytic/planner.hpp) without mid-flight
+  /// switching; requests carry `replan` knobs, so a serve run with a
+  /// stats book re-prices each launch from observed row payloads.
+  Adaptive,
+  /// Adaptive, plus ExecPlan::switch_factor armed: a Localized home whose
+  /// observed rows overshoot the estimate re-decides mid-flight.
+  Hybrid,
+};
+
+[[nodiscard]] std::string_view to_string(PlanMode mode) noexcept;
+/// Parses "static" | "adaptive" | "hybrid"; throws ServeError otherwise.
+[[nodiscard]] PlanMode parse_plan_mode(std::string_view text);
 
 struct PlannerOptions {
   AdvisorOptions advisor{};
   /// Pick each query's strategy by best response time (what an interactive
   /// client feels) rather than best total work.
   bool optimize_response = true;
+  PlanMode mode = PlanMode::Static;
+  /// Adaptive/Hybrid: per-site pricing knobs. `costs`, `sample_size`,
+  /// `seed`, `jobs` and `batch` are taken from `advisor` so the two
+  /// predictors always price with the same arithmetic; only
+  /// `switch_factor` is read from here (Hybrid mode).
+  PlannerKnobs knobs{};
+  /// Adaptive/Hybrid: consulted for already-observed sites when planning
+  /// the pool up front. The serve() run's own feedback uses
+  /// ServeOptions::stats_book instead.
+  const SiteStatsBook* book = nullptr;
 };
 
-/// Plans every query of `pool`: asks the advisor for per-strategy cost
-/// estimates, picks the recommended strategy, and records that strategy's
-/// predicted cost (seconds) as the SPC priority. Deterministic at any
-/// `advisor.jobs` value, like the advisor itself.
+/// Plans every query of `pool`: asks the advisor (Static) or the adaptive
+/// planner (Adaptive/Hybrid) for a plan and records its predicted cost
+/// (seconds) as the SPC priority. Deterministic at any `advisor.jobs`
+/// value, like the advisor itself.
 [[nodiscard]] std::vector<ServeRequest> plan_pool(
     const Federation& federation, const std::vector<GlobalQuery>& pool,
     const PlannerOptions& options = {});

@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "isomer/common/error.hpp"
-#include "isomer/core/exec_common.hpp"
+#include "isomer/core/operators.hpp"
 #include "isomer/workload/arrivals.hpp"
 
 namespace isomer::serve {
@@ -201,20 +201,40 @@ void QueryServer::start(const Waiting& next) {
   envs_.push_back(std::make_unique<detail::ExecEnv>(fed_, request.query,
                                                     per_query, sim_, cluster_));
   detail::ExecEnv* env = envs_.back().get();
-  env->set_span_context(to_string(request.kind), id);
+
+  // Resolve the operator plan. A replanning request prices against the
+  // stats book as of THIS simulated instant — completions that already
+  // folded their telemetry steer it — which is the serving layer's adaptive
+  // feedback loop (docs/PLANNING.md).
+  std::shared_ptr<const ExecPlan> plan = request.plan;
+  if (request.replan != nullptr && options_.stats_book != nullptr)
+    plan = std::make_shared<const ExecPlan>(
+        plan_adaptive(fed_, request.query, *request.replan,
+                      options_.stats_book)
+            .plan);
+  if (plan == nullptr)
+    plan = std::make_shared<const ExecPlan>(ExecPlan::pure(request.kind));
+  outcome.hybrid = plan->hybrid;
+  env->set_span_context(
+      plan->hybrid ? std::string_view{"HY"} : to_string(request.kind), id);
 
   for (std::size_t& site_load : inflight_) ++site_load;
   ++running_;
   max_inflight_ = std::max(max_inflight_, running_);
 
   const std::size_t client = client_of_[id];
-  detail::launch_strategy(
-      *env, request.kind, [this, id, client, env](QueryResult result, SimTime at) {
+  auto telemetry = std::make_shared<PlanTelemetry>();
+  detail::launch_plan(
+      *env, *plan, telemetry,
+      [this, id, client, env, telemetry](QueryResult result, SimTime at) {
         ServeOutcome& done = outcomes_[id];
         done.result = std::move(result);
         done.completion = at;
         done.wire_bytes = env->wire_bytes();
         done.messages = env->wire_messages();
+        done.plan_switches = telemetry->switches();
+        if (options_.stats_book != nullptr)
+          options_.stats_book->fold(*telemetry);
         for (std::size_t& site_load : inflight_) --site_load;
         --running_;
         if (client != kNoClient && planned_ < spec_.n_queries) {

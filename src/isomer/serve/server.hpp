@@ -18,8 +18,10 @@
 // always terminates after exactly `spec.n_queries` submissions.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "isomer/analytic/planner.hpp"
 #include "isomer/core/strategy.hpp"
 #include "isomer/obs/metrics.hpp"
 #include "isomer/obs/trace_session.hpp"
@@ -34,6 +36,14 @@ struct ServeRequest {
   GlobalQuery query;
   StrategyKind kind = StrategyKind::BL;
   double predicted_cost_s = 0;
+  /// Optional explicit plan (plan_adaptive output); null runs
+  /// ExecPlan::pure(kind). Shared: many submissions may run one pool entry.
+  std::shared_ptr<const ExecPlan> plan;
+  /// When set and ServeOptions::stats_book is attached, the server re-plans
+  /// this query with these knobs AT LAUNCH against the book's state at that
+  /// simulated instant — earlier completions already folded in — so a
+  /// serving run adapts mid-stream. Overrides `plan`.
+  std::shared_ptr<const PlannerKnobs> replan;
 };
 
 /// One submission's fate, in submission order.
@@ -49,6 +59,9 @@ struct ServeOutcome {
   /// zero for rejected submissions.
   Bytes wire_bytes = 0;
   std::uint64_t messages = 0;
+  bool hybrid = false;  ///< ran a hybrid plan (mixed per-site paths)
+  /// Mid-flight Localized->Central switches this execution performed.
+  std::uint64_t plan_switches = 0;
 
   [[nodiscard]] SimTime latency() const noexcept {
     return completion - arrival;
@@ -101,6 +114,12 @@ struct ServeOptions {
   /// deterministic order instead (a histogram's `sum` accumulates in
   /// recording order, so concurrent recording would make it float-unstable).
   obs::MetricsRegistry* metrics = nullptr;
+  /// When set, every completed hybrid execution folds its per-site observed
+  /// row payloads into this book (in completion order — deterministic under
+  /// the single-threaded event loop), and requests carrying `replan` knobs
+  /// re-plan against it at launch. Pure executions run the frozen
+  /// monolithic compositions and contribute no observations.
+  SiteStatsBook* stats_book = nullptr;
 };
 
 /// Records one report's per-submission figures into `metrics` (see

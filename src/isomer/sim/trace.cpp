@@ -18,6 +18,8 @@ std::string_view to_string(Phase phase) noexcept {
       return "transfer";
     case Phase::Fault:
       return "fault";
+    case Phase::Plan:
+      return "plan";
   }
   return "setup";
 }
@@ -33,7 +35,7 @@ std::vector<Phase> ExecutionTrace::phase_order(
   std::vector<TraceEvent> sorted;
   for (const TraceEvent& event : events_) {
     if (event.phase == Phase::Setup || event.phase == Phase::Transfer ||
-        event.phase == Phase::Fault)
+        event.phase == Phase::Fault || event.phase == Phase::Plan)
       continue;
     if (site && event.site != *site) continue;
     sorted.push_back(event);

@@ -39,6 +39,10 @@ char glyph(Phase phase) {
       return '-';
     case Phase::Setup:
       return '.';
+    case Phase::Fault:
+      return '!';
+    case Phase::Plan:
+      return '@';
   }
   return '?';
 }

@@ -1,0 +1,71 @@
+// Deterministic textual digest of a StrategyReport — the golden format of
+// the operator-pipeline parity suite (test_operator_parity.cpp).
+//
+// Every cost figure the simulator produces is printed in full precision and
+// the answer rows are folded into an FNV-1a hash, so a golden line pins the
+// *entire* observable outcome of one execution: a refactor that moves a
+// single comparison, reorders two simulator events, or changes one wire
+// byte produces a different line. Goldens are captured once from a known
+// reference build (see the regeneration recipe in test_operator_parity.cpp)
+// and checked in; the suite then proves any executor restructuring is
+// bitwise-invisible.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "isomer/core/strategy.hpp"
+
+namespace isomer::testing {
+
+inline std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : data) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+/// Hash of the logical answer: every row's entity, status, unavailable tag
+/// and printed target values, in the report's (normalized) row order.
+inline std::uint64_t result_hash(const QueryResult& result) {
+  std::ostringstream os;
+  for (const ResultRow& row : result.rows) {
+    os << row.entity.value() << '|' << to_string(row.status) << '|'
+       << row.unavailable;
+    for (const Value& value : row.targets) os << '|' << value;
+    os << ';';
+  }
+  return fnv1a(os.str());
+}
+
+/// One golden line: the case label followed by every scalar cost figure and
+/// the answer hash. Field order is part of the golden format — append-only.
+inline std::string report_digest_line(const std::string& label,
+                                      const StrategyReport& report) {
+  std::ostringstream os;
+  os << label << " resp=" << report.response_ns
+     << " total=" << report.total_ns << " cpu=" << report.cpu_ns
+     << " disk=" << report.disk_ns << " net=" << report.net_ns
+     << " bytes=" << report.bytes_transferred
+     << " msgs=" << report.messages << " scan=" << report.work.objects_scanned
+     << " fetch=" << report.work.objects_fetched
+     << " cmp=" << report.work.comparisons
+     << " probe=" << report.work.table_probes
+     << " prim=" << report.work.prim_slots
+     << " ref=" << report.work.ref_slots << " dead=";
+  if (report.unavailable_sites.empty()) {
+    os << '-';
+  } else {
+    for (std::size_t i = 0; i < report.unavailable_sites.size(); ++i)
+      os << (i > 0 ? "+" : "") << report.unavailable_sites[i].value();
+  }
+  os << " retries=" << report.retries
+     << " failed=" << report.failed_messages << " rows=" << std::hex
+     << result_hash(report.result);
+  return os.str();
+}
+
+}  // namespace isomer::testing

@@ -247,10 +247,10 @@ void check_header(const JsonObject& obj, std::size_t line_no,
 
 void check_span(const JsonObject& obj, std::size_t line_no,
                 const std::string& line, std::set<std::string>& strategies) {
-  static const std::set<std::string> kStrategies = {"CA", "BL", "PL", "BLS",
-                                                    "PLS"};
-  static const std::set<std::string> kPhases = {"setup", "O", "I", "P",
-                                                "transfer", "fault"};
+  static const std::set<std::string> kStrategies = {"CA",  "BL",  "PL",
+                                                    "BLS", "PLS", "HY"};
+  static const std::set<std::string> kPhases = {"setup", "O",     "I", "P",
+                                                "transfer", "fault", "plan"};
   for (const char* key : {"strategy", "phase", "site", "step"})
     if (!has_string(obj, key))
       fail(line_no, std::string("span needs string '") + key + "'", line);

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Keep the documentation honest: links resolve, paths exist, flags cataloged.
+
+Usage:
+    python3 tools/check_docs.py [--root /path/to/repo]
+
+Three checks over README.md, EXPERIMENTS.md, ROADMAP.md and docs/*.md:
+
+  * cross-links — every relative markdown link `[text](target)` points at a
+    file that exists, and when it carries a `#fragment` the target file has
+    a heading whose GitHub anchor slug matches. Catches renamed docs and
+    stale section anchors.
+  * source paths — every backtick-quoted `src/…`, `bench/…`, `tests/…` or
+    `tools/…` path names a real file or directory. Catches docs referring
+    to modules that moved.
+  * harness flags — every flag the shared bench harness parses
+    (`bench/harness.hpp`) appears in README.md's canonical
+    "Harness flags" table, so there is exactly one place flags live and
+    the other docs can link to it.
+
+Registered as the `check_docs` ctest; exit 0 clean, 1 on any failure.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+# Backtick-quoted repo paths: `src/isomer/core/plan.hpp`, `bench/…`, a
+# trailing `/` marks a directory reference.
+PATH_RE = re.compile(r"`((?:src|bench|tests|tools)/[A-Za-z0-9_./-]*[A-Za-z0-9_/-])`")
+FLAG_VALUE_RE = re.compile(r'value\("(--[a-z-]+)="\)')
+FLAG_BARE_RE = re.compile(r'arg == "(--[a-z-]+)"')
+
+
+def github_anchor(heading):
+    """GitHub's heading → anchor slug (backticks stripped, spaces → '-')."""
+    text = heading.strip().lstrip("#").strip().replace("`", "")
+    text = text.lower()
+    text = re.sub(r"[^a-z0-9 _-]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        slugs = set()
+        in_fence = False
+        for line in path.read_text().splitlines():
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+            elif not in_fence and re.match(r"#{1,6} ", line):
+                slugs.add(github_anchor(line))
+        cache[path] = slugs
+    return cache[path]
+
+
+def doc_files(root):
+    docs = [root / "README.md", root / "EXPERIMENTS.md", root / "ROADMAP.md"]
+    docs += sorted((root / "docs").glob("*.md"))
+    return [d for d in docs if d.exists()]
+
+
+def check_links(root, failures):
+    for doc in doc_files(root):
+        in_fence = False
+        for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                base, _, fragment = target.partition("#")
+                dest = (doc.parent / base).resolve() if base else doc
+                where = f"{doc.relative_to(root)}:{lineno}"
+                if not dest.exists():
+                    failures.append(f"{where}: broken link -> {target}")
+                elif fragment and dest.suffix == ".md":
+                    if fragment not in anchors_of(dest):
+                        failures.append(
+                            f"{where}: no heading for anchor #{fragment} "
+                            f"in {dest.relative_to(root)}"
+                        )
+
+
+def check_paths(root, failures):
+    for doc in doc_files(root):
+        for lineno, line in enumerate(doc.read_text().splitlines(), 1):
+            for ref in PATH_RE.findall(line):
+                if not (root / ref).exists():
+                    failures.append(
+                        f"{doc.relative_to(root)}:{lineno}: "
+                        f"path does not exist -> {ref}"
+                    )
+
+
+def harness_flags(root):
+    text = (root / "bench" / "harness.hpp").read_text()
+    return sorted(set(FLAG_VALUE_RE.findall(text)) | set(FLAG_BARE_RE.findall(text)))
+
+
+def check_flags(root, failures):
+    readme = (root / "README.md").read_text()
+    match = re.search(r"^### Harness flags$(.*?)^#{1,3} ", readme, re.M | re.S)
+    if not match:
+        failures.append('README.md: missing "### Harness flags" section')
+        return
+    table = match.group(1)
+    for flag in harness_flags(root):
+        if f"`{flag}" not in table:
+            failures.append(
+                f"README.md: harness flag {flag} (parsed in bench/harness.hpp) "
+                f"missing from the Harness flags table"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        type=pathlib.Path,
+        help="repository root (default: parent of tools/)",
+    )
+    args = parser.parse_args()
+    root = args.root.resolve()
+
+    failures = []
+    check_links(root, failures)
+    check_paths(root, failures)
+    check_flags(root, failures)
+
+    docs = len(doc_files(root))
+    flags = len(harness_flags(root))
+    if failures:
+        for failure in failures:
+            print(f"FAIL  {failure}")
+        print(f"\n{len(failures)} problem(s) across {docs} docs")
+        return 1
+    print(f"PASS  {docs} docs: links resolve, referenced paths exist, "
+          f"all {flags} harness flags cataloged in README.md")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
