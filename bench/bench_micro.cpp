@@ -5,6 +5,7 @@
 // time — useful when sizing full-scale (--paper) harness runs.
 #include <benchmark/benchmark.h>
 
+#include "isomer/core/cert_cache.hpp"
 #include "isomer/core/local_exec.hpp"
 #include "isomer/core/strategy.hpp"
 #include "isomer/federation/goid_table.hpp"
@@ -290,6 +291,58 @@ void BM_LocalQueryRowVsColumnar(benchmark::State& state) {
 BENCHMARK(BM_LocalQueryRowVsColumnar)
     ->Args({0, 20000})
     ->Args({1, 20000});
+
+/// n shuffled (GOid, signature) certificate keys — probe order is
+/// cache-miss-bound like a real repeated serving pool.
+std::vector<std::pair<GOid, std::uint64_t>> make_cert_keys(std::int64_t n) {
+  std::vector<std::pair<GOid, std::uint64_t>> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i)
+    keys.emplace_back(GOid{static_cast<std::uint64_t>(i + 1)},
+                      0xbf58476d1ce4e5b9ULL * static_cast<std::uint64_t>(i + 1));
+  Rng rng(5);
+  for (std::size_t i = keys.size(); i > 1; --i)
+    std::swap(keys[i - 1], keys[rng.index(i)]);
+  return keys;
+}
+
+/// Warm certificate-cache path: every lookup hits (the second serving wave
+/// of bench_serve's panel 4). Paired with BM_CertCacheColdMisses below —
+/// their ratio is the hit path's advantage over the miss+writeback path it
+/// replaces, watched by tools/check_bench_micro.py.
+void BM_CertCacheWarmHits(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto keys = make_cert_keys(n);
+  CertCache cache;
+  for (const auto& [goid, sig] : keys)
+    cache.insert(goid, sig, /*epoch=*/1, Truth::True);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    for (const auto& [goid, sig] : keys)
+      sum += static_cast<std::uint64_t>(*cache.lookup(goid, sig, 1));
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CertCacheWarmHits)->Arg(100'000);
+
+/// Cold certificate-cache path: every lookup misses and writes back — the
+/// first wave's cost, including the table growth a fresh cache pays.
+void BM_CertCacheColdMisses(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  const auto keys = make_cert_keys(n);
+  for (auto _ : state) {
+    CertCache cache;
+    std::uint64_t found = 0;
+    for (const auto& [goid, sig] : keys) {
+      found += cache.lookup(goid, sig, 1).has_value() ? 1u : 0u;
+      cache.insert(goid, sig, 1, Truth::True);
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CertCacheColdMisses)->Arg(100'000);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

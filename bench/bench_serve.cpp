@@ -19,15 +19,18 @@
 // histogram estimates; those go to --trace via the metrics summary). Every
 // trial derives its own RNG stream and results reduce in trial order, so
 // all output is byte-identical at any --jobs value. Composes with
-// --faults (per-trial derived fault streams), --batch and --serve (which
+// --faults (per-trial derived fault streams), --batch, --serve (which
 // overrides the pool size-independent spec knobs: n, queue, inflight,
-// think, clients, seed).
+// think, clients, seed) and --certcache (panel 4: the cross-query
+// certificate cache, docs/CONDITIONS.md).
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "harness.hpp"
+#include "isomer/core/cert_cache.hpp"
 #include "isomer/serve/planner.hpp"
 #include "isomer/serve/server.hpp"
 #include "isomer/workload/arrivals.hpp"
@@ -85,10 +88,12 @@ serve::ServeReport run_trial(const Federation& federation,
                              serve::ServeSpec spec, std::size_t trial,
                              const bench::HarnessOptions& options,
                              serve::PlanMode planning,
-                             std::vector<obs::TraceSession>* sessions) {
+                             std::vector<obs::TraceSession>* sessions,
+                             CertCache* cert_cache = nullptr) {
   serve::ServeOptions serve_options;
   serve_options.exec.record_trace = false;
   serve_options.exec.batch = options.batch;
+  serve_options.exec.cert_cache = cert_cache;
   serve_options.sessions = sessions;
   SiteStatsBook book;
   if (planning != serve::PlanMode::Static) serve_options.stats_book = &book;
@@ -447,6 +452,99 @@ int main(int argc, char** argv) {
               adaptive_wire / 1e3, best_static_wire / 1e3,
               adaptive_wire <= best_static_wire ? "adaptive <= best static"
                                                 : "ADAPTIVE REGRESSION");
+
+  // Panel 4 — cross-query certificate cache (docs/CONDITIONS.md). The SAME
+  // pool is replayed as two identical waves per trial through ONE shared
+  // CertCache: wave 1 runs cold and writes discharged certificates back,
+  // wave 2 finds them warm, answers first-round check atoms locally, and
+  // ships fewer assistant requests — so its wire total drops below wave
+  // 1's. Open loop deliberately: the arrival schedule and pool picks are
+  // pre-drawn from the spec seed, so both waves run the *identical*
+  // submission sequence no matter how much faster the warm one finishes (a
+  // closed loop would let completion times reshuffle the client picks and
+  // the waves would no longer be comparable). With --certcache=off (the
+  // default) no cache is attached and the waves are bitwise-identical by
+  // construction; with --faults composed, degraded executions suppress
+  // writeback, so the warm-wave saving shrinks but correctness is
+  // untouched.
+  serve::ServeSpec cert_spec = plan_spec;  // FIFO, 24 queries, inflight 2
+  cert_spec.mode = serve::ArrivalMode::Open;
+  cert_spec.rate_qps = 0.9 * capacity_qps;
+  constexpr std::size_t kWaves = 2;
+  const auto cert_samples = static_cast<std::size_t>(options.samples);
+  std::vector<std::array<serve::ServeReport, kWaves>> cert_reports(
+      cert_samples);
+  std::vector<std::array<std::vector<obs::TraceSession>, kWaves>>
+      cert_sessions(trace.enabled() ? cert_samples : 0);
+  bench::for_each_trial(
+      options.samples, options.seed, options.jobs,
+      [&](std::size_t trial, Rng&) {
+        // One cache per trial: waves share it (that is the experiment),
+        // trials do not (that keeps them --jobs-invariant).
+        CertCache cache(options.cert_cache_entries);
+        CertCache* attached = options.cert_cache_enabled ? &cache : nullptr;
+        for (std::size_t wave = 0; wave < kWaves; ++wave)
+          cert_reports[trial][wave] = run_trial(
+              *synth.federation, pool, cert_spec, trial, options, plan_mode,
+              trace.enabled() ? &cert_sessions[trial][wave] : nullptr,
+              attached);
+      });
+
+  std::printf("\n# Certificate cache (--certcache=%s): identical pool "
+              "replayed twice per trial through one shared cache —\n"
+              "# wave 1 cold, wave 2 warm. Wire figures are per-trial "
+              "cluster totals averaged over %zu trials.\n",
+              bench::certcache_spec_string(options).c_str(), cert_samples);
+  std::printf("%-6s %12s %10s %10s %10s %10s\n", "wave", "wire[KB]", "msgs",
+              "hits", "misses", "mean_ms");
+  std::array<double, kWaves> wave_wire{};
+  for (std::size_t wave = 0; wave < kWaves; ++wave) {
+    CellStats cell;
+    double wire = 0, msgs = 0;
+    std::uint64_t hits = 0, misses = 0;
+    trace.set_point("serve_cert", "wave", static_cast<double>(wave + 1));
+    for (std::size_t trial = 0; trial < cert_samples; ++trial) {
+      const serve::ServeReport& report = cert_reports[trial][wave];
+      cell.fold(report);
+      wire += static_cast<double>(report.bytes_transferred);
+      msgs += static_cast<double>(report.messages);
+      hits += report.cert_hits;
+      misses += report.cert_misses;
+      if (trace.enabled())
+        for (const obs::TraceSession& session : cert_sessions[trial][wave])
+          trace.write_trial(trial, session);
+    }
+    wire /= static_cast<double>(cert_samples);
+    msgs /= static_cast<double>(cert_samples);
+    wave_wire[wave] = wire;
+    const double mean = cell.mean_ms();
+    std::printf("%-6zu %12.1f %10.0f %10llu %10llu %10.2f\n", wave + 1,
+                wire / 1e3, msgs, static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses), mean);
+
+    char body[384];
+    std::snprintf(body, sizeof body,
+                  "\"figure\": \"serve_cert\", \"x_name\": \"wave\", "
+                  "\"x\": %zu, \"certcache\": \"%s\", \"wire_bytes\": %.17g, "
+                  "\"messages\": %.17g, \"cert_hits\": %llu, "
+                  "\"cert_misses\": %llu, \"mean_ms\": %.17g",
+                  wave + 1, bench::certcache_spec_string(options).c_str(),
+                  wire, msgs, static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(misses), mean);
+    json.raw_row(body);
+  }
+  if (options.cert_cache_enabled)
+    std::printf("warm wave wire %.1f KB vs cold %.1f KB (%s)\n",
+                wave_wire[1] / 1e3, wave_wire[0] / 1e3,
+                wave_wire[1] < wave_wire[0]
+                    ? "warm < cold"
+                    : (options.faults_set
+                           ? "faults suppressed writeback this run"
+                           : "CACHE REGRESSION"));
+  else
+    std::printf("cache off: waves identical by construction "
+                "(%.1f KB both)\n",
+                wave_wire[0] / 1e3);
 
   std::printf(
       "\nOpen loop: past the capacity knee the tail percentiles grow first —\n"

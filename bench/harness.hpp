@@ -77,6 +77,16 @@ struct HarnessOptions {
   /// ignore it.
   std::string plan = "static";
   bool plan_set = false;
+  /// --certcache=on|off|N (StrategyOptions::cert_cache): cross-query
+  /// certificate cache. "off" (the default) runs without a cache — every
+  /// output bitwise-identical to a build without it; "on" attaches one
+  /// unbounded cache per serve trial; a positive N additionally caps the
+  /// resident certificate count (core/cert_cache.hpp). Consumed by
+  /// bench_serve's repeated-pool panel; other benches accept and archive
+  /// the value but ignore it.
+  bool cert_cache_enabled = false;
+  std::size_t cert_cache_entries = 0;
+  bool certcache_set = false;
 };
 
 /// The canonical --batch spec string for provenance headers: "off", "on"
@@ -85,6 +95,15 @@ struct HarnessOptions {
   if (!batch.enabled) return "off";
   if (batch.max_records == 0) return "on";
   return std::to_string(batch.max_records);
+}
+
+/// The canonical --certcache spec string for provenance headers: "off",
+/// "on" (unbounded) or the resident-certificate cap.
+[[nodiscard]] inline std::string certcache_spec_string(
+    const HarnessOptions& options) {
+  if (!options.cert_cache_enabled) return "off";
+  if (options.cert_cache_entries == 0) return "on";
+  return std::to_string(options.cert_cache_entries);
 }
 
 /// The thread count a --jobs value resolves to (0 = all hardware threads) —
@@ -99,7 +118,8 @@ struct HarnessOptions {
                "usage: %s [--samples=N] [--scale=F] [--seed=S] [--jobs=N] "
                "[--json=FILE] [--trace=FILE] [--faults=SPEC] "
                "[--batch=on|off|N] [--serve=SPEC] "
-               "[--plan=static|adaptive|hybrid] [--signatures] [--paper] "
+               "[--plan=static|adaptive|hybrid] [--certcache=on|off|N] "
+               "[--signatures] [--paper] "
                "[--quick]\n"
                "  --faults SPEC items (comma-separated): drop=P, spike=P:DUR,"
                " down=DB[@DUR..[DUR]],\n"
@@ -113,7 +133,11 @@ struct HarnessOptions {
                " (see docs/SERVING.md)\n"
                "  --plan pool planning mode for bench_serve: static"
                " (advisor, default), adaptive, hybrid"
-               " (see docs/PLANNING.md)\n",
+               " (see docs/PLANNING.md)\n"
+               "  --certcache cross-query certificate cache for bench_serve:"
+               " on, off (default), or a\n"
+               "  positive resident-certificate cap"
+               " (see docs/CONDITIONS.md)\n",
                argv0);
   std::exit(2);
 }
@@ -197,6 +221,27 @@ inline HarnessOptions parse_options(int argc, char** argv) {
         usage_error(argv[0]);
       }
       options.plan_set = true;
+    } else if (const char* v = value("--certcache=")) {
+      const std::string mode = v;
+      if (mode == "on") {
+        options.cert_cache_enabled = true;
+        options.cert_cache_entries = 0;
+      } else if (mode == "off") {
+        options.cert_cache_enabled = false;
+        options.cert_cache_entries = 0;
+      } else {
+        const int cap = std::atoi(v);
+        if (cap <= 0) {
+          std::fprintf(
+              stderr,
+              "%s: --certcache wants on, off or a positive entry cap\n",
+              argv[0]);
+          usage_error(argv[0]);
+        }
+        options.cert_cache_enabled = true;
+        options.cert_cache_entries = static_cast<std::size_t>(cap);
+      }
+      options.certcache_set = true;
     } else if (arg == "--signatures") {
       options.run_signatures = true;
     } else if (arg == "--paper") {
@@ -547,6 +592,9 @@ class JsonSink {
                    serve::to_string(options.serve).c_str());
     if (options.plan_set)
       std::fprintf(file_, ", \"plan_mode\": \"%s\"", options.plan.c_str());
+    if (options.certcache_set)
+      std::fprintf(file_, ", \"certcache_spec\": \"%s\"",
+                   certcache_spec_string(options).c_str());
     std::fputs("}", file_);
     first_ = false;  // rows always follow the header element
   }

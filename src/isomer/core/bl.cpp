@@ -42,13 +42,109 @@
 // AssistantLookup and ShipRows.
 #include <algorithm>
 #include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
 
+#include "isomer/core/cert_cache.hpp"
 #include "isomer/core/certify.hpp"
 #include "isomer/core/operators.hpp"
 #include "isomer/fault/degrade.hpp"
+#include "isomer/query/condition.hpp"
 #include "isomer/schema/translate.hpp"
 
 namespace isomer::detail {
+
+std::uint64_t CertWriteback::key_signature(DbId home, std::size_t predicate,
+                                           std::size_t step) const noexcept {
+  std::uint64_t sig = signatures[predicate];
+  sig ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(step) + 1);
+  sig ^=
+      0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(home.value()) + 1);
+  return sig;
+}
+
+void CertWriteback::filter(ExecEnv& env, SiteIndex from, DbId home,
+                           CheckPlan& plan) {
+  if (cache == nullptr || plan.by_target.empty()) return;
+  // One probe per distinct first-round atom instance (item, predicate,
+  // step) — duplicated tasks (two maybe rows advised by the same item)
+  // share the probe's outcome, exactly as their verdicts would have pooled.
+  std::map<std::tuple<GOid, std::size_t, std::size_t>, std::optional<Truth>>
+      probed;
+  std::uint64_t hit_count = 0, miss_count = 0;
+  for (auto target = plan.by_target.begin();
+       target != plan.by_target.end();) {
+    std::vector<CheckTask>& tasks = target->second;
+    std::erase_if(tasks, [&](const CheckTask& task) {
+      if (task.origin != task.item) return false;  // cascaded: never cached
+      const auto key = std::tuple{task.item, task.predicate, task.step};
+      auto it = probed.find(key);
+      if (it == probed.end()) {
+        const std::optional<Truth> found = cache->lookup(
+            task.item, key_signature(home, task.predicate, task.step),
+            epoch);
+        it = probed.emplace(key, found).first;
+        if (found.has_value()) {
+          ++hit_count;
+          // The synthesized verdict rides with the plan's screen verdicts;
+          // the atom's pool now mixes cached evidence, so never re-cache it.
+          tainted.insert(std::pair{task.item, task.predicate});
+          plan.local_verdicts.push_back(
+              CheckVerdict{task.origin, task.predicate, *found});
+        } else {
+          ++miss_count;
+          dispatched[std::pair{task.item, task.predicate}].insert(
+              std::pair{home, task.step});
+        }
+      }
+      return it->second.has_value();
+    });
+    // A fully-answered target must not receive an empty check request.
+    if (tasks.empty())
+      target = plan.by_target.erase(target);
+    else
+      ++target;
+  }
+  hits += hit_count;
+  misses += miss_count;
+  const SimTime now = env.sim().now();
+  if (hit_count > 0)
+    env.record_cert_event(from, "cert.hit/" + std::to_string(hit_count), now,
+                          now);
+  if (miss_count > 0)
+    env.record_cert_event(from, "cert.miss/" + std::to_string(miss_count),
+                          now, now);
+}
+
+void CertWriteback::writeback(const std::vector<CheckVerdict>& verdicts) {
+  if (cache == nullptr || dispatched.empty()) return;
+  // Pool every verdict per atom with certify()'s merge rule (False
+  // dominates, else Kleene-or); the pool is associative and idempotent, so
+  // it equals what any later run would reconstruct from the same evidence.
+  std::map<std::pair<GOid, std::size_t>, Truth> pooled;
+  for (const CheckVerdict& verdict : verdicts) {
+    auto [it, inserted] = pooled.try_emplace(
+        std::pair{verdict.item, verdict.predicate}, verdict.truth);
+    if (!inserted) {
+      if (is_false(verdict.truth) || is_false(it->second))
+        it->second = Truth::False;
+      else
+        it->second = it->second || verdict.truth;
+    }
+  }
+  for (const auto& [atom, sources] : dispatched) {
+    // Only a single (home, step) source makes the atom's evidence stream
+    // attributable to one key; and a pool partly synthesized from the cache
+    // must not be written back under a fresh key.
+    if (sources.size() != 1 || tainted.count(atom) != 0) continue;
+    const auto it = pooled.find(atom);
+    if (it == pooled.end()) continue;
+    const auto& [home, step] = *sources.begin();
+    cache->insert(atom.first, key_signature(home, atom.second, step), epoch,
+                  it->second);
+  }
+}
 
 void maybe_certify(ExecEnv& env, const std::shared_ptr<GlobalState>& state) {
   if (state->done || !state->complete()) return;
@@ -63,6 +159,22 @@ void maybe_certify(ExecEnv& env, const std::shared_ptr<GlobalState>& state) {
     fault::tag_unavailable(state->result, env.fed(), env.query(), dead);
     env.record_fault_event(kGlobalSite, "fault.degrade", env.sim().now(),
                            env.sim().now());
+  }
+  if (state->certs != nullptr) {
+    // Writeback only from complete evidence: a degraded run's abandoned
+    // shipments leave the pools partial, and caching those would poison
+    // every later query at this epoch.
+    if (!env.degraded()) state->certs->writeback(state->verdicts);
+    env.note_cert_outcome(state->certs->hits, state->certs->misses);
+    // The discharge marker carries the residual-atom histogram: how many
+    // atoms of the maybe rows' conditions stayed unresolved, per predicate.
+    std::string discharge =
+        "cert.discharge atoms=" + std::to_string(stats.unresolved_atoms);
+    for (const auto& [predicate, count] : stats.unresolved_by_predicate)
+      discharge +=
+          " p" + std::to_string(predicate) + "=" + std::to_string(count);
+    env.record_cert_event(kGlobalSite, discharge, env.sim().now(),
+                          env.sim().now());
   }
   AccessMeter cpu_only;  // certification merges in memory at the global site
   cpu_only.comparisons = meter.comparisons + meter.table_probes;
@@ -95,7 +207,13 @@ AccessMeter meter_minus(const AccessMeter& a, const AccessMeter& b) {
 /// Under batching the request degrades to a semijoin: only the item GOids
 /// (+ predicate indexes) travel, and the target re-derives the assistant
 /// LOids from its replicated GOid table (serve() charges the extra probes).
-void CheckProtocol::dispatch(SiteIndex from, const CheckPlan& plan) {
+void CheckProtocol::dispatch(SiteIndex from, CheckPlan& plan,
+                             const DbId* home) {
+  // First-round dispatches consult the certificate cache (when one is
+  // attached): tasks whose atom is already certified at this epoch are
+  // stripped before anything is announced or shipped.
+  if (home != nullptr && state->certs != nullptr)
+    state->certs->filter(env, from, *home, plan);
   state->verdicts_announced += plan.task_count();
   auto self = shared_from_this();
   for (const auto& [target, tasks] : plan.by_target)
@@ -229,7 +347,7 @@ void assistant_lookup(const std::shared_ptr<OperatorContext>& ctx,
                // Hybrid plans re-decide here: the rows are known, so the
                // observed payload can be held against the estimate.
                if (maybe_switch_to_central(ctx, run, *plan)) return;
-               ctx->protocol->dispatch(run->site, *plan);
+               ctx->protocol->dispatch(run->site, *plan, &run->home);
                ship_rows(ctx, run, *plan);
              });
 }
@@ -267,7 +385,8 @@ void eager_lookup(const std::shared_ptr<OperatorContext>& ctx,
   counts.objects_out = run->eager_plan.task_count();
   env.charge(run->site, charge_meter, Phase::O, "PL_C1 eager lookup", counts,
              [ctx, run] {
-               ctx->protocol->dispatch(run->site, run->eager_plan);
+               ctx->protocol->dispatch(run->site, run->eager_plan,
+                                       &run->home);
                local_filter(ctx, run);
              });
 }
@@ -308,6 +427,20 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
   auto state = std::make_shared<GlobalState>();
   state->homes_pending = homes.size();
   state->on_done = std::move(on_done);
+
+  // Attach the cross-query certificate cache when one is configured. The
+  // epoch and per-predicate signatures are captured once per run; like the
+  // signature index, the cache is an auxiliary replicated structure whose
+  // maintenance is not charged to the query.
+  if (options.cert_cache != nullptr) {
+    auto certs = std::make_unique<CertWriteback>();
+    certs->cache = options.cert_cache;
+    certs->epoch = federation.epoch();
+    certs->signatures.reserve(query.predicates.size());
+    for (const Predicate& pred : query.predicates)
+      certs->signatures.push_back(predicate_signature(pred));
+    state->certs = std::move(certs);
+  }
 
   // Resolve the signature index when requested. The auxiliary structure is
   // maintained outside query execution (like the replicated GOid tables),

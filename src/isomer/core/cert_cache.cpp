@@ -1,0 +1,113 @@
+#include "isomer/core/cert_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace isomer {
+
+namespace {
+constexpr std::size_t kMinShardCapacity = 16;
+}  // namespace
+
+std::optional<Truth> CertCache::lookup(GOid item, std::uint64_t signature,
+                                       std::uint64_t epoch) {
+  const std::uint64_t hash = hash_key(item, signature);
+  Shard& shard = shards_[shard_of(hash)];
+  if (shard.slots.empty()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  const std::size_t mask = shard.slots.size() - 1;
+  for (std::size_t i = static_cast<std::size_t>(hash) & mask;;
+       i = (i + 1) & mask) {
+    const Shard::Slot& slot = shard.slots[i];
+    if (slot.goid == 0) break;
+    if (slot.goid == item.value() && slot.signature == signature) {
+      if (slot.epoch == epoch) {
+        ++stats_.hits;
+        return slot.truth;
+      }
+      // The data this certificate was derived from has changed since; the
+      // entry stays resident and is overwritten by the next insert.
+      ++stats_.stale;
+      break;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void CertCache::insert(GOid item, std::uint64_t signature,
+                       std::uint64_t epoch, Truth truth) {
+  const std::uint64_t hash = hash_key(item, signature);
+  {
+    Shard& shard = shards_[shard_of(hash)];
+    // Overwrite in place first — refreshing an existing certificate (same
+    // key, new epoch or truth) never grows the cache.
+    if (!shard.slots.empty()) {
+      const std::size_t mask = shard.slots.size() - 1;
+      for (std::size_t i = static_cast<std::size_t>(hash) & mask;;
+           i = (i + 1) & mask) {
+        Shard::Slot& slot = shard.slots[i];
+        if (slot.goid == 0) break;
+        if (slot.goid == item.value() && slot.signature == signature) {
+          slot.epoch = epoch;
+          slot.truth = truth;
+          ++stats_.insertions;
+          return;
+        }
+      }
+    }
+    if (max_entries_ != 0 && size_ + 1 > max_entries_ && shard.size > 0) {
+      // Coarse deterministic eviction: clear the shard the new certificate
+      // hashes into (~1/16th of the cache).
+      stats_.evicted += shard.size;
+      size_ -= shard.size;
+      shard.size = 0;
+      std::fill(shard.slots.begin(), shard.slots.end(), Shard::Slot{});
+    }
+  }
+  Shard& shard = shards_[shard_of(hash)];
+  if (shard.slots.empty() ||
+      shard.size + 1 > shard.slots.size() - shard.slots.size() / 8)
+    grow_shard(shard, std::max(kMinShardCapacity, shard.slots.size() * 2));
+  const std::size_t mask = shard.slots.size() - 1;
+  for (std::size_t i = static_cast<std::size_t>(hash) & mask;;
+       i = (i + 1) & mask) {
+    Shard::Slot& slot = shard.slots[i];
+    if (slot.goid == 0) {
+      slot.goid = item.value();
+      slot.signature = signature;
+      slot.epoch = epoch;
+      slot.truth = truth;
+      ++shard.size;
+      ++size_;
+      ++stats_.insertions;
+      return;
+    }
+  }
+}
+
+void CertCache::grow_shard(Shard& shard, std::size_t min_capacity) {
+  std::vector<Shard::Slot> old = std::move(shard.slots);
+  shard.slots.assign(std::bit_ceil(min_capacity), Shard::Slot{});
+  const std::size_t mask = shard.slots.size() - 1;
+  for (const Shard::Slot& slot : old) {
+    if (slot.goid == 0) continue;
+    std::size_t i = static_cast<std::size_t>(
+                        hash_key(GOid{slot.goid}, slot.signature)) &
+                    mask;
+    while (shard.slots[i].goid != 0) i = (i + 1) & mask;
+    shard.slots[i] = slot;
+  }
+}
+
+void CertCache::clear() {
+  for (Shard& shard : shards_) {
+    shard.slots.clear();
+    shard.size = 0;
+  }
+  size_ = 0;
+}
+
+}  // namespace isomer

@@ -71,17 +71,42 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
     // consistent federations True and False evidence cannot coexist; if
     // they ever did, False dominates, matching the certification rule's
     // "eliminated when any assistant violates".
+    //
+    // Alongside the flat pool, build the row's *condition* (conditional
+    // tables, query/condition.hpp): per predicate, a Pool over the same
+    // evidence — decided row statuses as constants, Unknown statuses as
+    // leaves — combined in the query's AND/OR shape. Pooled verdicts then
+    // discharge their leaves by substitution, so the condition's truth is,
+    // by construction, the flat pool's answer; the condition additionally
+    // *names* the atoms that kept a maybe row maybe. Building it charges
+    // nothing: the meter sees exactly the comparisons the flat loop makes.
     Truth overall = Truth::True;
+    Condition condition;  // constant True
     if (!eliminated) {
       std::vector<Truth> truths(query.predicates.size(), Truth::Unknown);
+      std::vector<Condition> per_pred;
+      per_pred.reserve(query.predicates.size());
+      std::set<std::pair<GOid, std::size_t>> dischargeable;
       for (std::size_t p = 0; p < query.predicates.size(); ++p) {
         bool any_true = false, any_false = false;
+        std::vector<Condition> pooled;
+        pooled.reserve(rows.size());
         for (const LocalRow* row : rows) {
           if (meter != nullptr) ++meter->comparisons;
           const PredStatus& status = row->preds[p];
           if (is_true(status.truth)) any_true = true;
           if (is_false(status.truth)) any_false = true;
+          if (is_unknown(status.truth)) {
+            // Step-0 sites are decided by the other rows in this very pool,
+            // never by assistant verdicts — the root_level flag keeps
+            // substitution away from them, mirroring the step > 0 guard.
+            pooled.push_back(Condition::leaf(CondAtom{
+                status.item, p, status.step, status.step == 0}));
+          } else {
+            pooled.push_back(Condition::constant(status.truth));
+          }
           if (is_unknown(status.truth) && status.step > 0) {
+            dischargeable.insert(std::pair{status.item, p});
             const auto it = verdict_index.find(std::pair{status.item, p});
             if (it != verdict_index.end()) {
               if (meter != nullptr) ++meter->comparisons;
@@ -93,8 +118,18 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
         truths[p] = any_false  ? Truth::False
                     : any_true ? Truth::True
                                : Truth::Unknown;
+        per_pred.push_back(Condition::pool(std::move(pooled)));
       }
       overall = query.combine(truths);
+      condition = combine_conditions(query, std::move(per_pred));
+      for (const auto& [item, p] : dischargeable) {
+        const auto it = verdict_index.find(std::pair{item, p});
+        if (it != verdict_index.end())
+          condition = condition.substitute(item, p, it->second);
+      }
+      condition = condition.simplify();
+      ensures(condition.truth() == overall,
+              "row condition must agree with the flat certification pool");
       if (is_false(overall)) eliminated = true;
     }
     if (eliminated) {
@@ -106,8 +141,21 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
     out.entity = entity;
     out.status =
         is_true(overall) ? ResultStatus::Certain : ResultStatus::Maybe;
-    if (stats != nullptr)
+    // A certain row is final — no residual (a True condition can still
+    // carry leaves whose False would refute it, but on consistent
+    // federations decided evidence never flips). Maybe rows keep the
+    // simplified residual naming what is still undecided.
+    out.condition = out.status == ResultStatus::Certain
+                        ? Condition::constant(Truth::True)
+                        : std::move(condition);
+    if (stats != nullptr) {
       ++(out.status == ResultStatus::Certain ? stats->certain : stats->maybe);
+      if (out.status == ResultStatus::Maybe)
+        for (const CondAtom& atom : out.condition.atoms()) {
+          ++stats->unresolved_atoms;
+          ++stats->unresolved_by_predicate[atom.predicate];
+        }
+    }
     out.targets.assign(query.targets.size(), Value::null());
     for (const LocalRow* row : rows)  // ascending DbId; first non-null wins
       for (std::size_t t = 0; t < query.targets.size(); ++t)
@@ -139,14 +187,31 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
       // unreachable entity is resurrected as unknown.
       if (any_live_home || !any_dead) continue;
       if (is_false(overall)) continue;
-      if (stats != nullptr) {
-        ++stats->entities;
-        ++(is_true(overall) ? stats->certain : stats->maybe);
-      }
       ResultRow out;
       out.entity = entity;
       out.status =
           is_true(overall) ? ResultStatus::Certain : ResultStatus::Maybe;
+      // The synthesized row's residual: every predicate Unknown at the
+      // entity itself. root_level because no assistant verdict can decide
+      // it — the data lives only at unreachable sites.
+      if (out.status == ResultStatus::Maybe) {
+        std::vector<Condition> per_pred;
+        per_pred.reserve(query.predicates.size());
+        for (std::size_t p = 0; p < query.predicates.size(); ++p)
+          per_pred.push_back(
+              Condition::leaf(CondAtom{entity, p, 0, true}));
+        out.condition =
+            combine_conditions(query, std::move(per_pred)).simplify();
+      }
+      if (stats != nullptr) {
+        ++stats->entities;
+        ++(is_true(overall) ? stats->certain : stats->maybe);
+        if (out.status == ResultStatus::Maybe)
+          for (const CondAtom& atom : out.condition.atoms()) {
+            ++stats->unresolved_atoms;
+            ++stats->unresolved_by_predicate[atom.predicate];
+          }
+      }
       out.targets.assign(query.targets.size(), Value::null());
       result.rows.push_back(std::move(out));
     }

@@ -22,6 +22,7 @@
 // federations.
 #pragma once
 
+#include <map>
 #include <set>
 #include <vector>
 
@@ -33,12 +34,22 @@ namespace isomer {
 
 /// Certification outcome counts — what the trace layer reports for the
 /// global certify span (maybe-to-certain conversions vs. eliminations).
+/// Beyond the flat outcome counts, the residual-atom fields record *why*
+/// rows stayed maybe: one count per still-undecided condition leaf, keyed
+/// by predicate index — the histogram cert.discharge spans and EXPLAIN
+/// report (docs/CONDITIONS.md).
 struct CertifyStats {
   std::uint64_t entities = 0;    ///< entities with at least one shipped row
   std::uint64_t certain = 0;     ///< resolved certain (every predicate solved)
   std::uint64_t maybe = 0;       ///< left maybe (unsolved predicates remain)
   std::uint64_t eliminated = 0;  ///< eliminated by row absence or a False
   std::uint64_t verdicts = 0;    ///< check verdicts pooled into the index
+  /// Condition leaves left undecided across all maybe rows (duplicates per
+  /// row counted once each — it is a histogram of residual work, not of
+  /// distinct atoms).
+  std::uint64_t unresolved_atoms = 0;
+  /// The same residual leaves bucketed by GlobalQuery predicate index.
+  std::map<std::size_t, std::uint64_t> unresolved_by_predicate;
 };
 
 /// Certifies the collected local results into the final answer.

@@ -319,6 +319,18 @@ void ExecEnv::record_plan_event(SiteIndex site, const std::string& step,
   }
 }
 
+void ExecEnv::record_cert_event(SiteIndex site, const std::string& step,
+                                SimTime begin, SimTime end) {
+  if (options_.record_trace)
+    trace_.record(site_name(site), step, Phase::Cert, begin, end);
+  if (auto span = open_span(site_name(site), step, Phase::Cert, begin,
+                            AccessMeter{}, SpanCounts{});
+      span != nullptr) {
+    span->end_ns = end;
+    options_.trace_session->record(std::move(*span));
+  }
+}
+
 void launch_strategy(ExecEnv& env, StrategyKind kind,
                      std::function<void(QueryResult, SimTime)> on_done) {
   switch (kind) {
@@ -354,6 +366,8 @@ StrategyReport ExecEnv::finish(QueryResult result, SimTime response) {
   report.unavailable_sites.assign(dead_.begin(), dead_.end());
   report.retries = retries_;
   report.failed_messages = failed_messages_;
+  report.cert_hits = cert_hits_;
+  report.cert_misses = cert_misses_;
   report.trace = std::move(trace_);
   return report;
 }

@@ -156,6 +156,26 @@ class ExecEnv {
   void record_plan_event(SiteIndex site, const std::string& step,
                          SimTime begin, SimTime end);
 
+  /// Records a Phase::Cert trace event (and span) — the certificate-cache
+  /// markers: "cert.hit/<n>" / "cert.miss/<n>" when a dispatch consults the
+  /// cross-query cache (core/cert_cache.hpp) and "cert.discharge ..." with
+  /// the residual-atom histogram at certification. Instantaneous, like
+  /// record_plan_event: cache bookkeeping costs nothing in the simulation,
+  /// and the markers exist only when a cache is attached — with
+  /// StrategyOptions::cert_cache null no Cert event is ever recorded.
+  void record_cert_event(SiteIndex site, const std::string& step,
+                         SimTime begin, SimTime end);
+
+  /// Folds a run's certificate-cache outcome into the final report.
+  void note_cert_outcome(std::uint64_t hits, std::uint64_t misses) noexcept {
+    cert_hits_ += hits;
+    cert_misses_ += misses;
+  }
+  [[nodiscard]] std::uint64_t cert_hits() const noexcept { return cert_hits_; }
+  [[nodiscard]] std::uint64_t cert_misses() const noexcept {
+    return cert_misses_;
+  }
+
   /// Runs the simulator to completion and assembles the report.
   [[nodiscard]] StrategyReport finish(QueryResult result, SimTime response);
 
@@ -192,6 +212,8 @@ class ExecEnv {
   std::uint64_t wire_messages_ = 0;
   std::string span_strategy_;
   std::uint64_t span_query_ = 0;
+  std::uint64_t cert_hits_ = 0;    ///< certificate-cache outcome (see
+  std::uint64_t cert_misses_ = 0;  ///< note_cert_outcome / StrategyReport)
 
   // Fault-injection state; inert (and never touched on the hot path beyond
   // one bool test) when no enabled plan is attached.

@@ -76,9 +76,12 @@ Explanation explain(const Federation& federation, const GlobalQuery& query,
   }
 
   // --- Per-database evaluation of the entity's isomeric root objects,
-  // exactly as the localized strategies' phase P sees them.
+  // exactly as the localized strategies' phase P sees them. Alongside the
+  // human-readable evidence, build the same per-predicate condition pools
+  // certify() builds, so the explanation can report the residual.
   std::vector<UnsolvedItem> items;
   std::vector<std::pair<DbId, std::vector<Truth>>> per_db_truths;
+  std::vector<std::vector<Condition>> pooled(query.predicates.size());
   for (const LOid& isomer : goids.isomers_of(entity)) {
     const Object* root = federation.db(isomer.db).fetch(isomer);
     ensures(root != nullptr, "GOid table validated at construction");
@@ -93,12 +96,14 @@ Explanation explain(const Federation& federation, const GlobalQuery& query,
       if (is_unknown(outcome.truth)) {
         evidence.note = describe_site(federation, isomer.db, outcome,
                                       query.predicates[p]);
-        if (outcome.step > 0) {
-          const auto item = goids.goid_of(outcome.holder);
-          ensures(item.has_value(), "every constituent object is GOid-mapped");
+        const auto item = goids.goid_of(outcome.holder);
+        ensures(item.has_value(), "every constituent object is GOid-mapped");
+        pooled[p].push_back(Condition::leaf(
+            CondAtom{*item, p, outcome.step, outcome.step == 0}));
+        if (outcome.step > 0)
           items.push_back(UnsolvedItem{*item, p, outcome.step, *item});
-        }
       } else {
+        pooled[p].push_back(Condition::constant(outcome.truth));
         evidence.note = std::string("evaluates ") +
                         std::string(to_string(outcome.truth)) + " at DB" +
                         std::to_string(isomer.db.value());
@@ -175,7 +180,42 @@ Explanation explain(const Federation& federation, const GlobalQuery& query,
   out.outcome = is_false(overall)  ? Outcome::Eliminated
                 : is_true(overall) ? Outcome::Certain
                                    : Outcome::Maybe;
+
+  // --- The residual condition of a maybe outcome: the per-predicate pools
+  // combined in the query's shape, every checked atom's pooled verdict
+  // substituted, then simplified — certify()'s condition path for one
+  // entity.
+  if (out.outcome == Outcome::Maybe) {
+    Condition::Assignment verdict_index;
+    for (const CheckVerdict& verdict : verdicts) {
+      auto [it, inserted] = verdict_index.try_emplace(
+          std::pair{verdict.item, verdict.predicate}, verdict.truth);
+      if (!inserted) {
+        if (is_false(verdict.truth) || is_false(it->second))
+          it->second = Truth::False;
+        else
+          it->second = it->second || verdict.truth;
+      }
+    }
+    std::vector<Condition> per_pred;
+    per_pred.reserve(query.predicates.size());
+    for (std::size_t p = 0; p < query.predicates.size(); ++p)
+      per_pred.push_back(Condition::pool(std::move(pooled[p])));
+    Condition condition = combine_conditions(query, std::move(per_pred));
+    for (const auto& [atom, truth] : verdict_index)
+      condition = condition.substitute(atom.first, atom.second, truth);
+    out.residual = condition.simplify();
+    ensures(out.residual.truth() == overall,
+            "explanation residual must agree with the pooled evidence");
+  }
   return out;
+}
+
+std::map<std::size_t, std::uint64_t> Explanation::residual_histogram() const {
+  std::map<std::size_t, std::uint64_t> histogram;
+  if (outcome != Outcome::Maybe) return histogram;
+  for (const CondAtom& atom : residual.atoms()) ++histogram[atom.predicate];
+  return histogram;
 }
 
 namespace {
@@ -328,6 +368,16 @@ std::string Explanation::to_text(const GlobalQuery& query) const {
     for (const Evidence& evidence : account.evidence)
       os << "    - " << (evidence.from_assistant ? "[check] " : "")
          << evidence.note << "\n";
+  }
+  if (outcome == Outcome::Maybe) {
+    os << "  residual: " << residual.to_string() << "\n";
+    const auto histogram = residual_histogram();
+    std::uint64_t total = 0;
+    for (const auto& [predicate, count] : histogram) total += count;
+    os << "  unresolved atoms: " << total;
+    for (const auto& [predicate, count] : histogram)
+      os << " p" << predicate << "=" << count;
+    os << "\n";
   }
   return os.str();
 }

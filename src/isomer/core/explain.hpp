@@ -8,6 +8,7 @@
 // the entity ended up certain, maybe, or eliminated.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "isomer/core/strategy.hpp"
 #include "isomer/obs/trace_session.hpp"
+#include "isomer/query/condition.hpp"
 
 namespace isomer {
 
@@ -46,6 +48,18 @@ struct Explanation {
   /// Set when the entity was eliminated by row absence: the database whose
   /// local evaluation rejected its isomeric object outright.
   std::optional<DbId> eliminated_at;
+  /// A Maybe outcome's residual condition (query/condition.hpp): the
+  /// simplified expression over (GOid, predicate) atoms that is still
+  /// undecided after every check verdict was substituted. Constant True for
+  /// every other outcome.
+  Condition residual;
+
+  /// Residual-atom histogram: predicate index -> how many atoms of
+  /// `residual` name it. Empty unless the outcome is Maybe — this is the
+  /// per-entity view of CertifyStats::unresolved_by_predicate and of the
+  /// "cert.discharge" trace marker's counts.
+  [[nodiscard]] std::map<std::size_t, std::uint64_t> residual_histogram()
+      const;
 
   /// Renders the whole account as indented text.
   [[nodiscard]] std::string to_text(const GlobalQuery& query) const;

@@ -115,7 +115,7 @@ void central_home(const std::shared_ptr<OperatorContext>& ctx,
 
 bool maybe_switch_to_central(const std::shared_ptr<OperatorContext>& ctx,
                              const std::shared_ptr<HomeRun>& run,
-                             const CheckPlan& lazy_plan) {
+                             CheckPlan& lazy_plan) {
   if (run->assignment == nullptr) return false;  // pure plan: never switches
   ExecEnv& env = ctx->env;
   const double observed =

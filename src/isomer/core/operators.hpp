@@ -34,7 +34,64 @@
 #include "isomer/core/exec_common.hpp"
 #include "isomer/core/plan.hpp"
 
+namespace isomer {
+class CertCache;
+}  // namespace isomer
+
 namespace isomer::detail {
+
+/// One run's view of the cross-query certificate cache
+/// (core/cert_cache.hpp); owned by the GlobalState, created only when
+/// StrategyOptions::cert_cache is set — a null GlobalState::certs takes the
+/// exact pre-cache code path.
+///
+/// A certificate is keyed by (item GOid, signature) where the signature
+/// mixes the predicate's canonical print, the unsolved step AND the
+/// dispatching home database: plan_checks skips the home's own isomer, so
+/// the evidence pool for an atom depends on who asked. Its value is the
+/// pooled verdict (False dominates, else Kleene-or) of *all* evidence the
+/// first-round dispatch of that atom produced — shipped checks, their
+/// cascaded follow-ups, and signature-screen verdicts alike. That whole
+/// stream is only attributable to one key when exactly one (home, step)
+/// pair dispatched the (item, predicate) atom and none of it was itself
+/// answered from the cache, so writeback() skips multi-source and
+/// cache-tainted atoms; degraded runs never write back at all (abandoned
+/// shipments make the pool partial evidence).
+struct CertWriteback {
+  CertCache* cache = nullptr;
+  /// Federation::epoch() captured once at launch; every lookup and insert
+  /// carries it, so a mid-stream extent mutation (epoch bump) turns the
+  /// whole cache stale without any scanning.
+  std::uint64_t epoch = 0;
+  /// predicate_signature() per query predicate, computed once at launch.
+  std::vector<std::uint64_t> signatures;
+  /// (item, predicate) -> the (home, step) first-round dispatches that
+  /// actually shipped (cache misses). Writeback only for single-element
+  /// sets: otherwise the pooled evidence mixes sources.
+  std::map<std::pair<GOid, std::size_t>,
+           std::set<std::pair<DbId, std::size_t>>>
+      dispatched;
+  /// Atoms any part of whose evidence was synthesized from the cache this
+  /// run — never written back (would launder a stale-keyed value).
+  std::set<std::pair<GOid, std::size_t>> tainted;
+  std::uint64_t hits = 0;    ///< first-round task groups answered locally
+  std::uint64_t misses = 0;  ///< first-round task groups shipped
+
+  [[nodiscard]] std::uint64_t key_signature(DbId home, std::size_t predicate,
+                                            std::size_t step) const noexcept;
+
+  /// The dispatch-side cache consultation: removes every first-round task
+  /// whose atom is cached at the current epoch from `plan` (synthesizing a
+  /// CheckVerdict into plan.local_verdicts — it rides to the global site on
+  /// whatever message carries the plan's screen verdicts) and records the
+  /// shipped atoms for writeback. Emits cert.hit/cert.miss markers.
+  void filter(ExecEnv& env, SiteIndex from, DbId home, CheckPlan& plan);
+
+  /// The certify-side insertion: pools `verdicts` per (item, predicate)
+  /// with certify()'s merge rule and stores each cleanly-attributable
+  /// atom's pool under its recorded key. Call only on non-degraded runs.
+  void writeback(const std::vector<CheckVerdict>& verdicts);
+};
 
 /// Global-site completion accounting shared by every plan with localized
 /// homes: the run finishes when all home results have arrived and every
@@ -52,6 +109,8 @@ struct GlobalState {
   std::function<void(QueryResult, SimTime)> on_done;
   /// Keeps an executor-built signature index alive through the run.
   std::unique_ptr<SignatureIndex> owned_signatures;
+  /// Certificate-cache plumbing; null unless StrategyOptions::cert_cache.
+  std::unique_ptr<CertWriteback> certs;
 
   [[nodiscard]] bool complete() const noexcept {
     return homes_pending == 0 && verdicts_received == verdicts_announced;
@@ -85,8 +144,13 @@ struct CheckProtocol : std::enable_shared_from_this<CheckProtocol> {
 
   /// Ships a plan's check requests and announces their future verdicts.
   /// The plan's local (signature) verdicts are NOT handled here — the
-  /// caller attaches them to whatever message carries them.
-  void dispatch(SiteIndex from, const CheckPlan& plan);
+  /// caller attaches them to whatever message carries them. `home` marks a
+  /// first-round dispatch (AssistantLookup / EagerLookup) with the planning
+  /// home database: only those consult the certificate cache, which may
+  /// strip answered tasks from `plan` and append synthesized verdicts to
+  /// plan.local_verdicts (hence the mutable plan). Cascaded follow-ups and
+  /// hybrid dispatches pass nullptr and ship unchanged.
+  void dispatch(SiteIndex from, CheckPlan& plan, const DbId* home = nullptr);
 
   /// C3: serve a check request at its target database.
   void serve(DbId target, const std::vector<CheckTask>& tasks);
@@ -162,7 +226,7 @@ void central_home(const std::shared_ptr<OperatorContext>& ctx,
 /// unchanged. Pure plans (no assignment) return false without any work.
 bool maybe_switch_to_central(const std::shared_ptr<OperatorContext>& ctx,
                              const std::shared_ptr<HomeRun>& run,
-                             const CheckPlan& lazy_plan);
+                             CheckPlan& lazy_plan);
 
 /// Sets up one plan execution on `env`'s simulator without running it.
 /// Pure plans route to the monolithic compositions (launch_ca /

@@ -36,6 +36,8 @@
 
 namespace isomer {
 
+class CertCache;
+
 namespace obs {
 class TraceSession;
 }  // namespace obs
@@ -102,6 +104,15 @@ struct StrategyOptions {
   bool columnar = true;
   /// Batched semijoin shipping; off by default (see BatchOptions).
   BatchOptions batch{};
+  /// Cross-query certificate cache (core/cert_cache.hpp). Null (the
+  /// default) disables certificate sharing entirely — the execution is
+  /// bitwise identical to a build without the cache. When set (the serving
+  /// layer passes its per-server cache, harnesses honour --certcache),
+  /// first-round assistant checks whose (GOid, atom signature) is cached at
+  /// the current federation epoch are answered locally instead of shipped,
+  /// and pooled verdicts are written back at certification time unless the
+  /// execution degraded (partial evidence must never be cached).
+  CertCache* cert_cache = nullptr;
 };
 
 /// The simulated execution's outcome: the logical answer plus the two cost
@@ -126,6 +137,11 @@ struct StrategyReport {
   std::vector<DbId> unavailable_sites;
   std::uint64_t retries = 0;
   std::uint64_t failed_messages = 0;
+
+  /// Certificate-cache outcome (both zero unless StrategyOptions::cert_cache
+  /// was set): first-round check atoms answered from the cache vs shipped.
+  std::uint64_t cert_hits = 0;
+  std::uint64_t cert_misses = 0;
 
   ExecutionTrace trace;
 };

@@ -45,6 +45,16 @@ class Federation {
   /// violations (empty when consistent).
   [[nodiscard]] std::vector<std::string> check_consistency() const;
 
+  /// Federation-wide mutation epoch: the sum of every component database's
+  /// mutation_epoch(). Any data change at any site moves it, which is what
+  /// invalidates epoch-tagged certificate-cache entries (core/cert_cache.hpp).
+  /// O(total extents) — capture once per execution, not per probe.
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    std::uint64_t epoch = 0;
+    for (const auto& db : databases_) epoch += db->mutation_epoch();
+    return epoch;
+  }
+
  private:
   GlobalSchema schema_;
   std::vector<std::unique_ptr<ComponentDatabase>> databases_;

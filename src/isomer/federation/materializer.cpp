@@ -137,21 +137,45 @@ MaterializedView materialize(const Federation& federation,
 
 namespace {
 
+/// Where a materialized evaluation went Unknown: the object holding the
+/// missing data and the global path step it stalled at — the residual atom
+/// the row's condition names. Only the *first* Unknown site (in stored
+/// evaluation order) is kept, matching the local evaluator's convention of
+/// reporting the first unsolved site of set-valued branches.
+struct MatStall {
+  GOid holder;
+  std::size_t step = 0;
+  bool set = false;
+};
+
+void note_stall(MatStall* stall, GOid holder, std::size_t step) noexcept {
+  if (stall == nullptr || stall->set) return;
+  stall->holder = holder;
+  stall->step = step;
+  stall->set = true;
+}
+
 /// Predicate evaluation over materialized objects; mirrors query/eval.cpp
 /// but navigates GOid references between materialized extents.
 Truth eval_materialized(const MaterializedView& view, const GlobalSchema& schema,
                         const MaterializedObject& obj,
                         const GlobalClass& cls, const Predicate& pred,
-                        std::size_t step, AccessMeter* meter) {
+                        std::size_t step, AccessMeter* meter,
+                        MatStall* stall = nullptr) {
   const auto index = cls.def().find_attribute(pred.path.step(step));
   ensures(index.has_value(), "global query resolved before evaluation");
   const Value& v = obj.values[*index];
   const bool last = (step + 1 == pred.path.length());
   if (last) {
     if (meter != nullptr) ++meter->comparisons;
-    return apply(pred.op, v, pred.literal);
+    const Truth t = apply(pred.op, v, pred.literal);
+    if (is_unknown(t)) note_stall(stall, obj.id, step);
+    return t;
   }
-  if (v.is_null()) return Truth::Unknown;
+  if (v.is_null()) {
+    note_stall(stall, obj.id, step);
+    return Truth::Unknown;
+  }
   const auto& cplx =
       std::get<ComplexType>(cls.def().attribute(*index).type);
   const GlobalClass& domain = schema.cls(cplx.domain_class);
@@ -159,10 +183,13 @@ Truth eval_materialized(const MaterializedView& view, const GlobalSchema& schema
 
   const auto descend = [&](GOid target) -> Truth {
     const MaterializedObject* next = extent.find(target);
-    if (next == nullptr) return Truth::Unknown;
+    if (next == nullptr) {
+      note_stall(stall, obj.id, step);  // dangling: the referrer stalls
+      return Truth::Unknown;
+    }
     if (meter != nullptr) ++meter->objects_fetched;
     return eval_materialized(view, schema, *next, domain, pred, step + 1,
-                             meter);
+                             meter, stall);
   };
 
   if (v.kind() == ValueKind::GlobalRef) return descend(v.as_global_ref());
@@ -232,9 +259,11 @@ QueryResult evaluate_global(const MaterializedView& view,
   for (const MaterializedObject& obj : extent.objects()) {
     std::vector<Truth> truths;
     truths.reserve(query.predicates.size());
-    for (const Predicate& pred : query.predicates)
-      truths.push_back(
-          eval_materialized(view, schema, obj, range, pred, 0, meter));
+    std::vector<MatStall> stalls(query.predicates.size());
+    for (std::size_t p = 0; p < query.predicates.size(); ++p)
+      truths.push_back(eval_materialized(view, schema, obj, range,
+                                         query.predicates[p], 0, meter,
+                                         &stalls[p]));
     const Truth truth = query.combine(truths);
     if (is_false(truth)) continue;
 
@@ -242,6 +271,27 @@ QueryResult evaluate_global(const MaterializedView& view,
     row.entity = obj.id;
     row.status =
         is_true(truth) ? ResultStatus::Certain : ResultStatus::Maybe;
+    // The centralized approach saw all the data at once, so a maybe row's
+    // residual is one leaf per Unknown predicate: the materialized stall
+    // site. (Syntactically simpler than, but truth-equivalent to, the pool
+    // the localized approaches build from per-database rows — conditions
+    // are deliberately outside ResultRow equality for this reason.)
+    if (row.status == ResultStatus::Maybe) {
+      std::vector<Condition> per_pred;
+      per_pred.reserve(query.predicates.size());
+      for (std::size_t p = 0; p < query.predicates.size(); ++p) {
+        if (is_unknown(truths[p])) {
+          const MatStall& s = stalls[p];
+          ensures(s.set, "Unknown evaluation must report its stall site");
+          per_pred.push_back(Condition::leaf(CondAtom{
+              s.holder, p, s.step, s.step == 0 && s.holder == obj.id}));
+        } else {
+          per_pred.push_back(Condition::constant(truths[p]));
+        }
+      }
+      row.condition =
+          combine_conditions(query, std::move(per_pred)).simplify();
+    }
     row.targets.reserve(query.targets.size());
     for (const PathExpr& target : query.targets)
       row.targets.push_back(eval_materialized_path(view, schema, obj, range,

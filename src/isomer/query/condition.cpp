@@ -1,0 +1,288 @@
+#include "isomer/query/condition.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "isomer/common/error.hpp"
+#include "isomer/query/query.hpp"
+
+namespace isomer {
+
+std::ostream& operator<<(std::ostream& os, const CondAtom& atom) {
+  os << "g" << atom.item.value() << "#" << atom.predicate << "@" << atom.step;
+  if (atom.root_level) os << "r";
+  return os;
+}
+
+Condition Condition::constant(Truth value) {
+  Condition c;
+  c.kind_ = Kind::Constant;
+  c.value_ = value;
+  return c;
+}
+
+Condition Condition::leaf(CondAtom atom) {
+  Condition c;
+  c.kind_ = Kind::Leaf;
+  c.atom_ = atom;
+  return c;
+}
+
+Condition Condition::make_and(std::vector<Condition> children) {
+  Condition c;
+  c.kind_ = Kind::And;
+  c.children_ = std::move(children);
+  return c;
+}
+
+Condition Condition::make_or(std::vector<Condition> children) {
+  Condition c;
+  c.kind_ = Kind::Or;
+  c.children_ = std::move(children);
+  return c;
+}
+
+Condition Condition::pool(std::vector<Condition> children) {
+  Condition c;
+  c.kind_ = Kind::Pool;
+  c.children_ = std::move(children);
+  return c;
+}
+
+Condition Condition::negate() const {
+  Condition c = *this;
+  c.negated_ = !c.negated_;
+  return c;
+}
+
+Truth Condition::truth(const Assignment& assignment) const {
+  Truth base = Truth::Unknown;
+  switch (kind_) {
+    case Kind::Constant:
+      base = value_;
+      break;
+    case Kind::Leaf: {
+      const auto it =
+          assignment.find(std::pair{atom_.item, atom_.predicate});
+      base = it == assignment.end() ? Truth::Unknown : it->second;
+      break;
+    }
+    case Kind::And: {
+      base = Truth::True;
+      for (const Condition& child : children_)
+        base = base && child.truth(assignment);
+      break;
+    }
+    case Kind::Or: {
+      base = Truth::False;
+      for (const Condition& child : children_)
+        base = base || child.truth(assignment);
+      break;
+    }
+    case Kind::Pool: {
+      // The certification rule's evidence pool: any False refutes, else any
+      // True solves, else Unknown. Not min, not max — see the header.
+      bool any_true = false, any_false = false;
+      for (const Condition& child : children_) {
+        const Truth t = child.truth(assignment);
+        if (is_true(t)) any_true = true;
+        if (is_false(t)) any_false = true;
+      }
+      base = any_false  ? Truth::False
+             : any_true ? Truth::True
+                        : Truth::Unknown;
+      break;
+    }
+  }
+  return negated_ ? !base : base;
+}
+
+Condition Condition::substitute(GOid item, std::size_t predicate,
+                                Truth value) const {
+  switch (kind_) {
+    case Kind::Constant:
+      return *this;
+    case Kind::Leaf:
+      if (!atom_.root_level && atom_.item == item &&
+          atom_.predicate == predicate) {
+        // The negation flag folds into the constant right away — a negated
+        // leaf decided True is the constant False.
+        return constant(negated_ ? !value : value);
+      }
+      return *this;
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Pool: {
+      Condition c;
+      c.kind_ = kind_;
+      c.negated_ = negated_;
+      c.children_.reserve(children_.size());
+      for (const Condition& child : children_)
+        c.children_.push_back(child.substitute(item, predicate, value));
+      return c;
+    }
+  }
+  return *this;
+}
+
+Condition Condition::simplify() const {
+  // Folds this node's negation into `base` and returns it.
+  const auto finish = [this](Condition base) -> Condition {
+    if (!negated_) return base;
+    if (base.kind_ == Kind::Constant && !base.negated_)
+      return constant(!base.value_);
+    return base.negate();
+  };
+
+  switch (kind_) {
+    case Kind::Constant:
+    case Kind::Leaf: {
+      Condition c = *this;
+      c.negated_ = false;
+      return finish(std::move(c));
+    }
+    case Kind::And:
+    case Kind::Or: {
+      const bool conj = kind_ == Kind::And;
+      const Truth identity = conj ? Truth::True : Truth::False;
+      const Truth annihilator = !identity;
+      std::vector<Condition> kept;
+      kept.reserve(children_.size());
+      for (const Condition& child : children_) {
+        Condition s = child.simplify();
+        if (s.is_constant() && !s.negated_) {
+          if (s.value_ == annihilator) return finish(constant(annihilator));
+          if (s.value_ == identity) continue;  // no effect on min/max
+        }
+        kept.push_back(std::move(s));
+      }
+      if (kept.empty()) return finish(constant(identity));
+      if (kept.size() == 1) return finish(std::move(kept.front()));
+      Condition c;
+      c.kind_ = kind_;
+      c.children_ = std::move(kept);
+      return finish(std::move(c));
+    }
+    case Kind::Pool: {
+      bool any_true = false;
+      std::vector<Condition> kept;
+      kept.reserve(children_.size());
+      for (const Condition& child : children_) {
+        Condition s = child.simplify();
+        if (s.is_constant() && !s.negated_) {
+          if (is_false(s.value_)) return finish(constant(Truth::False));
+          if (is_unknown(s.value_)) continue;  // contributes no evidence
+          any_true = true;  // kept: Pool{True, x} still turns False with x
+        }
+        kept.push_back(std::move(s));
+      }
+      if (kept.empty()) return finish(constant(Truth::Unknown));
+      // Only True constants left: no child can ever turn False.
+      if (any_true &&
+          static_cast<std::size_t>(std::count_if(
+              kept.begin(), kept.end(), [](const Condition& c) {
+                return c.is_constant() && !c.negated() && is_true(c.value_);
+              })) == kept.size())
+        return finish(constant(Truth::True));
+      if (kept.size() == 1) return finish(std::move(kept.front()));
+      Condition c;
+      c.kind_ = Kind::Pool;
+      c.children_ = std::move(kept);
+      return finish(std::move(c));
+    }
+  }
+  return *this;
+}
+
+void Condition::collect_atoms(std::vector<CondAtom>& out) const {
+  switch (kind_) {
+    case Kind::Constant:
+      return;
+    case Kind::Leaf:
+      out.push_back(atom_);
+      return;
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Pool:
+      for (const Condition& child : children_) child.collect_atoms(out);
+      return;
+  }
+}
+
+std::vector<CondAtom> Condition::atoms() const {
+  std::vector<CondAtom> out;
+  collect_atoms(out);
+  return out;
+}
+
+std::string Condition::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Condition& condition) {
+  if (condition.negated()) os << "not ";
+  switch (condition.kind()) {
+    case Condition::Kind::Constant:
+      return os << to_string(condition.constant_value());
+    case Condition::Kind::Leaf:
+      return os << condition.atom();
+    case Condition::Kind::And:
+    case Condition::Kind::Or:
+    case Condition::Kind::Pool: {
+      os << (condition.kind() == Condition::Kind::And  ? "and("
+             : condition.kind() == Condition::Kind::Or ? "or("
+                                                       : "pool(");
+      bool first = true;
+      for (const Condition& child : condition.children()) {
+        if (!first) os << ", ";
+        first = false;
+        os << child;
+      }
+      return os << ")";
+    }
+  }
+  return os;
+}
+
+Condition combine_conditions(const GlobalQuery& query,
+                             std::vector<Condition> per_pred) {
+  expects(per_pred.size() == query.predicates.size(),
+          "combine_conditions needs one condition per predicate");
+  // Mirrors GlobalQuery::combine exactly: AND(loose) AND OR(AND(group)).
+  std::vector<bool> grouped(per_pred.size(), false);
+  std::vector<Condition> alternatives;
+  alternatives.reserve(query.disjuncts.size());
+  for (const auto& group : query.disjuncts) {
+    std::vector<Condition> conjuncts;
+    conjuncts.reserve(group.size());
+    for (const std::size_t index : group) {
+      expects(index < per_pred.size(), "disjunct index out of range");
+      grouped[index] = true;
+      conjuncts.push_back(per_pred[index]);
+    }
+    alternatives.push_back(Condition::make_and(std::move(conjuncts)));
+  }
+  std::vector<Condition> loose;
+  if (!query.disjuncts.empty())
+    loose.push_back(Condition::make_or(std::move(alternatives)));
+  for (std::size_t p = 0; p < per_pred.size(); ++p)
+    if (!grouped[p]) loose.push_back(std::move(per_pred[p]));
+  return Condition::make_and(std::move(loose));
+}
+
+std::uint64_t predicate_signature(const Predicate& predicate) {
+  std::ostringstream os;
+  os << predicate;
+  const std::string text = os.str();
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;  // FNV-1a prime
+  }
+  return hash;
+}
+
+}  // namespace isomer

@@ -14,6 +14,7 @@
 
 #include "isomer/common/ids.hpp"
 #include "isomer/common/value.hpp"
+#include "isomer/query/condition.hpp"
 
 namespace isomer {
 
@@ -35,8 +36,19 @@ struct ResultRow {
   ResultStatus status = ResultStatus::Maybe;
   std::vector<Value> targets;
   bool unavailable = false;
+  /// The residual condition under which the row is in the certain answer
+  /// (query/condition.hpp): True for certain rows; for maybe rows, the
+  /// simplified expression over the still-undecided atoms. Deliberately
+  /// *excluded* from equality: the centralized approach derives its
+  /// residual from one materialized evaluation while the localized
+  /// approaches pool per-database rows, so equivalent maybe rows carry
+  /// syntactically different (truth-equivalent) conditions.
+  Condition condition;
 
-  friend bool operator==(const ResultRow&, const ResultRow&) = default;
+  friend bool operator==(const ResultRow& a, const ResultRow& b) {
+    return a.entity == b.entity && a.status == b.status &&
+           a.targets == b.targets && a.unavailable == b.unavailable;
+  }
 };
 
 /// The full answer to a global query.

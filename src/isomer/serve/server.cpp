@@ -233,6 +233,8 @@ void QueryServer::start(const Waiting& next) {
         done.wire_bytes = env->wire_bytes();
         done.messages = env->wire_messages();
         done.plan_switches = telemetry->switches();
+        done.cert_hits = env->cert_hits();
+        done.cert_misses = env->cert_misses();
         if (options_.stats_book != nullptr)
           options_.stats_book->fold(*telemetry);
         for (std::size_t& site_load : inflight_) --site_load;
@@ -287,6 +289,8 @@ ServeReport QueryServer::run() {
     ++report.completed;
     report.makespan = std::max(report.makespan, outcome.completion);
     report.messages += outcome.messages;
+    report.cert_hits += outcome.cert_hits;
+    report.cert_misses += outcome.cert_misses;
   }
   ensures(report.completed + report.rejected == spec_.n_queries,
           "submission count mismatch");

@@ -62,6 +62,11 @@ struct ServeOutcome {
   bool hybrid = false;  ///< ran a hybrid plan (mixed per-site paths)
   /// Mid-flight Localized->Central switches this execution performed.
   std::uint64_t plan_switches = 0;
+  /// Certificate-cache outcome for this submission (both zero unless
+  /// ServeOptions::exec.cert_cache is set): first-round check atoms
+  /// answered from the shared cache vs shipped to assistants.
+  std::uint64_t cert_hits = 0;
+  std::uint64_t cert_misses = 0;
 
   [[nodiscard]] SimTime latency() const noexcept {
     return completion - arrival;
@@ -81,6 +86,8 @@ struct ServeReport {
   std::size_t rejected = 0;
   std::size_t max_queue_depth = 0;  ///< admitted-waiting high-water mark
   std::size_t max_inflight = 0;     ///< concurrent-execution high-water mark
+  std::uint64_t cert_hits = 0;      ///< Σ per-submission cache hits
+  std::uint64_t cert_misses = 0;    ///< Σ per-submission cache misses
 
   /// Mean latency over *completed* submissions, milliseconds.
   [[nodiscard]] double mean_latency_ms() const;

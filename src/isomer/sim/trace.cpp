@@ -20,6 +20,8 @@ std::string_view to_string(Phase phase) noexcept {
       return "fault";
     case Phase::Plan:
       return "plan";
+    case Phase::Cert:
+      return "cert";
   }
   return "setup";
 }
@@ -35,7 +37,8 @@ std::vector<Phase> ExecutionTrace::phase_order(
   std::vector<TraceEvent> sorted;
   for (const TraceEvent& event : events_) {
     if (event.phase == Phase::Setup || event.phase == Phase::Transfer ||
-        event.phase == Phase::Fault || event.phase == Phase::Plan)
+        event.phase == Phase::Fault || event.phase == Phase::Plan ||
+        event.phase == Phase::Cert)
       continue;
     if (site && event.site != *site) continue;
     sorted.push_back(event);

@@ -17,7 +17,7 @@
 
 namespace isomer {
 
-enum class Phase : unsigned char { Setup, O, I, P, Transfer, Fault, Plan };
+enum class Phase : unsigned char { Setup, O, I, P, Transfer, Fault, Plan, Cert };
 
 [[nodiscard]] std::string_view to_string(Phase phase) noexcept;
 

@@ -94,6 +94,16 @@ class ComponentDatabase {
     return loid_to_extent_.size();
   }
 
+  /// Monotone mutation counter: the sum of every extent's version (see
+  /// Extent::version()), so any insert or attribute write anywhere in the
+  /// database changes the value. Epoch-tagged caches compare this to decide
+  /// whether their entries still describe the current data.
+  [[nodiscard]] std::uint64_t mutation_epoch() const noexcept {
+    std::uint64_t epoch = 0;
+    for (const auto& [name, extent] : extents_) epoch += extent.version();
+    return epoch;
+  }
+
  private:
   Extent& mutable_extent(std::string_view class_name);
   void check_type(const ClassDef& cls, std::size_t attr_index,

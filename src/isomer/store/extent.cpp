@@ -53,6 +53,7 @@ const ColumnarExtent& Extent::columnar() const {
 void Extent::invalidate_columnar() noexcept {
   const std::lock_guard<std::mutex> lock(mirror_->m);
   mirror_->built.reset();
+  ++version_;  // one counter for both mirror staleness and cache epochs
 }
 
 }  // namespace isomer

@@ -7,6 +7,7 @@
 // extent mutates, so the two layouts can never disagree.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -62,10 +63,18 @@ class Extent {
   /// Drops the cached columnar mirror (called by every mutating path).
   void invalidate_columnar() noexcept;
 
+  /// Mutation counter: bumped by every path that invalidates the columnar
+  /// mirror (insert, mutable objects()/find(), set_attribute through the
+  /// database). Summed into ComponentDatabase::mutation_epoch() /
+  /// Federation::epoch() so epoch-tagged caches (core/cert_cache.hpp) can
+  /// drop entries derived from data that has since changed.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
  private:
   const ClassDef* cls_ = nullptr;
   std::vector<Object> objects_;
   std::unordered_map<LOid, std::size_t> by_id_;
+  std::uint64_t version_ = 0;
 
   /// Lazily built columnar projection. Boxed so Extent stays movable; the
   /// mutex only guards the build/reset handshake, never the scan itself.

@@ -47,6 +47,44 @@ TEST_F(ExplainFixture, TonyIsMaybeWithNamedMissingData) {
   EXPECT_NE(text.find("missing attribute"), std::string::npos) << text;
 }
 
+TEST_F(ExplainFixture, ResidualHistogramNamesTonysUnresolvedAtoms) {
+  // A Maybe row carries a residual condition; its histogram is the
+  // per-entity view of CertifyStats::unresolved_by_predicate. Tony stalls on
+  // address.city (p0) and salary (p1) while the advisor predicate (p2) is
+  // settled, so exactly p0 and p1 must appear — and the residual text must
+  // reach the narration.
+  const Explanation e = explain(fed(), query_, g(example_.ids.s2));
+  ASSERT_EQ(e.outcome, Outcome::Maybe);
+  const std::map<std::size_t, std::uint64_t> histogram = e.residual_histogram();
+  ASSERT_EQ(histogram.size(), 2u);
+  ASSERT_TRUE(histogram.count(0));
+  ASSERT_TRUE(histogram.count(1));
+  EXPECT_GE(histogram.at(0), 1u);
+  EXPECT_GE(histogram.at(1), 1u);
+  EXPECT_FALSE(histogram.count(2)) << "p2 is settled, nothing residual";
+  EXPECT_TRUE(is_unknown(e.residual.truth()));
+  const std::string text = e.to_text(query_);
+  EXPECT_NE(text.find("residual:"), std::string::npos) << text;
+  EXPECT_NE(text.find("unresolved atoms:"), std::string::npos) << text;
+  EXPECT_NE(text.find("p0="), std::string::npos) << text;
+  EXPECT_NE(text.find("p1="), std::string::npos) << text;
+}
+
+TEST_F(ExplainFixture, ResidualIsConstantTrueForDecidedOutcomes) {
+  // Certain, eliminated and not-found entities have nothing residual: the
+  // condition defaults to the constant True and the histogram stays empty.
+  for (const GOid entity : {g(example_.ids.s1p),   // Hedy: certain
+                            g(example_.ids.s1),    // John: eliminated
+                            g(example_.ids.s3),    // Mary: eliminated
+                            GOid{99999}}) {        // not found
+    const Explanation e = explain(fed(), query_, entity);
+    ASSERT_NE(e.outcome, Outcome::Maybe) << "g" << entity.value();
+    EXPECT_TRUE(e.residual_histogram().empty()) << "g" << entity.value();
+    EXPECT_TRUE(e.residual.is_constant()) << "g" << entity.value();
+    EXPECT_TRUE(is_true(e.residual.truth())) << "g" << entity.value();
+  }
+}
+
 TEST_F(ExplainFixture, JohnIsEliminatedByHisDb2Isomer) {
   const Explanation e = explain(fed(), query_, g(example_.ids.s1));
   EXPECT_EQ(e.outcome, Outcome::Eliminated);

@@ -23,6 +23,7 @@
 #include <sstream>
 #include <vector>
 
+#include "isomer/core/cert_cache.hpp"
 #include "isomer/fault/fault_plan.hpp"
 #include "isomer/workload/synth.hpp"
 #include "report_digest.hpp"
@@ -152,6 +153,56 @@ TEST_P(OperatorParity, ReportsMatchPreRefactorGoldens) {
 // 30 seeds x 6 modes x 5 strategies = 900 pinned executions.
 INSTANTIATE_TEST_SUITE_P(Seeds, OperatorParity,
                          ::testing::Range<std::uint64_t>(1, kSeeds + 1));
+
+TEST(OperatorParity, CertCacheOffAndColdAreBitwiseInvisible) {
+  // The certificate cache (core/cert_cache.hpp) is strictly additive, and
+  // deliberately not a golden Mode: StrategyOptions::cert_cache = nullptr
+  // (the --certcache=off setting) must be the byte-for-byte pre-cache
+  // executor, and even an attached-but-COLD cache is invisible — nothing is
+  // written back until certification, so a first execution never finds a
+  // hit and must not perturb a single simulated nanosecond. Only a WARM
+  // cache may differ, and then only by stripping check traffic: identical
+  // answer, no more wire.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const std::size_t n_db =
+        2 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const SampleParams sample = draw_sample(parity_config(n_db), rng);
+    const SynthFederation synth = materialize_sample(sample);
+    for (const StrategyKind kind : kAllStrategies) {
+      StrategyOptions plain;
+      plain.record_trace = false;
+      const StrategyReport baseline =
+          execute_strategy(kind, *synth.federation, synth.query, plain);
+      const std::string expected =
+          testing::report_digest_line("case", baseline);
+
+      StrategyOptions off = plain;
+      off.cert_cache = nullptr;  // explicit, not just defaulted
+      const StrategyReport without =
+          execute_strategy(kind, *synth.federation, synth.query, off);
+      EXPECT_EQ(testing::report_digest_line("case", without), expected)
+          << "seed=" << seed << " kind=" << to_string(kind);
+
+      CertCache cache;
+      StrategyOptions with = plain;
+      with.cert_cache = &cache;
+      const StrategyReport cold =
+          execute_strategy(kind, *synth.federation, synth.query, with);
+      EXPECT_EQ(testing::report_digest_line("case", cold), expected)
+          << "cold cache perturbed seed=" << seed
+          << " kind=" << to_string(kind);
+
+      const StrategyReport warm =
+          execute_strategy(kind, *synth.federation, synth.query, with);
+      EXPECT_EQ(warm.result, baseline.result)
+          << "warm cache changed the answer, seed=" << seed
+          << " kind=" << to_string(kind);
+      EXPECT_LE(warm.bytes_transferred, baseline.bytes_transferred)
+          << "seed=" << seed << " kind=" << to_string(kind);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace isomer

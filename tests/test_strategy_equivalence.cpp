@@ -4,6 +4,7 @@
 // workloads at reduced scale.
 #include <gtest/gtest.h>
 
+#include "isomer/core/cert_cache.hpp"
 #include "isomer/core/strategy.hpp"
 #include "isomer/workload/synth.hpp"
 
@@ -120,6 +121,59 @@ TEST(BatchedStrategies, LocalizedStrategiesShipNoMoreBytesInAggregate) {
   }
   EXPECT_LE(framed_total, plain_total);
 }
+
+class CertCachedStrategyEquivalence
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CertCachedStrategyEquivalence, CacheOffIsIdenticalAndWarmStillAgrees) {
+  // --certcache=off is not a mode, it is the absence of one: explicitly
+  // passing StrategyOptions::cert_cache = nullptr must reproduce the plain
+  // executor's report bit for bit. A warm cache re-run may strip check
+  // traffic but must keep the reference answer and never ship more.
+  Rng rng(GetParam());
+  const std::size_t n_db = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  const SampleParams sample = draw_sample(small_config(n_db), rng);
+  const SynthFederation synth = materialize_sample(sample);
+  ASSERT_TRUE(synth.federation->check_consistency().empty());
+
+  const QueryResult expected = reference_answer(*synth.federation, synth.query);
+  for (const StrategyKind kind : kAllStrategies) {
+    const StrategyReport plain =
+        execute_strategy(kind, *synth.federation, synth.query);
+    StrategyOptions off;
+    off.cert_cache = nullptr;
+    const StrategyReport without =
+        execute_strategy(kind, *synth.federation, synth.query, off);
+    EXPECT_EQ(without.result, plain.result) << to_string(kind);
+    EXPECT_EQ(without.response_ns, plain.response_ns) << to_string(kind);
+    EXPECT_EQ(without.total_ns, plain.total_ns) << to_string(kind);
+    EXPECT_EQ(without.bytes_transferred, plain.bytes_transferred)
+        << to_string(kind);
+    EXPECT_EQ(without.messages, plain.messages) << to_string(kind);
+    EXPECT_EQ(without.cert_hits, 0u) << to_string(kind);
+    EXPECT_EQ(without.cert_misses, 0u) << to_string(kind);
+
+    CertCache cache;
+    StrategyOptions with;
+    with.cert_cache = &cache;
+    const StrategyReport cold =
+        execute_strategy(kind, *synth.federation, synth.query, with);
+    EXPECT_EQ(cold.result, expected)
+        << to_string(kind) << " diverged cold-cached on seed " << GetParam();
+    EXPECT_EQ(cold.bytes_transferred, plain.bytes_transferred)
+        << to_string(kind) << ": a cold cache must be invisible";
+    EXPECT_EQ(cold.cert_hits, 0u) << to_string(kind);
+    const StrategyReport warm =
+        execute_strategy(kind, *synth.federation, synth.query, with);
+    EXPECT_EQ(warm.result, expected)
+        << to_string(kind) << " diverged warm-cached on seed " << GetParam();
+    EXPECT_LE(warm.bytes_transferred, plain.bytes_transferred)
+        << to_string(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertCachedStrategyEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 21));
 
 TEST(StrategyDeterminism, RepeatedRunsAreBitIdentical) {
   Rng rng(7);

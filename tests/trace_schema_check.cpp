@@ -1,12 +1,17 @@
 // Schema check for the "isomer-trace-v1" JSONL contract (docs/TRACING.md).
 //
-// Runs `<bench binary> --quick --trace=<tmp>` and validates every emitted
-// line against the documented record schemas: one header record first, then
-// span records, then one metrics trailer. Registered in ctest as
+// Runs `<bench binary> --quick --trace=<tmp> [extra args...]` and validates
+// every emitted line against the documented record schemas: one header
+// record first, then span records, then one metrics trailer. Registered in
+// ctest as
 //   trace_schema_check $<TARGET_FILE:bench_fig9>
+//   trace_schema_check_serve $<TARGET_FILE:bench_serve> ... --certcache=on
 // so a drifted encoder (or a drifted document) fails the suite, not a
-// downstream consumer. Deliberately dependency-free: a minimal recursive
-// JSON parser below, no gtest, no external libraries.
+// downstream consumer. Without extra args the run must cover the CA/BL/PL
+// strategies (the fig9 sweep contract); with --certcache=on among the extra
+// args it must emit at least one Phase::Cert span (the certificate-cache
+// markers of docs/CONDITIONS.md). Deliberately dependency-free: a minimal
+// recursive JSON parser below, no gtest, no external libraries.
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -246,11 +251,12 @@ void check_header(const JsonObject& obj, std::size_t line_no,
 }
 
 void check_span(const JsonObject& obj, std::size_t line_no,
-                const std::string& line, std::set<std::string>& strategies) {
+                const std::string& line, std::set<std::string>& strategies,
+                std::set<std::string>& phases) {
   static const std::set<std::string> kStrategies = {"CA",  "BL",  "PL",
                                                     "BLS", "PLS", "HY"};
-  static const std::set<std::string> kPhases = {"setup", "O",     "I", "P",
-                                                "transfer", "fault", "plan"};
+  static const std::set<std::string> kPhases = {
+      "setup", "O", "I", "P", "transfer", "fault", "plan", "cert"};
   for (const char* key : {"strategy", "phase", "site", "step"})
     if (!has_string(obj, key))
       fail(line_no, std::string("span needs string '") + key + "'", line);
@@ -269,8 +275,12 @@ void check_span(const JsonObject& obj, std::size_t line_no,
     else
       strategies.insert(obj.at("strategy").string());
   }
-  if (has_string(obj, "phase") && kPhases.count(obj.at("phase").string()) == 0)
-    fail(line_no, "unknown 'phase'", line);
+  if (has_string(obj, "phase")) {
+    if (kPhases.count(obj.at("phase").string()) == 0)
+      fail(line_no, "unknown 'phase'", line);
+    else
+      phases.insert(obj.at("phase").string());
+  }
   if (has_number(obj, "start_ns") && has_number(obj, "end_ns") &&
       obj.at("end_ns").number() < obj.at("start_ns").number())
     fail(line_no, "span ends before it starts", line);
@@ -299,14 +309,26 @@ void check_metrics(const JsonObject& obj, std::size_t line_no,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <bench-binary>\n", argv[0]);
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <bench-binary> [bench args...]\n",
+                 argv[0]);
     return 2;
   }
-  const std::string trace_path = "trace_schema_check.jsonl";
-  const std::string command = std::string("\"") + argv[1] +
-                              "\" --quick --trace=" + trace_path +
-                              " > trace_schema_check.out 2>&1";
+  // Per-binary scratch names so multiple registrations can run under
+  // ctest -j from the same working directory without clobbering each other.
+  const std::string binary = argv[1];
+  const std::string base = binary.substr(binary.find_last_of("/\\") + 1);
+  const std::string trace_path = "trace_schema_check." + base + ".jsonl";
+  bool require_cert_spans = false;
+  std::string command =
+      std::string("\"") + binary + "\" --quick --trace=" + trace_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--certcache=", 0) == 0 && arg != "--certcache=off")
+      require_cert_spans = true;
+    command += " " + arg;
+  }
+  command += " > trace_schema_check." + base + ".out 2>&1";
   if (std::system(command.c_str()) != 0) {
     std::fprintf(stderr, "bench run failed: %s\n", command.c_str());
     return 1;
@@ -321,6 +343,7 @@ int main(int argc, char** argv) {
   std::size_t line_no = 0, spans = 0;
   bool saw_header = false, saw_metrics = false;
   std::set<std::string> strategies;
+  std::set<std::string> phases;
   std::string line;
   while (std::getline(in, line)) {
     ++line_no;
@@ -347,7 +370,7 @@ int main(int argc, char** argv) {
     } else if (type == "span") {
       if (!saw_header) fail(line_no, "span before header", line);
       ++spans;
-      check_span(obj, line_no, line, strategies);
+      check_span(obj, line_no, line, strategies, phases);
     } else if (type == "metrics") {
       saw_metrics = true;
       check_metrics(obj, line_no, line);
@@ -368,11 +391,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "no span records\n");
     ++failures;
   }
-  for (const char* strategy : {"CA", "BL", "PL"})
-    if (strategies.count(strategy) == 0) {
-      std::fprintf(stderr, "no spans from strategy %s\n", strategy);
-      ++failures;
-    }
+  // The strategy-coverage contract is the fig9 sweep's (the default
+  // registration); serve pools pick strategies per submission, so extra-arg
+  // runs only owe the schema itself — plus cert spans when asked.
+  if (argc == 2)
+    for (const char* strategy : {"CA", "BL", "PL"})
+      if (strategies.count(strategy) == 0) {
+        std::fprintf(stderr, "no spans from strategy %s\n", strategy);
+        ++failures;
+      }
+  if (require_cert_spans && phases.count("cert") == 0) {
+    std::fprintf(stderr, "--certcache=on run emitted no cert-phase spans\n");
+    ++failures;
+  }
 
   if (failures != 0) {
     std::fprintf(stderr, "%d schema violation(s) in %zu line(s)\n", failures,
