@@ -127,9 +127,11 @@ struct HarnessOptions {
                " degrade=fail|partial (see docs/FAULTS.md)\n"
                "  --batch batched semijoin shipping: on, off (default), or a"
                " positive per-frame record cap\n"
-               "  --serve SPEC: (open|closed)[:items] with rate=R, clients=N,"
-               " think=DUR, n=N,\n"
-               "  policy=fifo|spc, queue=N, inflight=N, seed=N"
+               "  --serve SPEC: (open|closed)[:items][/tenant:ID,items...]"
+               " with rate=R, clients=N, think=DUR, n=N,\n"
+               "  policy=fifo|spc|wfq|edf, queue=N, inflight=N,"
+               " autoscale=on|off, seed=N; tenant items weight=W,\n"
+               "  quota=N, slo=DUR, rate=R"
                " (see docs/SERVING.md)\n"
                "  --plan pool planning mode for bench_serve: static"
                " (advisor, default), adaptive, hybrid"

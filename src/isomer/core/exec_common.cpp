@@ -319,6 +319,18 @@ void ExecEnv::record_plan_event(SiteIndex site, const std::string& step,
   }
 }
 
+void ExecEnv::record_serve_event(SiteIndex site, const std::string& step,
+                                 SimTime begin, SimTime end) {
+  if (options_.record_trace)
+    trace_.record(site_name(site), step, Phase::Serve, begin, end);
+  if (auto span = open_span(site_name(site), step, Phase::Serve, begin,
+                            AccessMeter{}, SpanCounts{});
+      span != nullptr) {
+    span->end_ns = end;
+    options_.trace_session->record(std::move(*span));
+  }
+}
+
 void ExecEnv::record_cert_event(SiteIndex site, const std::string& step,
                                 SimTime begin, SimTime end) {
   if (options_.record_trace)

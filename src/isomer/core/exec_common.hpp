@@ -166,6 +166,14 @@ class ExecEnv {
   void record_cert_event(SiteIndex site, const std::string& step,
                          SimTime begin, SimTime end);
 
+  /// Records a Phase::Serve trace event (and span) — the serving layer's
+  /// tenant attribution marker "serve.tenant/<id>" covering the interval a
+  /// submission spent waiting between admission and launch. Instantaneous
+  /// in simulated cost, like record_plan_event; recorded only by the
+  /// multi-tenant server (serve/server.hpp), never by single-query runs.
+  void record_serve_event(SiteIndex site, const std::string& step,
+                          SimTime begin, SimTime end);
+
   /// Folds a run's certificate-cache outcome into the final report.
   void note_cert_outcome(std::uint64_t hits, std::uint64_t misses) noexcept {
     cert_hits_ += hits;

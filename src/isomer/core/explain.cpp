@@ -300,7 +300,7 @@ std::string render_phase_tree(const obs::TraceSession& session) {
       }
     for (const obs::PhaseSpan* span : spans)
       if (span->phase != Phase::Transfer && span->phase != Phase::Plan &&
-          !phase_key(span->phase))
+          span->phase != Phase::Serve && !phase_key(span->phase))
         phases.push_back(span->phase);
     phases.push_back(Phase::Transfer);
 

@@ -38,9 +38,15 @@ double Histogram::Snapshot::quantile(double q) const {
       continue;
     }
     // Bucket b covers [2^b, 2^(b+1)), except bucket 0 which also absorbs
-    // everything below 1. Interpolate the rank's position across the range.
+    // everything below 1 and the last bucket which is open-ended (it absorbs
+    // everything >= 2^(kBuckets-1)). The open bucket has no meaningful upper
+    // edge, so its interpolation runs toward the recorded max — otherwise a
+    // quantile landing there (q=1.0 included) would aim at 2^kBuckets and
+    // come out below the recorded max, or wildly above it.
     const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
-    const double hi = std::ldexp(1.0, static_cast<int>(b) + 1);
+    const double hi = b + 1 == buckets.size()
+                          ? std::max(max, lo)
+                          : std::ldexp(1.0, static_cast<int>(b) + 1);
     const double fraction =
         static_cast<double>(r - before) / static_cast<double>(in_bucket);
     const double estimate = lo + fraction * (hi - lo);

@@ -62,9 +62,12 @@ class Histogram {
     /// Bucket-interpolated quantile estimate for q in [0, 1] (0 when the
     /// histogram is empty). The nearest-rank sample is located in its
     /// power-of-two bucket and linearly interpolated across the bucket's
-    /// range, then clamped to the recorded [min, max]. Depends only on the
-    /// bucket counts and min/max — both are order-independent — so the
-    /// estimate is identical however concurrent recorders interleaved.
+    /// range, then clamped to the recorded [min, max]. The last bucket is
+    /// open-ended, so its interpolation runs toward the recorded max
+    /// instead of a fictional 2^48 upper edge — q=1.0 always returns max.
+    /// Depends only on the bucket counts and min/max — both are
+    /// order-independent — so the estimate is identical however concurrent
+    /// recorders interleaved.
     [[nodiscard]] double quantile(double q) const;
 
     [[nodiscard]] double p50() const { return quantile(0.50); }

@@ -76,4 +76,22 @@ std::vector<ServeRequest> plan_pool(const Federation& federation,
   return requests;
 }
 
+std::vector<ServeRequest> tag_tenants(const std::vector<ServeRequest>& pool,
+                                      const std::vector<TenantSpec>& tenants) {
+  if (tenants.empty())
+    throw ServeError("tag_tenants wants at least one tenant");
+  for (const ServeRequest& request : pool)
+    if (!request.tenant.empty())
+      throw ServeError("tag_tenants wants an untagged pool, found tenant '" +
+                       request.tenant + "'");
+  std::vector<ServeRequest> tagged;
+  tagged.reserve(pool.size() * tenants.size());
+  for (const TenantSpec& tenant : tenants)
+    for (const ServeRequest& request : pool) {
+      tagged.push_back(request);
+      tagged.back().tenant = tenant.id;
+    }
+  return tagged;
+}
+
 }  // namespace isomer::serve

@@ -60,4 +60,13 @@ struct PlannerOptions {
     const Federation& federation, const std::vector<GlobalQuery>& pool,
     const PlannerOptions& options = {});
 
+/// Replicates an anonymous planned pool once per tenant, tagging each copy:
+/// entry t * pool.size() + p is pool[p] tagged tenants[t].id. Every tenant
+/// then runs the same query mix, which is what makes per-tenant latency and
+/// share comparisons apples-to-apples in the bench tenant panel. Requires a
+/// non-empty tenant list; throws ServeError when `pool` is already tagged.
+[[nodiscard]] std::vector<ServeRequest> tag_tenants(
+    const std::vector<ServeRequest>& pool,
+    const std::vector<TenantSpec>& tenants);
+
 }  // namespace isomer::serve

@@ -1,5 +1,6 @@
 #include "isomer/serve/serve_spec.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -14,7 +15,13 @@ std::string_view to_string(ArrivalMode mode) noexcept {
 }
 
 std::string_view to_string(SchedPolicy policy) noexcept {
-  return policy == SchedPolicy::Fifo ? "fifo" : "spc";
+  switch (policy) {
+    case SchedPolicy::Fifo: return "fifo";
+    case SchedPolicy::Spc: return "spc";
+    case SchedPolicy::Wfq: return "wfq";
+    case SchedPolicy::Edf: return "edf";
+  }
+  return "fifo";
 }
 
 namespace {
@@ -69,42 +76,54 @@ double parse_real(std::string_view spec, std::string_view text) {
   char* end = nullptr;
   const std::string owned(text);
   const double value = std::strtod(owned.c_str(), &end);
-  if (end == owned.c_str() || *end != '\0' || value < 0)
-    bad_spec(spec, "expected a non-negative real, got '" + owned + "'");
+  // std::isfinite rejects the 'inf'/'nan' spellings strtod accepts — an
+  // infinite rate or NaN weight would poison every downstream division.
+  if (end == owned.c_str() || *end != '\0' || !std::isfinite(value) ||
+      value < 0)
+    bad_spec(spec, "expected a finite non-negative real, got '" + owned + "'");
   return value;
 }
 
-}  // namespace
+bool valid_tenant_id(std::string_view id) {
+  if (id.empty()) return false;
+  for (const char c : id)
+    if (!((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+          (c >= '0' && c <= '9') || c == '_' || c == '-'))
+      return false;
+  return true;
+}
 
-ServeSpec parse_serve_spec(std::string_view spec) {
-  ServeSpec out;
-  const std::size_t colon = spec.find(':');
-  const std::string_view mode = spec.substr(0, colon);
-  if (mode == "open")
-    out.mode = ArrivalMode::Open;
-  else if (mode == "closed")
-    out.mode = ArrivalMode::Closed;
-  else
-    bad_spec(spec, "mode must be 'open' or 'closed', got '" +
-                       std::string(mode) + "'");
-  if (colon == std::string_view::npos) return out;
+/// Parses one '/'-separated 'tenant:ID,key=value,...' clause.
+TenantSpec parse_tenant_clause(std::string_view spec, std::string_view clause,
+                               ArrivalMode mode) {
+  constexpr std::string_view kPrefix = "tenant:";
+  if (clause.substr(0, kPrefix.size()) != kPrefix)
+    bad_spec(spec, "expected a 'tenant:' clause, got '" + std::string(clause) +
+                       "'");
+  const std::string_view body = clause.substr(kPrefix.size());
+  const std::size_t comma = body.find(',');
+  TenantSpec tenant;
+  tenant.id = std::string(body.substr(0, comma));
+  if (!valid_tenant_id(tenant.id))
+    bad_spec(spec, "tenant id must be non-empty [A-Za-z0-9_-]+, got '" +
+                       tenant.id + "'");
+  if (comma == std::string_view::npos) return tenant;
 
-  const std::string_view items = spec.substr(colon + 1);
-  // Same rule as --faults: a repeated key is a hard error, never
-  // last-one-wins — a duplicate is almost always a typo'd sweep script.
+  const std::string_view items = body.substr(comma + 1);
   std::set<std::string, std::less<>> seen;
   const auto note = [&](std::string_view key) {
     if (!seen.emplace(key).second)
-      bad_spec(spec, "duplicate key '" + std::string(key) + "'");
+      bad_spec(spec, "duplicate key '" + std::string(key) + "' for tenant '" +
+                         tenant.id + "'");
   };
   std::size_t begin = 0;
   while (begin <= items.size()) {
-    const std::size_t comma = items.find(',', begin);
+    const std::size_t next = items.find(',', begin);
     const std::string_view item =
-        items.substr(begin, comma == std::string_view::npos
+        items.substr(begin, next == std::string_view::npos
                                 ? std::string_view::npos
-                                : comma - begin);
-    begin = comma == std::string_view::npos ? items.size() + 1 : comma + 1;
+                                : next - begin);
+    begin = next == std::string_view::npos ? items.size() + 1 : next + 1;
     if (item.empty()) bad_spec(spec, "empty item");
 
     const std::size_t eq = item.find('=');
@@ -115,60 +134,168 @@ ServeSpec parse_serve_spec(std::string_view spec) {
     if (value.empty())
       bad_spec(spec, "item '" + std::string(item) + "' has no value");
 
-    // Keys of the *other* arrival mode are hard errors, not silently
-    // ignored settings: "closed:rate=50" means the author thinks they are
-    // configuring an offered rate, and a closed loop has none.
-    if (key == "rate") {
+    if (key == "weight") {
       note(key);
-      if (out.mode != ArrivalMode::Open)
-        bad_spec(spec, "'rate' only applies to open-loop arrivals");
-      out.rate_qps = parse_real(spec, value);
-      if (out.rate_qps <= 0) bad_spec(spec, "rate must be positive");
-    } else if (key == "clients") {
+      tenant.weight = parse_real(spec, value);
+      if (tenant.weight <= 0) bad_spec(spec, "tenant weight must be positive");
+    } else if (key == "quota") {
       note(key);
-      if (out.mode != ArrivalMode::Closed)
-        bad_spec(spec, "'clients' only applies to closed-loop arrivals");
-      out.clients = static_cast<std::size_t>(parse_whole_uint(spec, value));
-      if (out.clients == 0) bad_spec(spec, "need at least one client");
-    } else if (key == "think") {
+      tenant.quota = static_cast<std::size_t>(parse_whole_uint(spec, value));
+    } else if (key == "slo") {
       note(key);
-      if (out.mode != ArrivalMode::Closed)
-        bad_spec(spec, "'think' only applies to closed-loop arrivals");
-      out.think_ns = parse_duration(spec, value);
-    } else if (key == "n") {
+      tenant.slo_ns = parse_duration(spec, value);
+      if (tenant.slo_ns == 0) bad_spec(spec, "a zero SLO can never be met");
+    } else if (key == "rate") {
       note(key);
-      out.n_queries = static_cast<std::size_t>(parse_whole_uint(spec, value));
-      if (out.n_queries == 0) bad_spec(spec, "need at least one query");
-    } else if (key == "policy") {
-      note(key);
-      if (value == "fifo")
-        out.policy = SchedPolicy::Fifo;
-      else if (value == "spc")
-        out.policy = SchedPolicy::Spc;
-      else
-        bad_spec(spec, "policy wants 'fifo' or 'spc'");
-    } else if (key == "queue") {
-      note(key);
-      out.queue_limit = static_cast<std::size_t>(parse_whole_uint(spec, value));
-    } else if (key == "inflight") {
-      note(key);
-      out.site_inflight =
-          static_cast<std::size_t>(parse_whole_uint(spec, value));
-    } else if (key == "seed") {
-      note(key);
-      out.seed = parse_whole_uint(spec, value);
+      if (mode != ArrivalMode::Open)
+        bad_spec(spec, "a tenant 'rate' only applies to open-loop arrivals");
+      tenant.rate_qps = parse_real(spec, value);
+      if (tenant.rate_qps <= 0) bad_spec(spec, "tenant rate must be positive");
     } else {
-      bad_spec(spec, "unknown key '" + std::string(key) + "'");
+      bad_spec(spec, "unknown tenant key '" + std::string(key) + "'");
     }
   }
+  return tenant;
+}
+
+}  // namespace
+
+ServeSpec parse_serve_spec(std::string_view spec) {
+  ServeSpec out;
+  // Tenant clauses are '/'-separated so the main clause's comma grammar
+  // stays untouched (and the separator survives CMake argument lists,
+  // where ';' would split).
+  const std::size_t slash = spec.find('/');
+  const std::string_view main_clause = spec.substr(0, slash);
+
+  const std::size_t colon = main_clause.find(':');
+  const std::string_view mode = main_clause.substr(0, colon);
+  if (mode == "open")
+    out.mode = ArrivalMode::Open;
+  else if (mode == "closed")
+    out.mode = ArrivalMode::Closed;
+  else
+    bad_spec(spec, "mode must be 'open' or 'closed', got '" +
+                       std::string(mode) + "'");
+
+  if (colon != std::string_view::npos) {
+    const std::string_view items = main_clause.substr(colon + 1);
+    // Same rule as --faults: a repeated key is a hard error, never
+    // last-one-wins — a duplicate is almost always a typo'd sweep script.
+    std::set<std::string, std::less<>> seen;
+    const auto note = [&](std::string_view key) {
+      if (!seen.emplace(key).second)
+        bad_spec(spec, "duplicate key '" + std::string(key) + "'");
+    };
+    std::size_t begin = 0;
+    while (begin <= items.size()) {
+      const std::size_t comma = items.find(',', begin);
+      const std::string_view item =
+          items.substr(begin, comma == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : comma - begin);
+      begin = comma == std::string_view::npos ? items.size() + 1 : comma + 1;
+      if (item.empty()) bad_spec(spec, "empty item");
+
+      const std::size_t eq = item.find('=');
+      if (eq == std::string_view::npos)
+        bad_spec(spec, "item '" + std::string(item) + "' has no '='");
+      const std::string_view key = item.substr(0, eq);
+      const std::string_view value = item.substr(eq + 1);
+      if (value.empty())
+        bad_spec(spec, "item '" + std::string(item) + "' has no value");
+
+      // Keys of the *other* arrival mode are hard errors, not silently
+      // ignored settings: "closed:rate=50" means the author thinks they are
+      // configuring an offered rate, and a closed loop has none.
+      if (key == "rate") {
+        note(key);
+        if (out.mode != ArrivalMode::Open)
+          bad_spec(spec, "'rate' only applies to open-loop arrivals");
+        out.rate_qps = parse_real(spec, value);
+        if (out.rate_qps <= 0) bad_spec(spec, "rate must be positive");
+      } else if (key == "clients") {
+        note(key);
+        if (out.mode != ArrivalMode::Closed)
+          bad_spec(spec, "'clients' only applies to closed-loop arrivals");
+        out.clients = static_cast<std::size_t>(parse_whole_uint(spec, value));
+        if (out.clients == 0) bad_spec(spec, "need at least one client");
+      } else if (key == "think") {
+        note(key);
+        if (out.mode != ArrivalMode::Closed)
+          bad_spec(spec, "'think' only applies to closed-loop arrivals");
+        out.think_ns = parse_duration(spec, value);
+      } else if (key == "n") {
+        note(key);
+        out.n_queries = static_cast<std::size_t>(parse_whole_uint(spec, value));
+        if (out.n_queries == 0) bad_spec(spec, "need at least one query");
+      } else if (key == "policy") {
+        note(key);
+        if (value == "fifo")
+          out.policy = SchedPolicy::Fifo;
+        else if (value == "spc")
+          out.policy = SchedPolicy::Spc;
+        else if (value == "wfq")
+          out.policy = SchedPolicy::Wfq;
+        else if (value == "edf")
+          out.policy = SchedPolicy::Edf;
+        else
+          bad_spec(spec, "policy wants 'fifo', 'spc', 'wfq' or 'edf'");
+      } else if (key == "queue") {
+        note(key);
+        out.queue_limit =
+            static_cast<std::size_t>(parse_whole_uint(spec, value));
+      } else if (key == "inflight") {
+        note(key);
+        out.site_inflight =
+            static_cast<std::size_t>(parse_whole_uint(spec, value));
+      } else if (key == "autoscale") {
+        note(key);
+        if (value == "on")
+          out.autoscale = true;
+        else if (value == "off")
+          out.autoscale = false;
+        else
+          bad_spec(spec, "autoscale wants 'on' or 'off'");
+      } else if (key == "seed") {
+        note(key);
+        out.seed = parse_whole_uint(spec, value);
+      } else {
+        bad_spec(spec, "unknown key '" + std::string(key) + "'");
+      }
+    }
+  } else if (slash != std::string_view::npos) {
+    // "open/tenant:a" (no ':' in the main clause) is fine; anything else
+    // between mode and '/' was caught by the mode check above.
+  }
+
+  std::size_t begin = slash == std::string_view::npos ? spec.size() + 1
+                                                      : slash + 1;
+  while (begin <= spec.size()) {
+    const std::size_t next = spec.find('/', begin);
+    const std::string_view clause =
+        spec.substr(begin, next == std::string_view::npos
+                               ? std::string_view::npos
+                               : next - begin);
+    begin = next == std::string_view::npos ? spec.size() + 1 : next + 1;
+    if (clause.empty()) bad_spec(spec, "empty tenant clause");
+    TenantSpec tenant = parse_tenant_clause(spec, clause, out.mode);
+    for (const TenantSpec& existing : out.tenants)
+      if (existing.id == tenant.id)
+        bad_spec(spec, "duplicate tenant id '" + tenant.id + "'");
+    out.tenants.push_back(std::move(tenant));
+  }
+
+  if (out.autoscale && out.site_inflight == 0)
+    bad_spec(spec, "autoscale needs a per-site in-flight cap (inflight > 0)");
   return out;
 }
 
 std::string to_string(const ServeSpec& spec) {
   std::string out(to_string(spec.mode));
   out += ":";
+  char buf[64];
   if (spec.mode == ArrivalMode::Open) {
-    char buf[64];
     std::snprintf(buf, sizeof buf, "%.17g", spec.rate_qps);
     out += "rate=" + std::string(buf);
   } else {
@@ -179,8 +306,50 @@ std::string to_string(const ServeSpec& spec) {
   out += ",policy=" + std::string(to_string(spec.policy));
   out += ",queue=" + std::to_string(spec.queue_limit);
   out += ",inflight=" + std::to_string(spec.site_inflight);
+  // Only printed when on, so pre-tenant specs re-print byte-identically.
+  if (spec.autoscale) out += ",autoscale=on";
   out += ",seed=" + std::to_string(spec.seed);
+  for (const TenantSpec& tenant : spec.tenants) {
+    out += "/tenant:" + tenant.id;
+    std::snprintf(buf, sizeof buf, "%.17g", tenant.weight);
+    out += ",weight=" + std::string(buf);
+    out += ",quota=" + std::to_string(tenant.quota);
+    if (tenant.slo_ns > 0) out += ",slo=" + std::to_string(tenant.slo_ns) + "ns";
+    if (spec.mode == ArrivalMode::Open && tenant.rate_qps > 0) {
+      std::snprintf(buf, sizeof buf, "%.17g", tenant.rate_qps);
+      out += ",rate=" + std::string(buf);
+    }
+  }
   return out;
+}
+
+void validate_serve_spec(const ServeSpec& spec) {
+  const auto reject = [](const std::string& why) {
+    throw ServeError("invalid ServeSpec: " + why);
+  };
+  if (spec.n_queries == 0) reject("need at least one query");
+  if (spec.mode == ArrivalMode::Open &&
+      (!std::isfinite(spec.rate_qps) || spec.rate_qps <= 0))
+    reject("open-loop rate must be a positive finite rate");
+  if (spec.mode == ArrivalMode::Closed && spec.clients == 0)
+    reject("need at least one client");
+  if (spec.think_ns < 0) reject("think time cannot be negative");
+  if (spec.autoscale && spec.site_inflight == 0)
+    reject("autoscale needs a per-site in-flight cap (inflight > 0)");
+  for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+    const TenantSpec& tenant = spec.tenants[t];
+    if (!valid_tenant_id(tenant.id))
+      reject("tenant id must be non-empty [A-Za-z0-9_-]+");
+    for (std::size_t u = t + 1; u < spec.tenants.size(); ++u)
+      if (spec.tenants[u].id == tenant.id)
+        reject("duplicate tenant id '" + tenant.id + "'");
+    if (!std::isfinite(tenant.weight) || tenant.weight <= 0)
+      reject("tenant '" + tenant.id + "' weight must be positive and finite");
+    if (!std::isfinite(tenant.rate_qps) || tenant.rate_qps < 0)
+      reject("tenant '" + tenant.id + "' rate must be finite");
+    if (tenant.slo_ns < 0)
+      reject("tenant '" + tenant.id + "' SLO cannot be negative");
+  }
 }
 
 }  // namespace isomer::serve

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "isomer/common/error.hpp"
@@ -28,11 +30,11 @@ double ServeReport::throughput_qps() const {
   return static_cast<double>(completed) / to_seconds(makespan);
 }
 
-SimTime ServeReport::latency_percentile(double q) const {
-  std::vector<SimTime> latencies;
-  latencies.reserve(outcomes.size());
-  for (const ServeOutcome& outcome : outcomes)
-    if (!outcome.rejected) latencies.push_back(outcome.latency());
+namespace {
+
+/// Exact nearest-rank percentile over a latency sample (ServeReport keeps
+/// the MetricsRegistry-independent ground truth).
+SimTime nearest_rank(std::vector<SimTime>& latencies, double q) {
   if (latencies.empty()) return 0;
   std::sort(latencies.begin(), latencies.end());
   if (q > 1) q = 1;
@@ -40,6 +42,49 @@ SimTime ServeReport::latency_percentile(double q) const {
       std::ceil(q * static_cast<double>(latencies.size())));
   if (rank == 0) rank = 1;
   return latencies[rank - 1];
+}
+
+}  // namespace
+
+SimTime ServeReport::latency_percentile(double q) const {
+  std::vector<SimTime> latencies;
+  latencies.reserve(outcomes.size());
+  for (const ServeOutcome& outcome : outcomes)
+    if (!outcome.rejected) latencies.push_back(outcome.latency());
+  return nearest_rank(latencies, q);
+}
+
+SimTime ServeReport::tenant_latency_percentile(std::size_t tenant,
+                                               double q) const {
+  std::vector<SimTime> latencies;
+  for (const ServeOutcome& outcome : outcomes)
+    if (!outcome.rejected && outcome.tenant == tenant)
+      latencies.push_back(outcome.latency());
+  return nearest_rank(latencies, q);
+}
+
+double ServeReport::tenant_mean_latency_ms(std::size_t tenant) const {
+  double total = 0;
+  std::size_t n = 0;
+  for (const ServeOutcome& outcome : outcomes) {
+    if (outcome.rejected || outcome.tenant != tenant) continue;
+    total += to_milliseconds(outcome.latency());
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double ServeReport::fairness_ratio(std::size_t tenant) const {
+  double total_cost = 0, total_weight = 0;
+  for (const TenantReport& t : tenants) {
+    total_cost += t.served_cost_s;
+    total_weight += t.weight;
+  }
+  if (tenant >= tenants.size() || total_cost <= 0 || total_weight <= 0)
+    return 0.0;
+  const double cost_share = tenants[tenant].served_cost_s / total_cost;
+  const double weight_share = tenants[tenant].weight / total_weight;
+  return weight_share <= 0 ? 0.0 : cost_share / weight_share;
 }
 
 namespace {
@@ -51,10 +96,28 @@ constexpr SimTime kRejectBackoffNs = 1'000'000;  // 1 ms
 
 constexpr std::size_t kNoClient = static_cast<std::size_t>(-1);
 
+/// EDF rank of a submission without an SLO: after every real deadline,
+/// admission order among themselves.
+constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+
+/// Autoscaler tuning: evaluate every this-many starts, call a window
+/// "idle" below this utilization, and never raise the cap beyond this
+/// multiple of the configured base.
+constexpr std::size_t kAutoscaleWindow = 8;
+constexpr double kAutoscaleIdleUtil = 0.5;
+constexpr std::size_t kAutoscaleMaxFactor = 8;
+
 /// One admitted-but-not-started submission.
 struct Waiting {
   std::size_t id = 0;
   double predicted_cost_s = 0;
+  std::size_t tenant = 0;
+  /// WFQ virtual start/finish tags (start-time fair queueing); only
+  /// meaningful under SchedPolicy::Wfq.
+  double start_tag = 0;
+  double finish_tag = 0;
+  /// Absolute deadline, kNoDeadline when the tenant has no SLO.
+  SimTime deadline = kNoDeadline;
 };
 
 /// The admission controller + scheduler driving one serve() run. All state
@@ -72,15 +135,25 @@ class QueryServer {
         options_(options),
         cluster_(sim_, options.exec.costs, federation.db_count(),
                  options.exec.topology),
-        inflight_(federation.db_count() + 1, 0) {}
+        inflight_(federation.db_count() + 1, 0),
+        cap_(spec.site_inflight),
+        tenant_state_(std::max<std::size_t>(1, spec.tenants.size())) {}
 
   ServeReport run();
 
  private:
+  /// Per-tenant scheduler state (one anonymous slot for tenant-less specs).
+  struct TenantState {
+    std::size_t waiting = 0;   ///< admitted-not-started, for the quota
+    double last_finish = 0;    ///< WFQ: finish tag of the latest admission
+  };
+
+  void map_tenants();
   void schedule_client(std::size_t client, SimTime at);
   void submit(std::size_t pool_index, std::size_t client);
   void try_dispatch();
   void start(const Waiting& next);
+  void evaluate_autoscale();
   [[nodiscard]] bool capacity_free() const noexcept;
 
   const Federation& fed_;
@@ -97,6 +170,24 @@ class QueryServer {
   /// per-site so partial-footprint strategies keep working if added later.
   std::vector<std::size_t> inflight_;
   std::size_t running_ = 0;
+  /// The effective per-site in-flight cap (0 = unbounded). Equals
+  /// spec_.site_inflight unless autoscaling moves it.
+  std::size_t cap_;
+  std::size_t cap_high_ = 0;
+  std::size_t cap_low_ = 0;
+
+  std::vector<TenantState> tenant_state_;
+  std::vector<std::size_t> tenant_of_pool_;  ///< pool index -> tenant index
+  /// Per-tenant global pool indices (arrival picks draw within a tenant).
+  std::vector<std::vector<std::size_t>> tenant_pool_;
+  double vtime_ = 0;  ///< WFQ virtual time: start tag of the last dispatch
+
+  /// Queue waits of the current autoscaler window; reset each evaluation.
+  obs::Histogram window_waits_;
+  double prev_window_p95_ = -1;
+  SimTime window_begin_ns_ = 0;
+  SimTime window_busy_ns_ = 0;
+  std::size_t window_starts_ = 0;
 
   std::vector<ServeOutcome> outcomes_;   ///< submission order, grows in submit()
   std::vector<std::size_t> client_of_;   ///< aligned with outcomes_
@@ -111,10 +202,50 @@ class QueryServer {
   std::size_t max_inflight_ = 0;
 };
 
+/// Resolves every pool entry's tenant tag against the spec, strictly: with
+/// tenant clauses, untagged entries and unknown tags are errors and every
+/// tenant must own at least one entry (its arrival stream needs something
+/// to pick); without tenant clauses, a tagged entry is an error — the tag
+/// would silently mean nothing.
+void QueryServer::map_tenants() {
+  tenant_of_pool_.assign(pool_.size(), 0);
+  if (spec_.tenants.empty()) {
+    for (const ServeRequest& request : pool_)
+      if (!request.tenant.empty())
+        throw ServeError("pool entry tagged with tenant '" + request.tenant +
+                         "' but the spec has no tenant clauses");
+    tenant_pool_.assign(1, {});
+    for (std::size_t p = 0; p < pool_.size(); ++p)
+      tenant_pool_[0].push_back(p);
+    return;
+  }
+  tenant_pool_.assign(spec_.tenants.size(), {});
+  for (std::size_t p = 0; p < pool_.size(); ++p) {
+    const std::string& tag = pool_[p].tenant;
+    if (tag.empty())
+      throw ServeError(
+          "multi-tenant serving needs every pool entry tagged with a tenant");
+    std::size_t tenant = spec_.tenants.size();
+    for (std::size_t t = 0; t < spec_.tenants.size(); ++t)
+      if (spec_.tenants[t].id == tag) {
+        tenant = t;
+        break;
+      }
+    if (tenant == spec_.tenants.size())
+      throw ServeError("pool entry tagged with unknown tenant '" + tag + "'");
+    tenant_of_pool_[p] = tenant;
+    tenant_pool_[tenant].push_back(p);
+  }
+  for (std::size_t t = 0; t < spec_.tenants.size(); ++t)
+    if (tenant_pool_[t].empty())
+      throw ServeError("tenant '" + spec_.tenants[t].id +
+                       "' owns no pool entry");
+}
+
 bool QueryServer::capacity_free() const noexcept {
-  if (spec_.site_inflight == 0) return true;
+  if (cap_ == 0) return true;
   for (const std::size_t site_load : inflight_)
-    if (site_load >= spec_.site_inflight) return false;
+    if (site_load >= cap_) return false;
   return true;
 }
 
@@ -122,9 +253,16 @@ void QueryServer::schedule_client(std::size_t client, SimTime at) {
   sim_.schedule_at(at, [this, client] {
     // Pool pick drawn at submission time from the client's private stream;
     // the event loop fires these deterministically, so the draw order is a
-    // function of the spec alone.
-    const std::size_t pick = client_rngs_[client].index(pool_.size());
-    submit(pick, client);
+    // function of the spec alone. A multi-tenant closed loop assigns
+    // clients to tenants round-robin, and each client picks within its
+    // tenant's slice of the pool.
+    if (spec_.tenants.empty()) {
+      submit(client_rngs_[client].index(pool_.size()), client);
+    } else {
+      const std::vector<std::size_t>& mine =
+          tenant_pool_[client % spec_.tenants.size()];
+      submit(mine[client_rngs_[client].index(mine.size())], client);
+    }
   });
 }
 
@@ -138,11 +276,24 @@ void QueryServer::submit(std::size_t pool_index, std::size_t client) {
   outcome.start = now;
   outcome.pool_index = pool_index;
   outcome.kind = pool_[pool_index].kind;
+  const std::size_t tenant = tenant_of_pool_[pool_index];
+  outcome.tenant = tenant;
+  const SimTime slo =
+      spec_.tenants.empty() ? 0 : spec_.tenants[tenant].slo_ns;
+  if (slo > 0) outcome.deadline = now + slo;
 
-  if (spec_.queue_limit > 0 && waiting_.size() >= spec_.queue_limit) {
-    // Backpressure: bounce rather than block the arrival process. The
-    // submission completes immediately as a tagged empty outcome, and a
-    // closed-loop client moves on to its next think cycle after a backoff.
+  const std::size_t quota =
+      spec_.tenants.empty() ? 0 : spec_.tenants[tenant].quota;
+  const bool queue_full =
+      spec_.queue_limit > 0 && waiting_.size() >= spec_.queue_limit;
+  const bool quota_full =
+      quota > 0 && tenant_state_[tenant].waiting >= quota;
+  if (queue_full || quota_full) {
+    // Backpressure: bounce rather than block the arrival process — off the
+    // shared queue bound or off the tenant's own quota, so one tenant's
+    // burst cannot occupy the whole shared queue. The submission completes
+    // immediately as a tagged empty outcome, and a closed-loop client moves
+    // on to its next think cycle after a backoff.
     outcome.rejected = true;
     outcome.completion = now;
     if (client != kNoClient && planned_ < spec_.n_queries) {
@@ -152,7 +303,26 @@ void QueryServer::submit(std::size_t pool_index, std::size_t client) {
     return;
   }
 
-  waiting_.push_back({id, pool_[pool_index].predicted_cost_s});
+  Waiting admitted;
+  admitted.id = id;
+  admitted.predicted_cost_s = pool_[pool_index].predicted_cost_s;
+  admitted.tenant = tenant;
+  if (outcome.deadline > 0) admitted.deadline = outcome.deadline;
+  if (spec_.policy == SchedPolicy::Wfq) {
+    // Start-time fair queueing: the submission's virtual start is the later
+    // of the server's virtual time and the tenant's previous finish; its
+    // finish tag advances the tenant by cost / weight, so a heavy tenant's
+    // backlog spaces out in virtual time exactly in proportion to weight.
+    TenantState& state = tenant_state_[tenant];
+    const double weight =
+        spec_.tenants.empty() ? 1.0 : spec_.tenants[tenant].weight;
+    admitted.start_tag = std::max(vtime_, state.last_finish);
+    admitted.finish_tag =
+        admitted.start_tag + admitted.predicted_cost_s / weight;
+    state.last_finish = admitted.finish_tag;
+  }
+  ++tenant_state_[tenant].waiting;
+  waiting_.push_back(admitted);
   max_queue_depth_ = std::max(max_queue_depth_, waiting_.size());
   try_dispatch();
 }
@@ -171,11 +341,64 @@ void QueryServer::try_dispatch() {
               return a.predicted_cost_s < b.predicted_cost_s;
             return a.id < b.id;  // ties: admission order
           });
+    } else if (spec_.policy == SchedPolicy::Wfq) {
+      chosen = std::min_element(waiting_.begin(), waiting_.end(),
+                                [](const Waiting& a, const Waiting& b) {
+                                  if (a.finish_tag != b.finish_tag)
+                                    return a.finish_tag < b.finish_tag;
+                                  return a.id < b.id;
+                                });
+    } else if (spec_.policy == SchedPolicy::Edf) {
+      chosen = std::min_element(waiting_.begin(), waiting_.end(),
+                                [](const Waiting& a, const Waiting& b) {
+                                  if (a.deadline != b.deadline)
+                                    return a.deadline < b.deadline;
+                                  return a.id < b.id;
+                                });
     }
     const Waiting next = *chosen;
     waiting_.erase(chosen);
+    --tenant_state_[next.tenant].waiting;
+    if (spec_.policy == SchedPolicy::Wfq)
+      vtime_ = std::max(vtime_, next.start_tag);
     start(next);
   }
+}
+
+/// One autoscaler step, run every kAutoscaleWindow starts: compare this
+/// window's queue-wait p95 and cluster utilization against the previous
+/// window. Growing waits over idle sites means the cap (not the hardware)
+/// is the bottleneck — raise it; falling waits mean the pressure passed —
+/// drain the cap back toward its configured base. Pure function of
+/// simulated history, so runs replay bit-identically.
+void QueryServer::evaluate_autoscale() {
+  const SimTime now = sim_.now();
+  const SimTime busy = cluster_.cpu_busy() + cluster_.disk_busy();
+  const double p95 = window_waits_.snapshot().p95();
+  const SimTime elapsed = now - window_begin_ns_;
+  // "Sites idle" is site utilization: busy time across every site's CPU and
+  // disk over wall-clock times the site-resource count. Deliberately not
+  // the network — on a shared-bus cluster the wire can be the bottleneck
+  // with every site idle, and raising the cap then buys contention, which
+  // the next window's p95 reverses.
+  const double resources = 2.0 * static_cast<double>(fed_.db_count() + 1);
+  const double util =
+      elapsed <= 0 ? 1.0
+                   : static_cast<double>(busy - window_busy_ns_) /
+                         (static_cast<double>(elapsed) * resources);
+  if (prev_window_p95_ >= 0) {
+    if (p95 > prev_window_p95_ && util < kAutoscaleIdleUtil &&
+        cap_ < kAutoscaleMaxFactor * spec_.site_inflight)
+      ++cap_;
+    else if (p95 < prev_window_p95_ && cap_ > spec_.site_inflight)
+      --cap_;
+    cap_high_ = std::max(cap_high_, cap_);
+    cap_low_ = std::min(cap_low_, cap_);
+  }
+  prev_window_p95_ = p95;
+  window_waits_.reset();
+  window_begin_ns_ = now;
+  window_busy_ns_ = busy;
 }
 
 void QueryServer::start(const Waiting& next) {
@@ -183,6 +406,11 @@ void QueryServer::start(const Waiting& next) {
   ServeOutcome& outcome = outcomes_[id];
   const ServeRequest& request = pool_[outcome.pool_index];
   outcome.start = sim_.now();
+
+  if (spec_.autoscale) {
+    window_waits_.record(static_cast<double>(outcome.queue_wait()) / 1e3);
+    if (++window_starts_ % kAutoscaleWindow == 0) evaluate_autoscale();
+  }
 
   StrategyOptions per_query = options_.exec;
   per_query.record_trace = false;  // per-step traces interleave; spans don't
@@ -217,6 +445,14 @@ void QueryServer::start(const Waiting& next) {
   outcome.hybrid = plan->hybrid;
   env->set_span_context(
       plan->hybrid ? std::string_view{"HY"} : to_string(request.kind), id);
+  // Tenant attribution span: the interval this submission waited between
+  // admission and launch, charged to its tenant (Phase::Serve, global
+  // site). Only multi-tenant runs record it, so tenant-less traces stay
+  // exactly as before.
+  if (!spec_.tenants.empty())
+    env->record_serve_event(0,
+                            "serve.tenant/" + spec_.tenants[next.tenant].id,
+                            outcome.arrival, outcome.start);
 
   for (std::size_t& site_load : inflight_) ++site_load;
   ++running_;
@@ -249,6 +485,8 @@ void QueryServer::start(const Waiting& next) {
 
 ServeReport QueryServer::run() {
   if (pool_.empty()) throw ServeError("serve() needs a non-empty query pool");
+  map_tenants();
+  cap_high_ = cap_low_ = cap_;
   if (options_.sessions) {
     options_.sessions->clear();
     options_.sessions->resize(spec_.n_queries);
@@ -258,9 +496,26 @@ ServeReport QueryServer::run() {
   envs_.reserve(spec_.n_queries);
 
   if (spec_.mode == ArrivalMode::Open) {
-    Rng arrival_rng(derive_stream(spec_.seed, 0));
-    const auto arrivals = workload::poisson_arrivals(
-        spec_.rate_qps, spec_.n_queries, pool_.size(), arrival_rng);
+    std::vector<workload::Arrival> arrivals;
+    if (spec_.tenants.empty()) {
+      Rng arrival_rng(derive_stream(spec_.seed, 0));
+      arrivals = workload::poisson_arrivals(
+          spec_.rate_qps, spec_.n_queries, pool_.size(), arrival_rng);
+    } else {
+      // Superposed per-tenant Poisson streams: a tenant with an explicit
+      // rate offers it, the rest split the spec-level rate evenly.
+      std::vector<workload::TenantStream> streams(spec_.tenants.size());
+      for (std::size_t t = 0; t < spec_.tenants.size(); ++t) {
+        streams[t].rate_qps =
+            spec_.tenants[t].rate_qps > 0
+                ? spec_.tenants[t].rate_qps
+                : spec_.rate_qps /
+                      static_cast<double>(spec_.tenants.size());
+        streams[t].pool = tenant_pool_[t];
+      }
+      arrivals = workload::tenant_poisson_arrivals(
+          streams, spec_.n_queries, derive_stream(spec_.seed, 0));
+    }
     planned_ = arrivals.size();
     for (const workload::Arrival& arrival : arrivals)
       sim_.schedule_at(arrival.at, [this, arrival] {
@@ -279,9 +534,21 @@ ServeReport QueryServer::run() {
 
   ServeReport report;
   report.outcomes = std::move(outcomes_);
+  report.tenants.reserve(spec_.tenants.size());
+  for (const TenantSpec& tenant : spec_.tenants) {
+    TenantReport slice;
+    slice.id = tenant.id;
+    slice.weight = tenant.weight;
+    slice.slo_ns = tenant.slo_ns;
+    report.tenants.push_back(std::move(slice));
+  }
   for (const ServeOutcome& outcome : report.outcomes) {
+    TenantReport* slice =
+        report.tenants.empty() ? nullptr : &report.tenants[outcome.tenant];
+    if (slice != nullptr) ++slice->submitted;
     if (outcome.rejected) {
       ++report.rejected;
+      if (slice != nullptr) ++slice->rejected;
       continue;
     }
     ensures(outcome.completion >= outcome.arrival,
@@ -291,6 +558,13 @@ ServeReport QueryServer::run() {
     report.messages += outcome.messages;
     report.cert_hits += outcome.cert_hits;
     report.cert_misses += outcome.cert_misses;
+    if (slice != nullptr) {
+      ++slice->completed;
+      slice->wire_bytes += outcome.wire_bytes;
+      slice->messages += outcome.messages;
+      slice->served_cost_s += pool_[outcome.pool_index].predicted_cost_s;
+      if (outcome.missed_deadline()) ++slice->deadline_misses;
+    }
   }
   ensures(report.completed + report.rejected == spec_.n_queries,
           "submission count mismatch");
@@ -298,6 +572,8 @@ ServeReport QueryServer::run() {
   report.bytes_transferred = cluster_.bytes_transferred();
   report.max_queue_depth = max_queue_depth_;
   report.max_inflight = max_inflight_;
+  report.inflight_cap_high = cap_high_;
+  report.inflight_cap_low = cap_low_;
   return report;
 }
 
@@ -309,6 +585,10 @@ void record_serve_metrics(const ServeReport& report,
   obs::Histogram& wait = metrics.histogram("serve.queue_wait_us");
   obs::Counter& completed = metrics.counter("serve.completed");
   obs::Counter& rejected = metrics.counter("serve.rejected");
+  // Rejected submissions complete instantly at their arrival, so their
+  // latency() is 0 by construction — recording them would drag every
+  // quantile of a high-rejection run toward zero. They count only toward
+  // serve.rejected, here and in the per-tenant figures below.
   for (const ServeOutcome& outcome : report.outcomes) {
     if (outcome.rejected) {
       rejected.add();
@@ -318,11 +598,24 @@ void record_serve_metrics(const ServeReport& report,
     latency.record(static_cast<double>(outcome.latency()) / 1e3);
     wait.record(static_cast<double>(outcome.queue_wait()) / 1e3);
   }
+  for (std::size_t t = 0; t < report.tenants.size(); ++t) {
+    const TenantReport& tenant = report.tenants[t];
+    const std::string prefix = "serve.tenant/" + tenant.id;
+    obs::Histogram& tenant_latency =
+        metrics.histogram(prefix + ".latency_us");
+    for (const ServeOutcome& outcome : report.outcomes)
+      if (!outcome.rejected && outcome.tenant == t)
+        tenant_latency.record(static_cast<double>(outcome.latency()) / 1e3);
+    metrics.counter(prefix + ".completed").add(tenant.completed);
+    metrics.counter(prefix + ".rejected").add(tenant.rejected);
+    metrics.counter(prefix + ".deadline_miss").add(tenant.deadline_misses);
+  }
 }
 
 ServeReport serve(const Federation& federation,
                   const std::vector<ServeRequest>& pool, const ServeSpec& spec,
                   const ServeOptions& options) {
+  validate_serve_spec(spec);
   QueryServer server(federation, pool, spec, options);
   ServeReport report = server.run();
   // Recorded after the run, in submission order: the registry's histogram

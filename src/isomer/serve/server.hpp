@@ -11,6 +11,16 @@
 // inside ONE discrete-event simulation, so queueing delay, scheduling
 // policy and strategy choice are all measured on the same clock.
 //
+// With tenant clauses in the spec the queue becomes multi-tenant: each
+// submission belongs to a named traffic class with a fairness weight, an
+// admission quota (its bounded share of the shared queue) and an optional
+// latency SLO. Two schedulers join FIFO/SPC — weighted fair queueing
+// (start-time fair queueing over predicted cost, long-run service share
+// tracks the weights) and earliest deadline first (deadline = arrival +
+// SLO) — and `autoscale=on` adapts the per-site in-flight cap from the
+// observed queue-wait histogram. A spec without tenants behaves exactly
+// as before.
+//
 // Backpressure never deadlocks: an arrival that finds the admission queue
 // full is *rejected* — it completes immediately with a tagged, empty
 // outcome — rather than blocking the arrival process. A closed-loop client
@@ -44,6 +54,11 @@ struct ServeRequest {
   /// simulated instant — earlier completions already folded in — so a
   /// serving run adapts mid-stream. Overrides `plan`.
   std::shared_ptr<const PlannerKnobs> replan;
+  /// Traffic class this pool entry belongs to. When the spec carries tenant
+  /// clauses, every entry must name one of them (tag_tenants in
+  /// serve/planner.hpp replicates an anonymous pool per tenant); when the
+  /// spec has no tenants, every entry must stay untagged.
+  std::string tenant;
 };
 
 /// One submission's fate, in submission order.
@@ -67,12 +82,44 @@ struct ServeOutcome {
   /// answered from the shared cache vs shipped to assistants.
   std::uint64_t cert_hits = 0;
   std::uint64_t cert_misses = 0;
+  /// Index into ServeReport::tenants (0 when the spec has no tenants).
+  std::size_t tenant = 0;
+  /// Absolute completion deadline (arrival + the tenant's SLO target);
+  /// 0 = no SLO attached.
+  SimTime deadline = 0;
 
   [[nodiscard]] SimTime latency() const noexcept {
     return completion - arrival;
   }
   [[nodiscard]] SimTime queue_wait() const noexcept {
     return start - arrival;
+  }
+  /// Completed after its deadline (false when rejected or no SLO).
+  [[nodiscard]] bool missed_deadline() const noexcept {
+    return !rejected && deadline > 0 && completion > deadline;
+  }
+};
+
+/// Per-tenant slice of a multi-tenant run, aligned with ServeSpec::tenants.
+struct TenantReport {
+  std::string id;
+  double weight = 1.0;
+  SimTime slo_ns = 0;
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::uint64_t deadline_misses = 0;  ///< completed past arrival + SLO
+  Bytes wire_bytes = 0;               ///< Σ per-query wire of this tenant
+  std::uint64_t messages = 0;
+  double served_cost_s = 0;  ///< Σ predicted cost over completed submissions
+
+  /// Fraction of this tenant's completed submissions that blew their SLO
+  /// (0 when the tenant has no SLO or completed nothing).
+  [[nodiscard]] double deadline_miss_rate() const noexcept {
+    return completed == 0
+               ? 0.0
+               : static_cast<double>(deadline_misses) /
+                     static_cast<double>(completed);
   }
 };
 
@@ -88,8 +135,19 @@ struct ServeReport {
   std::size_t max_inflight = 0;     ///< concurrent-execution high-water mark
   std::uint64_t cert_hits = 0;      ///< Σ per-submission cache hits
   std::uint64_t cert_misses = 0;    ///< Σ per-submission cache misses
+  /// Per-tenant slices, aligned with ServeSpec::tenants (empty for a
+  /// tenant-less spec). Per-tenant wire/messages partition the cluster
+  /// totals the same way the per-outcome sums do.
+  std::vector<TenantReport> tenants;
+  /// Observed per-site in-flight cap range. Both equal spec.site_inflight
+  /// unless autoscaling moved the cap during the run.
+  std::size_t inflight_cap_high = 0;
+  std::size_t inflight_cap_low = 0;
 
-  /// Mean latency over *completed* submissions, milliseconds.
+  /// Mean latency over *completed* submissions, milliseconds. Rejected
+  /// submissions (latency() == 0 by construction) are always excluded —
+  /// here, in the percentiles below and in record_serve_metrics — so a
+  /// high-rejection run reports the latency of the work it actually did.
   [[nodiscard]] double mean_latency_ms() const;
   /// Completed answers per simulated second of makespan.
   [[nodiscard]] double throughput_qps() const;
@@ -97,6 +155,15 @@ struct ServeReport {
   /// (q in (0, 1]; 0 when nothing completed). This is the ground truth the
   /// MetricsRegistry histogram estimates.
   [[nodiscard]] SimTime latency_percentile(double q) const;
+  /// latency_percentile restricted to one tenant's completed submissions.
+  [[nodiscard]] SimTime tenant_latency_percentile(std::size_t tenant,
+                                                  double q) const;
+  /// mean_latency_ms restricted to one tenant's completed submissions.
+  [[nodiscard]] double tenant_mean_latency_ms(std::size_t tenant) const;
+  /// This tenant's share of total served predicted cost divided by its
+  /// share of total configured weight: 1.0 = served exactly its weighted
+  /// fair share, below 1 = under-served. 0 when nothing was served.
+  [[nodiscard]] double fairness_ratio(std::size_t tenant) const;
 };
 
 struct ServeOptions {
@@ -130,7 +197,10 @@ struct ServeOptions {
 };
 
 /// Records one report's per-submission figures into `metrics` (see
-/// ServeOptions::metrics for the metric names). Submission order.
+/// ServeOptions::metrics for the metric names). Submission order. For a
+/// multi-tenant report it additionally records, per tenant,
+/// serve.tenant/<id>.latency_us (completed submissions only) and the
+/// counters serve.tenant/<id>.completed / .rejected / .deadline_miss.
 void record_serve_metrics(const ServeReport& report,
                           obs::MetricsRegistry& metrics);
 
@@ -138,7 +208,10 @@ void record_serve_metrics(const ServeReport& report,
 /// `federation` in one shared simulation. The whole run is a deterministic
 /// function of (federation, pool, spec, options) — arrivals, pool picks and
 /// client think-loops all derive from spec.seed. Throws ServeError when the
-/// pool is empty, QueryError when a pool query is malformed.
+/// spec fails validate_serve_spec, when the pool is empty, or when pool
+/// tenant tags disagree with the spec (an untagged entry or unknown tag
+/// under a tenant spec, a tagged entry under a tenant-less spec, a tenant
+/// owning no pool entry); QueryError when a pool query is malformed.
 [[nodiscard]] ServeReport serve(const Federation& federation,
                                 const std::vector<ServeRequest>& pool,
                                 const ServeSpec& spec,

@@ -22,6 +22,8 @@ std::string_view to_string(Phase phase) noexcept {
       return "plan";
     case Phase::Cert:
       return "cert";
+    case Phase::Serve:
+      return "serve";
   }
   return "setup";
 }
@@ -38,7 +40,7 @@ std::vector<Phase> ExecutionTrace::phase_order(
   for (const TraceEvent& event : events_) {
     if (event.phase == Phase::Setup || event.phase == Phase::Transfer ||
         event.phase == Phase::Fault || event.phase == Phase::Plan ||
-        event.phase == Phase::Cert)
+        event.phase == Phase::Cert || event.phase == Phase::Serve)
       continue;
     if (site && event.site != *site) continue;
     sorted.push_back(event);

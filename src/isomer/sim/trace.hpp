@@ -17,7 +17,12 @@
 
 namespace isomer {
 
-enum class Phase : unsigned char { Setup, O, I, P, Transfer, Fault, Plan, Cert };
+enum class Phase : unsigned char {
+  Setup, O, I, P, Transfer, Fault, Plan, Cert,
+  /// Serving-layer attribution: time a submission spent between admission
+  /// and launch, attributed to its tenant (serve/server.hpp).
+  Serve,
+};
 
 [[nodiscard]] std::string_view to_string(Phase phase) noexcept;
 

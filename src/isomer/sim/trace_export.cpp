@@ -43,6 +43,10 @@ char glyph(Phase phase) {
       return '!';
     case Phase::Plan:
       return '@';
+    case Phase::Cert:
+      return '#';
+    case Phase::Serve:
+      return '~';
   }
   return '?';
 }

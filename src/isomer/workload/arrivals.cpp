@@ -27,6 +27,42 @@ std::vector<Arrival> poisson_arrivals(double rate_qps, std::size_t n,
   return out;
 }
 
+std::vector<Arrival> tenant_poisson_arrivals(
+    const std::vector<TenantStream>& streams, std::size_t n,
+    std::uint64_t seed) {
+  expects(!streams.empty(), "tenant_poisson_arrivals wants >= 1 stream");
+  struct Tagged {
+    Arrival arrival;
+    std::size_t stream = 0;
+    std::size_t seq = 0;
+  };
+  std::vector<Tagged> merged;
+  merged.reserve(streams.size() * n);
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    const TenantStream& stream = streams[i];
+    expects(stream.rate_qps > 0, "tenant stream wants a positive rate");
+    expects(!stream.pool.empty(), "tenant stream wants a non-empty pool");
+    // Each stream over-draws to n arrivals: the merged prefix of length n
+    // can contain at most n from any one stream.
+    Rng rng(derive_stream(seed, static_cast<std::uint64_t>(i)));
+    const std::vector<Arrival> local =
+        poisson_arrivals(stream.rate_qps, n, stream.pool.size(), rng);
+    for (std::size_t seq = 0; seq < local.size(); ++seq)
+      merged.push_back(Tagged{
+          Arrival{local[seq].at, stream.pool[local[seq].pool_index]}, i, seq});
+  }
+  std::sort(merged.begin(), merged.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.arrival.at != b.arrival.at) return a.arrival.at < b.arrival.at;
+    if (a.stream != b.stream) return a.stream < b.stream;
+    return a.seq < b.seq;
+  });
+  std::vector<Arrival> out;
+  out.reserve(std::min(n, merged.size()));
+  for (std::size_t i = 0; i < merged.size() && i < n; ++i)
+    out.push_back(merged[i].arrival);
+  return out;
+}
+
 std::vector<GlobalQuery> derive_query_pool(const GlobalQuery& base,
                                            std::size_t count, Rng& rng) {
   expects(count > 0, "derive_query_pool wants a positive count");

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "isomer/common/rng.hpp"
@@ -36,6 +37,26 @@ struct Arrival {
                                                     std::size_t n,
                                                     std::size_t pool_size,
                                                     Rng& rng);
+
+/// One tenant's open-loop arrival stream: its offered rate and the global
+/// pool indices its submissions draw from (serve/server.hpp tags pool
+/// entries per tenant).
+struct TenantStream {
+  double rate_qps = 0;
+  std::vector<std::size_t> pool;
+};
+
+/// Draws the first `n` arrivals of the superposition of independent
+/// per-tenant Poisson streams. Stream i derives its own generator from
+/// `derive_stream(seed, i)`, so adding, removing or re-rating one tenant
+/// never perturbs another tenant's schedule; the merged order breaks
+/// simultaneous arrivals by stream index then draw order, which keeps the
+/// schedule a pure function of (streams, n, seed). Each returned
+/// pool_index is already a *global* pool index (mapped through the
+/// stream's `pool`). Requires every stream rate > 0 and pool non-empty.
+[[nodiscard]] std::vector<Arrival> tenant_poisson_arrivals(
+    const std::vector<TenantStream>& streams, std::size_t n,
+    std::uint64_t seed);
 
 /// Derives a pool of `count` query variants from `base`. Entry 0 is always
 /// `base` itself; later entries keep the range class but select a random

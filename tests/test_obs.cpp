@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -132,6 +133,39 @@ TEST(Metrics, QuantilesArePinnedOnKnownSamples) {
   const obs::Histogram::Snapshot empty = obs::Histogram{}.snapshot();
   EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
   EXPECT_DOUBLE_EQ(empty.p99(), 0.0);
+}
+
+TEST(Metrics, OverflowBucketInterpolatesTowardTheRecordedMax) {
+  // The last bucket absorbs everything >= 2^47 and has no real upper edge.
+  // Its interpolation must run toward the recorded max — the old fictional
+  // 2^48 edge made every overflow quantile clamp down to the recorded min.
+  obs::Histogram hist;
+  const double low = std::ldexp(1.0, 50), high = std::ldexp(1.0, 52);
+  hist.record(low);
+  hist.record(high);
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), high);  // q=1.0 pins to max
+  EXPECT_DOUBLE_EQ(snap.p99(), high);
+  // p50 (rank 1 of 2 in the open bucket) interpolates halfway from the
+  // bucket floor 2^47 toward max, landing strictly between the samples.
+  const double floor47 = std::ldexp(1.0, 47);
+  EXPECT_DOUBLE_EQ(snap.p50(), floor47 + 0.5 * (high - floor47));
+  EXPECT_GT(snap.p50(), snap.min);
+  EXPECT_LT(snap.p50(), snap.max);
+
+  // A single overflow sample: every quantile is that sample.
+  obs::Histogram single;
+  single.record(5e14);
+  const obs::Histogram::Snapshot one = single.snapshot();
+  for (const double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(one.quantile(q), 5e14) << q;
+
+  // All mass in the overflow bucket at one value: clamped to it exactly.
+  obs::Histogram flat;
+  for (int i = 0; i < 7; ++i) flat.record(floor47 * 3.0);
+  const obs::Histogram::Snapshot all = flat.snapshot();
+  EXPECT_DOUBLE_EQ(all.p50(), floor47 * 3.0);
+  EXPECT_DOUBLE_EQ(all.quantile(1.0), floor47 * 3.0);
 }
 
 TEST(Metrics, QuantilesIgnoreRecordingOrder) {

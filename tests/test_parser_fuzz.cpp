@@ -234,11 +234,32 @@ serve::ServeSpec random_serve_spec(Rng& rng) {
     spec.think_ns = static_cast<SimTime>(rng.uniform_int(0, 5'000'000));
   }
   spec.n_queries = 1 + rng.index(10'000);
-  spec.policy =
-      rng.bernoulli(0.5) ? serve::SchedPolicy::Fifo : serve::SchedPolicy::Spc;
+  constexpr serve::SchedPolicy kPolicies[] = {
+      serve::SchedPolicy::Fifo, serve::SchedPolicy::Spc,
+      serve::SchedPolicy::Wfq, serve::SchedPolicy::Edf};
+  spec.policy = kPolicies[rng.index(std::size(kPolicies))];
   spec.queue_limit = rng.index(256);     // 0 = unbounded
   spec.site_inflight = rng.index(32);    // 0 = uncapped
+  // Autoscale requires a finite cap, and to_string only prints it when on.
+  if (spec.site_inflight > 0 && rng.bernoulli(0.3)) spec.autoscale = true;
   spec.seed = rng.uniform_int(0, 1 << 20);
+
+  // 0-3 tenant clauses with unique generated ids. Optional fields are left
+  // at their non-printed defaults half the time, and a tenant rate only
+  // exists under open-loop arrivals (the parser rejects it elsewhere).
+  const char* const kTenantIds[] = {"gold", "free", "batch-9", "T_2"};
+  const std::size_t n_tenants = rng.index(4);
+  for (std::size_t t = 0; t < n_tenants; ++t) {
+    serve::TenantSpec tenant;
+    tenant.id = kTenantIds[t];
+    tenant.weight = 0.25 + static_cast<double>(rng.uniform_int(0, 31)) * 0.25;
+    tenant.quota = rng.index(128);  // 0 = unlimited
+    if (rng.bernoulli(0.5))
+      tenant.slo_ns = static_cast<SimTime>(rng.uniform_int(1, 5'000'000'000));
+    if (spec.mode == serve::ArrivalMode::Open && rng.bernoulli(0.5))
+      tenant.rate_qps = 0.5 + static_cast<double>(rng.uniform_int(0, 99));
+    spec.tenants.push_back(std::move(tenant));
+  }
   return spec;
 }
 
@@ -270,8 +291,50 @@ TEST(ServeSpecErrors, DuplicateKeysAreHardErrors) {
       "open:inflight=2,inflight=2",
       "open:seed=1,seed=1",
       "open:queue=4,rate=9,queue=4",
+      "open:autoscale=on,inflight=2,autoscale=on",
+      "open:rate=1/tenant:a,weight=2,weight=3",
+      "open:rate=1/tenant:a,quota=4,slo=1ms,quota=4",
+      "open:rate=1/tenant:a,rate=2,rate=2",
   };
   for (const char* spec : duplicated)
+    EXPECT_THROW((void)serve::parse_serve_spec(spec), ServeError) << spec;
+}
+
+TEST(ServeSpecErrors, DuplicateTenantIdsAreHardErrors) {
+  // Two clauses for one traffic class would silently merge or shadow its
+  // quota/weight/SLO; the spec names each tenant exactly once.
+  const char* const duplicated[] = {
+      "open:rate=1/tenant:a/tenant:a",
+      "open:rate=1/tenant:gold,weight=3/tenant:free/tenant:gold,quota=4",
+      "closed:clients=2/tenant:t/tenant:t,weight=2",
+  };
+  for (const char* spec : duplicated)
+    EXPECT_THROW((void)serve::parse_serve_spec(spec), ServeError) << spec;
+}
+
+TEST(ServeSpecErrors, MalformedTenantClausesAreHardErrors) {
+  const char* const malformed[] = {
+      "open:rate=1/",                      // empty tenant clause
+      "open:rate=1/gold",                  // missing 'tenant:' prefix
+      "open:rate=1/tenant:",               // empty tenant id
+      "open:rate=1/tenant:bad id",         // space outside the id alphabet
+      "open:rate=1/tenant:a,weight=0",     // weight must be positive
+      "open:rate=1/tenant:a,weight=-1",    // parse_real rejects negatives
+      "open:rate=1/tenant:a,weight=inf",   // non-finite weight
+      "open:rate=1/tenant:a,weight=nan",
+      "open:rate=1/tenant:a,rate=0",       // tenant rate must be positive
+      "open:rate=1/tenant:a,rate=inf",
+      "closed:clients=2/tenant:a,rate=5",  // rate is open-loop only
+      "open:rate=1/tenant:a,slo=0ms",      // a zero SLO can never be met
+      "open:rate=1/tenant:a,slo=5",        // duration needs a unit
+      "open:rate=1/tenant:a,bogus=1",      // unknown tenant key
+      "open:rate=1/tenant:a,weight",       // missing '='
+      "open:rate=inf",                     // non-finite main-clause rate
+      "open:rate=nan",
+      "open:rate=1,autoscale=bogus",       // autoscale wants on|off
+      "open:rate=1,autoscale=on,inflight=0",  // autoscale needs a finite cap
+  };
+  for (const char* spec : malformed)
     EXPECT_THROW((void)serve::parse_serve_spec(spec), ServeError) << spec;
 }
 
@@ -309,13 +372,18 @@ TEST(ServeSpecErrors, MalformedSpecsAreHardErrors) {
 }
 
 TEST(ServeSpecMutation, CorruptedSpecsFailCleanlyOrParse) {
-  const std::string valid_open =
-      "open:rate=120.5,n=64,policy=spc,queue=16,inflight=2,seed=9";
-  const std::string valid_closed =
-      "closed:clients=8,think=2ms,n=100,policy=fifo,queue=32,inflight=4";
+  const std::string corpus[] = {
+      "open:rate=120.5,n=64,policy=spc,queue=16,inflight=2,seed=9",
+      "closed:clients=8,think=2ms,n=100,policy=fifo,queue=32,inflight=4",
+      "open:rate=40,n=64,policy=edf,inflight=2,autoscale=on"
+      "/tenant:gold,weight=3,quota=8,slo=250ms,rate=30"
+      "/tenant:free,weight=1,quota=4",
+      "closed:clients=6,think=0ns,policy=wfq"
+      "/tenant:a,weight=2/tenant:b-2,slo=1s",
+  };
   Rng rng(0x5E27'F022ULL);
-  for (int i = 0; i < 500; ++i) {
-    std::string text = rng.bernoulli(0.5) ? valid_open : valid_closed;
+  for (int i = 0; i < 1000; ++i) {
+    std::string text = corpus[rng.index(std::size(corpus))];
     const std::size_t rounds = 1 + rng.index(4);
     for (std::size_t r = 0; r < rounds; ++r)
       text = mutate(std::move(text), rng);
@@ -329,7 +397,7 @@ TEST(ServeSpecMutation, CorruptedSpecsFailCleanlyOrParse) {
 
 TEST(ServeSpecGarbage, ArbitraryPrintableStringsNeverCrashTheParser) {
   Rng rng(0x5E27'1112ULL);
-  const char kPool[] = "openclosedratethinkqueuft=,:0123456789.smnu -_";
+  const char kPool[] = "openclosedratethinkqueuftwfqdlsg=,:/0123456789.smnu -_";
   for (int i = 0; i < 500; ++i) {
     std::string text;
     const std::size_t len = rng.index(50);

@@ -10,9 +10,12 @@
 // downstream consumer. Without extra args the run must cover the CA/BL/PL
 // strategies (the fig9 sweep contract); with --certcache=on among the extra
 // args it must emit at least one Phase::Cert span (the certificate-cache
-// markers of docs/CONDITIONS.md). Deliberately dependency-free: a minimal
+// markers of docs/CONDITIONS.md); with a 'tenant:' clause among them it
+// must emit serve-phase serve.tenant/<id> attribution spans
+// (docs/TRACING.md). Deliberately dependency-free: a minimal
 // recursive JSON parser below, no gtest, no external libraries.
 #include <cctype>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -256,7 +259,7 @@ void check_span(const JsonObject& obj, std::size_t line_no,
   static const std::set<std::string> kStrategies = {"CA",  "BL",  "PL",
                                                     "BLS", "PLS", "HY"};
   static const std::set<std::string> kPhases = {
-      "setup", "O", "I", "P", "transfer", "fault", "plan", "cert"};
+      "setup", "O", "I", "P", "transfer", "fault", "plan", "cert", "serve"};
   for (const char* key : {"strategy", "phase", "site", "step"})
     if (!has_string(obj, key))
       fail(line_no, std::string("span needs string '") + key + "'", line);
@@ -284,6 +287,13 @@ void check_span(const JsonObject& obj, std::size_t line_no,
   if (has_number(obj, "start_ns") && has_number(obj, "end_ns") &&
       obj.at("end_ns").number() < obj.at("start_ns").number())
     fail(line_no, "span ends before it starts", line);
+  // Serve-phase spans are the server's tenant-attribution markers: their
+  // step names the traffic class as "serve.tenant/<id>".
+  if (has_string(obj, "phase") && obj.at("phase").string() == "serve" &&
+      has_string(obj, "step") &&
+      obj.at("step").string().rfind("serve.tenant/", 0) != 0)
+    fail(line_no, "serve-phase span step must start with 'serve.tenant/'",
+         line);
 
   const auto meter = obj.find("meter");
   if (meter == obj.end() || !meter->second.is_object()) {
@@ -314,20 +324,36 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
-  // Per-binary scratch names so multiple registrations can run under
-  // ctest -j from the same working directory without clobbering each other.
+  // Per-invocation scratch names (binary + FNV-1a of the extra args) so
+  // multiple registrations — including several against the same binary —
+  // can run under ctest -j from the same working directory without
+  // clobbering each other.
   const std::string binary = argv[1];
-  const std::string base = binary.substr(binary.find_last_of("/\\") + 1);
-  const std::string trace_path = "trace_schema_check." + base + ".jsonl";
+  std::string base = binary.substr(binary.find_last_of("/\\") + 1);
   bool require_cert_spans = false;
-  std::string command =
-      std::string("\"") + binary + "\" --quick --trace=" + trace_path;
+  bool require_tenant_spans = false;
+  std::string extra;
+  std::uint64_t arg_hash = 1469598103934665603ull;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--certcache=", 0) == 0 && arg != "--certcache=off")
       require_cert_spans = true;
-    command += " " + arg;
+    if (arg.find("tenant:") != std::string::npos) require_tenant_spans = true;
+    extra += " " + arg;
+    for (const char c : arg) {
+      arg_hash ^= static_cast<unsigned char>(c);
+      arg_hash *= 1099511628211ull;
+    }
   }
+  if (argc > 2) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".%016llx",
+                  static_cast<unsigned long long>(arg_hash));
+    base += suffix;
+  }
+  const std::string trace_path = "trace_schema_check." + base + ".jsonl";
+  std::string command =
+      std::string("\"") + binary + "\" --quick --trace=" + trace_path + extra;
   command += " > trace_schema_check." + base + ".out 2>&1";
   if (std::system(command.c_str()) != 0) {
     std::fprintf(stderr, "bench run failed: %s\n", command.c_str());
@@ -402,6 +428,11 @@ int main(int argc, char** argv) {
       }
   if (require_cert_spans && phases.count("cert") == 0) {
     std::fprintf(stderr, "--certcache=on run emitted no cert-phase spans\n");
+    ++failures;
+  }
+  if (require_tenant_spans && phases.count("serve") == 0) {
+    std::fprintf(stderr,
+                 "tenant-bearing run emitted no serve.tenant/ spans\n");
     ++failures;
   }
 
