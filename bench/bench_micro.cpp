@@ -5,6 +5,7 @@
 // time — useful when sizing full-scale (--paper) harness runs.
 #include <benchmark/benchmark.h>
 
+#include "isomer/analytic/impute.hpp"
 #include "isomer/core/cert_cache.hpp"
 #include "isomer/core/local_exec.hpp"
 #include "isomer/core/strategy.hpp"
@@ -343,6 +344,25 @@ void BM_CertCacheColdMisses(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_CertCacheColdMisses)->Arg(100'000);
+
+/// ImputeModel::build — the IM strategy's population fit: one scan per
+/// constituent extent plus the covariate pass (analytic/impute.hpp). The
+/// model is an auxiliary replicated structure like the signature index, so
+/// this is its uncharged maintenance cost; items are stored objects
+/// scanned. Watched by tools/check_bench_micro.py: throughput must not
+/// collapse superlinearly between the two extent sizes.
+void BM_ImputeModelBuild(benchmark::State& state) {
+  const SynthFederation synth = make_synth(static_cast<int>(state.range(0)));
+  std::uint64_t objects = 0;
+  for (auto _ : state) {
+    const ImputeModel model = ImputeModel::build(*synth.federation);
+    objects = model.stats().objects_scanned;
+    benchmark::DoNotOptimize(model.stats().estimators);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(objects));
+}
+BENCHMARK(BM_ImputeModelBuild)->Arg(1000)->Arg(5000);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "isomer/analytic/impute.hpp"
 #include "isomer/common/parallel.hpp"
 #include "isomer/core/strategy.hpp"
 #include "isomer/obs/jsonl.hpp"
@@ -87,6 +88,13 @@ struct HarnessOptions {
   bool cert_cache_enabled = false;
   std::size_t cert_cache_entries = 0;
   bool certcache_set = false;
+  /// --impute=off|thresh=P[,mech=mcar|mar] (parse_impute_spec grammar): the
+  /// IM strategy's confidence threshold and missingness-mechanism
+  /// assumption. "off" (the default) never builds a population model.
+  /// Consumed by bench_impute; other benches accept and archive the spec
+  /// but ignore it.
+  ImputeSpec impute;
+  bool impute_set = false;
 };
 
 /// The canonical --batch spec string for provenance headers: "off", "on"
@@ -119,6 +127,7 @@ struct HarnessOptions {
                "[--json=FILE] [--trace=FILE] [--faults=SPEC] "
                "[--batch=on|off|N] [--serve=SPEC] "
                "[--plan=static|adaptive|hybrid] [--certcache=on|off|N] "
+               "[--impute=off|thresh=P[,mech=mcar|mar]] "
                "[--signatures] [--paper] "
                "[--quick]\n"
                "  --faults SPEC items (comma-separated): drop=P, spike=P:DUR,"
@@ -139,7 +148,11 @@ struct HarnessOptions {
                "  --certcache cross-query certificate cache for bench_serve:"
                " on, off (default), or a\n"
                "  positive resident-certificate cap"
-               " (see docs/CONDITIONS.md)\n",
+               " (see docs/CONDITIONS.md)\n"
+               "  --impute IM-strategy imputation for bench_impute: off"
+               " (default), or thresh=P in [0,1]\n"
+               "  with optional mech=mcar|mar"
+               " (see docs/IMPUTATION.md)\n",
                argv0);
   std::exit(2);
 }
@@ -244,6 +257,14 @@ inline HarnessOptions parse_options(int argc, char** argv) {
         options.cert_cache_entries = static_cast<std::size_t>(cap);
       }
       options.certcache_set = true;
+    } else if (const char* v = value("--impute=")) {
+      try {
+        options.impute = parse_impute_spec(v);
+      } catch (const ImputeError& error) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+        usage_error(argv[0]);
+      }
+      options.impute_set = true;
     } else if (arg == "--signatures") {
       options.run_signatures = true;
     } else if (arg == "--paper") {
@@ -597,6 +618,9 @@ class JsonSink {
     if (options.certcache_set)
       std::fprintf(file_, ", \"certcache_spec\": \"%s\"",
                    certcache_spec_string(options).c_str());
+    if (options.impute_set)
+      std::fprintf(file_, ", \"impute_spec\": \"%s\"",
+                   isomer::to_string(options.impute).c_str());
     std::fputs("}", file_);
     first_ = false;  // rows always follow the header element
   }

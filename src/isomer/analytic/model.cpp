@@ -421,6 +421,13 @@ AnalyticEstimate estimate_strategy(StrategyKind kind,
     case StrategyKind::PLS:
       return estimate_localized(sample, d, costs, true, true, batched,
                                 extra_attrs);
+    case StrategyKind::IM:
+      // IM is BL plus the impute filter. The closed-form model cannot see
+      // the population model, so it prices the undiscounted BL protocol;
+      // the planner applies the model's clear_rate discount on top
+      // (analytic/planner.cpp).
+      return estimate_localized(sample, d, costs, false, false, batched,
+                                extra_attrs);
   }
   throw ContractViolation("unknown strategy kind");
 }

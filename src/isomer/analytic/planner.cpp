@@ -71,13 +71,37 @@ PlanChoice plan_adaptive(const Federation& federation,
   choice.localized_bytes += choice.check_bytes;
   choice.hybrid_bytes += choice.check_bytes;
 
+  // IM pricing: rows ship like BL, but the population model answers a
+  // clear_rate fraction of the check atoms locally, discounting the check
+  // traffic. Estimated answers are not exact, so IM must win *strictly*
+  // before the planner trades certainty for wire bytes.
+  const bool im_enabled =
+      knobs.impute_model != nullptr && knobs.impute_spec.enabled;
+  if (im_enabled) {
+    choice.im_clear_rate =
+        knobs.impute_model->clear_rate(federation, query, knobs.impute_spec);
+    choice.im_bytes = choice.localized_bytes -
+                      choice.check_bytes * choice.im_clear_rate;
+  }
+
   const bool any_central = std::any_of(
       choice.sites.begin(), choice.sites.end(),
       [](const SitePlanEstimate& s) { return s.path == SitePath::Central; });
   std::ostringstream rationale;
   rationale.setf(std::ios::fixed);
   rationale.precision(1);
-  if (!any_central) {
+  if (im_enabled && choice.im_clear_rate > 0 &&
+      choice.im_bytes < choice.localized_bytes &&
+      choice.im_bytes < choice.hybrid_bytes &&
+      choice.im_bytes < choice.ca_bytes) {
+    choice.plan = ExecPlan::pure(StrategyKind::IM);
+    rationale << "population model clears "
+              << choice.im_clear_rate * 100.0
+              << "% of check traffic at thresh="
+              << knobs.impute_spec.threshold << " -> pure IM (~"
+              << choice.im_bytes / 1e3 << "KB vs BL ~"
+              << choice.localized_bytes / 1e3 << "KB)";
+  } else if (!any_central) {
     // Rows win everywhere: the pure localized strategy (bitwise BL).
     choice.plan = ExecPlan::pure(StrategyKind::BL);
     rationale << "every home site ships fewer row bytes than extent bytes"

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "isomer/analytic/impute.hpp"
 #include "isomer/analytic/site_stats.hpp"
 #include "isomer/core/plan.hpp"
 
@@ -45,6 +46,13 @@ struct PlannerKnobs {
   /// observed row payload reaches this factor times the estimate (and the
   /// extent is by then cheaper). 0 disables switching.
   double switch_factor = 2.0;
+  /// IM pricing (docs/IMPUTATION.md): when a population model is supplied
+  /// and the spec is enabled, the planner discounts the check traffic by
+  /// the model's clear_rate and emits a pure IM plan when the discounted
+  /// localized payload undercuts every alternative. Left null, IM is never
+  /// considered — the planner stays exact-answer-only.
+  const ImputeModel* impute_model = nullptr;
+  ImputeSpec impute_spec{};
 };
 
 /// One home site's economics, for EXPLAIN and tests.
@@ -66,6 +74,11 @@ struct PlanChoice {
   double localized_bytes = 0;  ///< predicted pure-BL wire payload
   double hybrid_bytes = 0;     ///< predicted per-site-best wire payload
   double check_bytes = 0;      ///< path-independent check traffic estimate
+  /// Predicted pure-IM wire payload: row bytes plus the check traffic that
+  /// the population model does NOT clear. 0 when IM was not priced.
+  double im_bytes = 0;
+  /// The model's clear_rate for this query/spec (0 when IM was not priced).
+  double im_clear_rate = 0;
   /// The advisor's cheapest pure-strategy estimates (seconds) — a cost
   /// proxy for schedulers that prioritize by predicted cost.
   double est_total_s = 0;

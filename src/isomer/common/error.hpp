@@ -61,6 +61,13 @@ class ServeError : public Error {
   using Error::Error;
 };
 
+/// An imputation failure: a --impute specification is malformed, or the IM
+/// strategy was launched without the population model it needs.
+class ImputeError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A precondition or postcondition stated by the library was violated; this
 /// always indicates a bug in the code that triggered it.
 class ContractViolation : public std::logic_error {

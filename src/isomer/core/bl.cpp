@@ -154,7 +154,21 @@ void maybe_certify(ExecEnv& env, const std::shared_ptr<GlobalState>& state) {
   const std::set<DbId>& dead = env.unavailable();
   state->result = certify(env.fed(), env.query(), state->locals,
                           state->verdicts, &meter, &stats,
-                          dead.empty() ? nullptr : &dead);
+                          dead.empty() ? nullptr : &dead,
+                          state->impute != nullptr
+                              ? &state->impute->confidences
+                              : nullptr);
+  if (state->impute != nullptr) {
+    // IM's residual discharge: estimate the atoms the dispatch filter could
+    // not reach (root-level sites, unanswered assistants) straight out of
+    // the certified rows' conditions — before degradation tagging, so a row
+    // the model confidently answers is an answer, not an unavailability.
+    state->impute->discharge(env, state->locals, state->result);
+    stats.certain += state->impute->upgraded_rows;
+    stats.maybe -= std::min(stats.maybe, state->impute->upgraded_rows +
+                                             state->impute->eliminated_rows);
+    stats.eliminated += state->impute->eliminated_rows;
+  }
   if (env.degraded()) {
     fault::tag_unavailable(state->result, env.fed(), env.query(), dead);
     env.record_fault_event(kGlobalSite, "fault.degrade", env.sim().now(),
@@ -175,6 +189,16 @@ void maybe_certify(ExecEnv& env, const std::shared_ptr<GlobalState>& state) {
           " p" + std::to_string(predicate) + "=" + std::to_string(count);
     env.record_cert_event(kGlobalSite, discharge, env.sim().now(),
                           env.sim().now());
+  }
+  if (state->impute != nullptr) {
+    env.note_impute_outcome(state->impute->imputed, state->impute->declined);
+    // The certification marker: how many atoms the model answered vs left
+    // on the certified path across all homes of this run.
+    env.record_impute_event(
+        kGlobalSite,
+        "im.certify imputed=" + std::to_string(state->impute->imputed) +
+            " declined=" + std::to_string(state->impute->declined),
+        env.sim().now(), env.sim().now());
   }
   AccessMeter cpu_only;  // certification merges in memory at the global site
   cpu_only.comparisons = meter.comparisons + meter.table_probes;
@@ -211,9 +235,14 @@ void CheckProtocol::dispatch(SiteIndex from, CheckPlan& plan,
                              const DbId* home) {
   // First-round dispatches consult the certificate cache (when one is
   // attached): tasks whose atom is already certified at this epoch are
-  // stripped before anything is announced or shipped.
+  // stripped before anything is announced or shipped. The imputation
+  // filter (the IM strategy, core/im.cpp) runs second — exact cached
+  // knowledge always beats an estimate — and may strip more tasks, with
+  // their estimated verdicts riding as local verdicts.
   if (home != nullptr && state->certs != nullptr)
     state->certs->filter(env, from, *home, plan);
+  if (home != nullptr && state->impute != nullptr)
+    state->impute->filter(env, from, *home, plan, state->certs.get());
   state->verdicts_announced += plan.task_count();
   auto self = shared_from_this();
   for (const auto& [target, tasks] : plan.by_target)
@@ -414,6 +443,7 @@ void ship_local_query(const std::shared_ptr<OperatorContext>& ctx,
 }
 
 void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
+                      bool impute,
                       std::function<void(QueryResult, SimTime)> on_done) {
   const Federation& federation = env.fed();
   const GlobalQuery& query = env.query();
@@ -442,6 +472,23 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
     state->certs = std::move(certs);
   }
 
+  // Attach the imputation plumbing for the IM strategy. Like the signature
+  // index and the certificate cache, the population model is an auxiliary
+  // replicated structure maintained outside query execution; unlike them,
+  // core cannot build one on the fly — the estimators live in the analytic
+  // layer above (analytic/impute.hpp), so a missing oracle is a hard error.
+  if (impute) {
+    if (options.impute == nullptr)
+      throw ImputeError(
+          "the IM strategy needs StrategyOptions::impute — build an "
+          "ImputeModel (analytic/impute.hpp) over the federation first");
+    auto st = std::make_unique<ImputeState>();
+    st->oracle = options.impute;
+    st->threshold = options.impute_threshold;
+    st->mar = options.impute_mar;
+    state->impute = std::move(st);
+  }
+
   // Resolve the signature index when requested. The auxiliary structure is
   // maintained outside query execution (like the replicated GOid tables),
   // so building it is not charged; an executor-built index lives in the
@@ -457,8 +504,10 @@ void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
   }
 
   const StrategyKind kind =
-      eager_phase_o ? (use_signatures ? StrategyKind::PLS : StrategyKind::PL)
-                    : (use_signatures ? StrategyKind::BLS : StrategyKind::BL);
+      impute ? StrategyKind::IM
+      : eager_phase_o
+          ? (use_signatures ? StrategyKind::PLS : StrategyKind::PL)
+          : (use_signatures ? StrategyKind::BLS : StrategyKind::BL);
   auto ctx = std::make_shared<OperatorContext>(env, ExecPlan::pure(kind));
   ctx->state = state;
   ctx->signatures = signatures;

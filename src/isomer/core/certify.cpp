@@ -8,11 +8,12 @@
 
 namespace isomer {
 
-QueryResult certify(const Federation& federation, const GlobalQuery& query,
-                    const std::vector<LocalExecution>& locals,
-                    const std::vector<CheckVerdict>& verdicts,
-                    AccessMeter* meter, CertifyStats* stats,
-                    const std::set<DbId>* unavailable) {
+QueryResult certify(
+    const Federation& federation, const GlobalQuery& query,
+    const std::vector<LocalExecution>& locals,
+    const std::vector<CheckVerdict>& verdicts, AccessMeter* meter,
+    CertifyStats* stats, const std::set<DbId>* unavailable,
+    const std::map<std::pair<GOid, std::size_t>, double>* imputed) {
   if (stats != nullptr)
     stats->verdicts = static_cast<std::uint64_t>(verdicts.size());
   // Databases that ran a local query (homes of the range class).
@@ -82,11 +83,13 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
     // nothing: the meter sees exactly the comparisons the flat loop makes.
     Truth overall = Truth::True;
     Condition condition;  // constant True
+    double confidence = 1.0;  // product over distinct imputed verdicts used
     if (!eliminated) {
       std::vector<Truth> truths(query.predicates.size(), Truth::Unknown);
       std::vector<Condition> per_pred;
       per_pred.reserve(query.predicates.size());
       std::set<std::pair<GOid, std::size_t>> dischargeable;
+      std::set<std::pair<GOid, std::size_t>> imputed_used;
       for (std::size_t p = 0; p < query.predicates.size(); ++p) {
         bool any_true = false, any_false = false;
         std::vector<Condition> pooled;
@@ -112,6 +115,16 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
               if (meter != nullptr) ++meter->comparisons;
               if (is_false(it->second)) any_false = true;
               if (is_true(it->second)) any_true = true;
+              // Probabilistic certification (the IM strategy): a consulted
+              // verdict that was synthesized from the population model
+              // discounts the row's confidence — once per distinct atom,
+              // however many rows of the entity it advised.
+              if (imputed != nullptr) {
+                const auto conf = imputed->find(std::pair{status.item, p});
+                if (conf != imputed->end() &&
+                    imputed_used.insert(std::pair{status.item, p}).second)
+                  confidence *= conf->second;
+              }
             }
           }
         }
@@ -139,6 +152,7 @@ QueryResult certify(const Federation& federation, const GlobalQuery& query,
 
     ResultRow out;
     out.entity = entity;
+    out.confidence = confidence;
     out.status =
         is_true(overall) ? ResultStatus::Certain : ResultStatus::Maybe;
     // A certain row is final — no residual (a True condition can still

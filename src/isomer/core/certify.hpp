@@ -65,12 +65,19 @@ struct CertifyStats {
 /// synthesized all-null row — the GOid table still knows the entity exists
 /// even when no live component can describe it, mirroring what the
 /// centralized approach materializes when it excludes the dead sites.
-[[nodiscard]] QueryResult certify(const Federation& federation,
-                                  const GlobalQuery& query,
-                                  const std::vector<LocalExecution>& locals,
-                                  const std::vector<CheckVerdict>& verdicts,
-                                  AccessMeter* meter = nullptr,
-                                  CertifyStats* stats = nullptr,
-                                  const std::set<DbId>* unavailable = nullptr);
+///
+/// `imputed` (optional; the IM strategy) maps (item GOid, predicate) atoms
+/// whose verdict was synthesized from the population model to that
+/// estimate's confidence. A row whose certification consulted any such
+/// verdict gets ResultRow::confidence = the product of the distinct
+/// contributing confidences; every other row keeps confidence 1.0. Null —
+/// every certifying strategy — charges and produces exactly what it did
+/// before the parameter existed.
+[[nodiscard]] QueryResult certify(
+    const Federation& federation, const GlobalQuery& query,
+    const std::vector<LocalExecution>& locals,
+    const std::vector<CheckVerdict>& verdicts, AccessMeter* meter = nullptr,
+    CertifyStats* stats = nullptr, const std::set<DbId>* unavailable = nullptr,
+    const std::map<std::pair<GOid, std::size_t>, double>* imputed = nullptr);
 
 }  // namespace isomer

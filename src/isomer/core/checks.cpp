@@ -90,6 +90,7 @@ CheckPlan plan_checks(const Federation& federation, const GlobalQuery& query,
         signatures != nullptr && suffix.length() == 1 && pred.op == CompOp::Eq;
     const std::string& item_class = goids.class_of(item.item);
     ++plan.meter.table_probes;  // the mapping-table lookup for this item
+    bool advised = false;
     for (const LOid& isomer : goids.isomers_of(item.item)) {
       if (isomer.db == home) continue;
       ++plan.meter.table_probes;  // examine one candidate assistant
@@ -107,11 +108,15 @@ CheckPlan plan_checks(const Federation& federation, const GlobalQuery& query,
               SignatureIndex::Screen::CannotSatisfy) {
         plan.local_verdicts.push_back(
             CheckVerdict{item.origin, item.predicate, Truth::False});
+        advised = true;
         continue;
       }
       plan.by_target[isomer.db].push_back(
           CheckTask{item.item, isomer, item.predicate, item.step, item.origin});
+      advised = true;
     }
+    // No capable assistant anywhere: the atom is unresolvable by checking.
+    if (!advised) plan.unadvised.push_back(item);
   }
   return plan;
 }

@@ -45,23 +45,6 @@ struct CheckVerdict {
   friend bool operator==(const CheckVerdict&, const CheckVerdict&) = default;
 };
 
-/// All checking work one database dispatches, grouped by target database.
-struct CheckPlan {
-  std::map<DbId, std::vector<CheckTask>> by_target;
-  AccessMeter meter;  ///< GOid-mapping probes + signature screens
-
-  /// Verdicts produced locally by signature screening (BLS/PLS only): an
-  /// assistant whose signature provably violates an equality predicate is
-  /// reported False without being shipped.
-  std::vector<CheckVerdict> local_verdicts;
-
-  [[nodiscard]] std::size_t task_count() const noexcept {
-    std::size_t count = 0;
-    for (const auto& [db, tasks] : by_target) count += tasks.size();
-    return count;
-  }
-};
-
 /// An unsolved site to find assistants for.
 struct UnsolvedItem {
   GOid item;
@@ -72,6 +55,31 @@ struct UnsolvedItem {
   GOid origin;
 
   friend auto operator<=>(const UnsolvedItem&, const UnsolvedItem&) = default;
+};
+
+/// All checking work one database dispatches, grouped by target database.
+struct CheckPlan {
+  std::map<DbId, std::vector<CheckTask>> by_target;
+  AccessMeter meter;  ///< GOid-mapping probes + signature screens
+
+  /// Verdicts produced locally by signature screening (BLS/PLS only): an
+  /// assistant whose signature provably violates an equality predicate is
+  /// reported False without being shipped.
+  std::vector<CheckVerdict> local_verdicts;
+
+  /// Unsolved atoms for which *no* capable assistant exists — the item has
+  /// no isomer outside the planning database, or none whose schema can
+  /// evaluate even the first suffix step. The certified strategies can never
+  /// resolve these (the row stays maybe forever); they ship nothing and are
+  /// carried here only so the IM strategy's impute filter (core/im.cpp) can
+  /// offer them to the population model.
+  std::vector<UnsolvedItem> unadvised;
+
+  [[nodiscard]] std::size_t task_count() const noexcept {
+    std::size_t count = 0;
+    for (const auto& [db, tasks] : by_target) count += tasks.size();
+    return count;
+  }
 };
 
 /// Collects the unsolved items of the rows produced at `home` — nested

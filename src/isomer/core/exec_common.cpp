@@ -343,6 +343,18 @@ void ExecEnv::record_cert_event(SiteIndex site, const std::string& step,
   }
 }
 
+void ExecEnv::record_impute_event(SiteIndex site, const std::string& step,
+                                  SimTime begin, SimTime end) {
+  if (options_.record_trace)
+    trace_.record(site_name(site), step, Phase::Impute, begin, end);
+  if (auto span = open_span(site_name(site), step, Phase::Impute, begin,
+                            AccessMeter{}, SpanCounts{});
+      span != nullptr) {
+    span->end_ns = end;
+    options_.trace_session->record(std::move(*span));
+  }
+}
+
 void launch_strategy(ExecEnv& env, StrategyKind kind,
                      std::function<void(QueryResult, SimTime)> on_done) {
   switch (kind) {
@@ -350,16 +362,19 @@ void launch_strategy(ExecEnv& env, StrategyKind kind,
       launch_ca(env, std::move(on_done));
       break;
     case StrategyKind::BL:
-      launch_localized(env, false, false, std::move(on_done));
+      launch_localized(env, false, false, false, std::move(on_done));
       break;
     case StrategyKind::PL:
-      launch_localized(env, false, true, std::move(on_done));
+      launch_localized(env, false, true, false, std::move(on_done));
       break;
     case StrategyKind::BLS:
-      launch_localized(env, true, false, std::move(on_done));
+      launch_localized(env, true, false, false, std::move(on_done));
       break;
     case StrategyKind::PLS:
-      launch_localized(env, true, true, std::move(on_done));
+      launch_localized(env, true, true, false, std::move(on_done));
+      break;
+    case StrategyKind::IM:
+      launch_localized(env, false, false, true, std::move(on_done));
       break;
   }
 }
@@ -380,6 +395,8 @@ StrategyReport ExecEnv::finish(QueryResult result, SimTime response) {
   report.failed_messages = failed_messages_;
   report.cert_hits = cert_hits_;
   report.cert_misses = cert_misses_;
+  report.imputed_atoms = imputed_atoms_;
+  report.impute_declined = impute_declined_;
   report.trace = std::move(trace_);
   return report;
 }

@@ -174,6 +174,17 @@ class ExecEnv {
   void record_serve_event(SiteIndex site, const std::string& step,
                           SimTime begin, SimTime end);
 
+  /// Records a Phase::Impute trace event (and span) — the IM strategy's
+  /// markers: "im.impute/<n>" when a dispatch answers check atoms from the
+  /// population model (core/im.cpp) and "im.decline/<n>" for atoms it
+  /// consulted but left on the certified path. Instantaneous, like
+  /// record_cert_event: the model is an auxiliary replicated structure
+  /// whose consultation costs nothing in the simulation, and the markers
+  /// exist only when an ImputeState is attached — every non-IM plan takes
+  /// the exact pre-imputation code path.
+  void record_impute_event(SiteIndex site, const std::string& step,
+                           SimTime begin, SimTime end);
+
   /// Folds a run's certificate-cache outcome into the final report.
   void note_cert_outcome(std::uint64_t hits, std::uint64_t misses) noexcept {
     cert_hits_ += hits;
@@ -182,6 +193,13 @@ class ExecEnv {
   [[nodiscard]] std::uint64_t cert_hits() const noexcept { return cert_hits_; }
   [[nodiscard]] std::uint64_t cert_misses() const noexcept {
     return cert_misses_;
+  }
+
+  /// Folds a run's imputation outcome into the final report.
+  void note_impute_outcome(std::uint64_t imputed,
+                           std::uint64_t declined) noexcept {
+    imputed_atoms_ += imputed;
+    impute_declined_ += declined;
   }
 
   /// Runs the simulator to completion and assembles the report.
@@ -222,6 +240,8 @@ class ExecEnv {
   std::uint64_t span_query_ = 0;
   std::uint64_t cert_hits_ = 0;    ///< certificate-cache outcome (see
   std::uint64_t cert_misses_ = 0;  ///< note_cert_outcome / StrategyReport)
+  std::uint64_t imputed_atoms_ = 0;    ///< imputation outcome (see
+  std::uint64_t impute_declined_ = 0;  ///< note_impute_outcome)
 
   // Fault-injection state; inert (and never touched on the hot path beyond
   // one bool test) when no enabled plan is attached.
@@ -289,7 +309,13 @@ class ShipmentBatcher {
 /// (shared simulator, many concurrent launches).
 void launch_ca(ExecEnv& env,
                std::function<void(QueryResult, SimTime)> on_done);
+/// `impute` selects the IM strategy: identical wiring to BL except that an
+/// ImputeState (core/im.cpp) is attached, which may answer first-round
+/// check atoms from StrategyOptions::impute instead of shipping them.
+/// Throws ImputeError when `impute` is set without an oracle in the
+/// options.
 void launch_localized(ExecEnv& env, bool use_signatures, bool eager_phase_o,
+                      bool impute,
                       std::function<void(QueryResult, SimTime)> on_done);
 
 /// Dispatches to the launcher for `kind` — the one switch shared by every

@@ -182,7 +182,7 @@ void launch_plan(ExecEnv& env, const ExecPlan& plan,
       launch_ca(env, std::move(on_done));
     else
       launch_localized(env, plan.use_signatures, plan.eager,
-                       std::move(on_done));
+                       plan.label == StrategyKind::IM, std::move(on_done));
     return;
   }
 

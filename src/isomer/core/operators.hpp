@@ -93,6 +93,60 @@ struct CertWriteback {
   void writeback(const std::vector<CheckVerdict>& verdicts);
 };
 
+/// One run's imputation plumbing (the IM strategy, core/im.cpp); owned by
+/// the GlobalState, created only by launch_localized(impute = true) — a
+/// null GlobalState::impute takes the exact pre-imputation code path.
+///
+/// The filter is the dispatch-side twin of CertWriteback::filter: it
+/// consults StrategyOptions::impute once per distinct first-round atom
+/// (item, predicate, step), strips every task whose estimate is upgradable
+/// with confidence >= threshold, and synthesizes the estimated CheckVerdict
+/// into plan.local_verdicts (riding to the global site on whatever message
+/// carries the plan's screen verdicts — no check request, no check
+/// response). Below-threshold and non-upgradable atoms stay on the normal
+/// residual-condition path, which is how IM composes with --certcache and
+/// --faults: the certificate filter runs first (exact knowledge beats an
+/// estimate), and atoms the model answers never touch the wire, so a dead
+/// assistant site cannot stop them.
+struct ImputeState {
+  const ImputeOracle* oracle = nullptr;
+  double threshold = 1.0;
+  bool mar = false;
+  std::uint64_t imputed = 0;   ///< atoms answered from the model
+  std::uint64_t declined = 0;  ///< atoms consulted but shipped anyway
+  /// (item, predicate) -> the synthesized verdict's confidence (the least
+  /// confident estimate when several steps imputed the same atom);
+  /// certify() folds these into ResultRow::confidence.
+  std::map<std::pair<GOid, std::size_t>, double> confidences;
+
+  std::uint64_t upgraded_rows = 0;    ///< maybe rows discharge() made certain
+  std::uint64_t eliminated_rows = 0;  ///< maybe rows discharge() refuted
+
+  /// The dispatch-side model consultation (core/im.cpp). `certs` (may be
+  /// null) is the run's certificate plumbing: imputed atoms are tainted
+  /// there so an *estimated* verdict is never written back as a
+  /// certificate. Emits im.impute/<n> and im.decline/<n> markers.
+  void filter(ExecEnv& env, SiteIndex from, DbId home, CheckPlan& plan,
+              CertWriteback* certs);
+
+  /// The certify-side residual discharge (core/im.cpp): the dispatch filter
+  /// can only answer atoms that generate check traffic, but a maybe row's
+  /// residual also carries root-level atoms (step 0 — decided by the row
+  /// pool, which decides nothing when every copy is a gap) and atoms whose
+  /// assistants never answered (dead sites, declined estimates). After
+  /// certify() builds the rows, this pass consults the model for each
+  /// distinct residual atom — the gap-kind evidence comes from the lowest
+  /// home database whose local row left it Unknown — and substitutes every
+  /// confident True/False estimate into the row's condition
+  /// (substitute_atom: exact leaves, root-level included). A row whose
+  /// condition thereby decides commits: True upgrades it to certain at the
+  /// product of the consumed estimates' confidences, False eliminates it.
+  /// Undecided rows are left exactly as certified — no partial estimates
+  /// leak into residuals. Emits an im.discharge marker when anything moved.
+  void discharge(ExecEnv& env, const std::vector<LocalExecution>& locals,
+                 QueryResult& result);
+};
+
 /// Global-site completion accounting shared by every plan with localized
 /// homes: the run finishes when all home results have arrived and every
 /// announced check verdict has arrived (verdict announcements travel with
@@ -111,6 +165,8 @@ struct GlobalState {
   std::unique_ptr<SignatureIndex> owned_signatures;
   /// Certificate-cache plumbing; null unless StrategyOptions::cert_cache.
   std::unique_ptr<CertWriteback> certs;
+  /// Imputation plumbing; null unless the plan is the IM strategy.
+  std::unique_ptr<ImputeState> impute;
 
   [[nodiscard]] bool complete() const noexcept {
     return homes_pending == 0 && verdicts_received == verdicts_announced;

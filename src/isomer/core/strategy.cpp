@@ -17,6 +17,8 @@ std::string_view to_string(StrategyKind kind) noexcept {
       return "BL-S";
     case StrategyKind::PLS:
       return "PL-S";
+    case StrategyKind::IM:
+      return "IM";
   }
   return "CA";
 }

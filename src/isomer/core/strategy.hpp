@@ -42,10 +42,14 @@ namespace obs {
 class TraceSession;
 }  // namespace obs
 
-enum class StrategyKind : unsigned char { CA, BL, PL, BLS, PLS };
+enum class StrategyKind : unsigned char { CA, BL, PL, BLS, PLS, IM };
 
 [[nodiscard]] std::string_view to_string(StrategyKind kind) noexcept;
 
+/// The certifying strategies — every execution path that answers by
+/// shipping evidence. IM (on-the-fly imputation, core/im.cpp) is deliberately
+/// excluded: its answers are probabilistic below `thresh=1.0`, so the
+/// strategy-equivalence suites that sweep these arrays must not include it.
 inline constexpr StrategyKind kAllStrategies[] = {
     StrategyKind::CA, StrategyKind::BL, StrategyKind::PL, StrategyKind::BLS,
     StrategyKind::PLS};
@@ -64,6 +68,40 @@ struct BatchOptions {
   /// Flush a frame once it holds this many records (0 = unbounded: flush
   /// only when the simulated instant ends).
   std::size_t max_records = 0;
+};
+
+/// Abstract imputation oracle consumed by the IM strategy (core/im.cpp).
+/// The concrete implementation — per-class per-attribute population
+/// estimators with an MCAR/MAR mechanism model — is analytic/impute.hpp's
+/// ImputeModel; core sees only this interface because the analytic library
+/// links *against* core.
+class ImputeOracle {
+ public:
+  virtual ~ImputeOracle() = default;
+
+  /// Outcome of consulting the oracle for one first-round check atom.
+  struct Decision {
+    /// Whether the mechanism model allows upgrading this null at all
+    /// (false e.g. when the data refute MCAR, or the model is stale).
+    bool upgradable = false;
+    /// The most likely pooled verdict — genuinely three-valued: Unknown
+    /// predicts the protocol would come back undecided (e.g. a canonically
+    /// null reference on the suffix), which still strips the traffic but
+    /// upgrades nothing.
+    Truth verdict = Truth::Unknown;
+    /// The smoothed probability of `verdict` — strictly below 1, so a
+    /// threshold of 1.0 never imputes.
+    double confidence = 0.0;
+  };
+
+  /// Decide the unsolved suffix of query.predicates[predicate] starting at
+  /// `step` on `item`, planned by home database `home`. `mar` selects the
+  /// missing-at-random estimate (stratified by the learned covariate).
+  [[nodiscard]] virtual Decision decide(const Federation& federation,
+                                        const GlobalQuery& query, GOid item,
+                                        std::size_t predicate,
+                                        std::size_t step, DbId home,
+                                        bool mar) const = 0;
 };
 
 struct StrategyOptions {
@@ -113,6 +151,18 @@ struct StrategyOptions {
   /// and pooled verdicts are written back at certification time unless the
   /// execution degraded (partial evidence must never be cached).
   CertCache* cert_cache = nullptr;
+  /// Imputation oracle for StrategyKind::IM (analytic/impute.hpp builds the
+  /// concrete model; executing IM without one throws ImputeError — the
+  /// estimators live a layer above core and cannot be built here). The
+  /// other strategies ignore all three fields entirely.
+  const ImputeOracle* impute = nullptr;
+  /// Confidence an imputed verdict must reach before the check traffic is
+  /// replaced; smoothed confidences are strictly below 1, so the default
+  /// 1.0 makes IM bitwise identical to BL.
+  double impute_threshold = 1.0;
+  /// Assume missing-at-random (stratified estimates) instead of the default
+  /// missing-completely-at-random gate.
+  bool impute_mar = false;
 };
 
 /// The simulated execution's outcome: the logical answer plus the two cost
@@ -142,6 +192,12 @@ struct StrategyReport {
   /// was set): first-round check atoms answered from the cache vs shipped.
   std::uint64_t cert_hits = 0;
   std::uint64_t cert_misses = 0;
+
+  /// Imputation outcome (both zero unless the IM strategy ran): first-round
+  /// check atoms answered by the population model vs consulted but left on
+  /// the certified path (below threshold / not upgradable).
+  std::uint64_t imputed_atoms = 0;
+  std::uint64_t impute_declined = 0;
 
   ExecutionTrace trace;
 };

@@ -126,6 +126,29 @@ Condition Condition::substitute(GOid item, std::size_t predicate,
   return *this;
 }
 
+Condition Condition::substitute_atom(const CondAtom& atom,
+                                     Truth value) const {
+  switch (kind_) {
+    case Kind::Constant:
+      return *this;
+    case Kind::Leaf:
+      if (atom_ == atom) return constant(negated_ ? !value : value);
+      return *this;
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Pool: {
+      Condition c;
+      c.kind_ = kind_;
+      c.negated_ = negated_;
+      c.children_.reserve(children_.size());
+      for (const Condition& child : children_)
+        c.children_.push_back(child.substitute_atom(atom, value));
+      return c;
+    }
+  }
+  return *this;
+}
+
 Condition Condition::simplify() const {
   // Folds this node's negation into `base` and returns it.
   const auto finish = [this](Condition base) -> Condition {

@@ -112,6 +112,15 @@ class Condition {
   [[nodiscard]] Condition substitute(GOid item, std::size_t predicate,
                                      Truth value) const;
 
+  /// Discharges one *exact* leaf: every leaf whose CondAtom equals `atom` —
+  /// root_level and step included — becomes the constant `value`. This is
+  /// the IM strategy's residual-discharge primitive: unlike substitute(), a
+  /// population estimate is an answer about one concrete atom (a root-level
+  /// site included), never pooled protocol evidence, so it must only ever
+  /// touch the leaf it was computed for.
+  [[nodiscard]] Condition substitute_atom(const CondAtom& atom,
+                                          Truth value) const;
+
   /// Sound simplification (idempotent; never changes truth() under any
   /// assignment):
   ///  * negated constants fold into their complement,

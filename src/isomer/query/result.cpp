@@ -1,11 +1,21 @@
 #include "isomer/query/result.hpp"
 
+#include <cstdio>
+
 namespace isomer {
 
 std::ostream& operator<<(std::ostream& os, const QueryResult& result) {
   for (const ResultRow& row : result.rows) {
     os << "g" << row.entity.value() << " [" << to_string(row.status)
-       << (row.unavailable ? ", unavailable" : "") << "]";
+       << (row.unavailable ? ", unavailable" : "");
+    if (row.confidence < 1.0) {
+      // Probabilistic certification (the IM strategy): annotate how sure
+      // the imputed verdicts behind this row were.
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4g", row.confidence);
+      os << ", conf=" << buf;
+    }
+    os << "]";
     for (const Value& v : row.targets) os << " " << v;
     os << "\n";
   }

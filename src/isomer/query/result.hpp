@@ -44,6 +44,15 @@ struct ResultRow {
   /// approaches pool per-database rows, so equivalent maybe rows carry
   /// syntactically different (truth-equivalent) conditions.
   Condition condition;
+  /// Probabilistic-certification confidence (the IM strategy,
+  /// docs/IMPUTATION.md): the product of the smoothed confidences of every
+  /// imputed verdict this row's certification consumed. 1.0 — exact — for
+  /// every row of the certifying strategies, and for IM rows certified
+  /// without touching an estimate. Excluded from equality like `condition`:
+  /// it annotates *how* the answer was reached, not what it is, and the
+  /// thresh=1.0 bitwise-identity property compares IM rows (all confidence
+  /// 1.0 there anyway) against reference rows that never carry one.
+  double confidence = 1.0;
 
   friend bool operator==(const ResultRow& a, const ResultRow& b) {
     return a.entity == b.entity && a.status == b.status &&

@@ -24,6 +24,8 @@ std::string_view to_string(Phase phase) noexcept {
       return "cert";
     case Phase::Serve:
       return "serve";
+    case Phase::Impute:
+      return "impute";
   }
   return "setup";
 }
@@ -40,7 +42,8 @@ std::vector<Phase> ExecutionTrace::phase_order(
   for (const TraceEvent& event : events_) {
     if (event.phase == Phase::Setup || event.phase == Phase::Transfer ||
         event.phase == Phase::Fault || event.phase == Phase::Plan ||
-        event.phase == Phase::Cert || event.phase == Phase::Serve)
+        event.phase == Phase::Cert || event.phase == Phase::Serve ||
+        event.phase == Phase::Impute)
       continue;
     if (site && event.site != *site) continue;
     sorted.push_back(event);

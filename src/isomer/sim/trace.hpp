@@ -22,6 +22,10 @@ enum class Phase : unsigned char {
   /// Serving-layer attribution: time a submission spent between admission
   /// and launch, attributed to its tenant (serve/server.hpp).
   Serve,
+  /// IM-strategy markers (core/im.cpp): check atoms answered from the
+  /// population model instead of the wire (`im.impute/<n>` /
+  /// `im.decline/<n>` steps).
+  Impute,
 };
 
 [[nodiscard]] std::string_view to_string(Phase phase) noexcept;

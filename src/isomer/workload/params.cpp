@@ -22,6 +22,7 @@ SampleParams draw_sample(const ParamConfig& config, Rng& rng) {
   SampleParams sample;
   sample.n_db = config.n_db;
   sample.iso_ratio = config.iso_ratio();
+  sample.missing_mechanism = config.missing_mechanism;
   sample.n_targets = static_cast<int>(
       rng.uniform_int(config.n_targets.first, config.n_targets.second));
   sample.materialize_seed = rng();
@@ -69,6 +70,10 @@ SampleParams draw_sample(const ParamConfig& config, Rng& rng) {
       if (std::none_of(cls.dbs.begin(), cls.dbs.end(), defines))
         cls.dbs[rng.index(cls.dbs.size())].present_preds.push_back(j);
     }
+    // The missingness-rate override runs after every draw above, so pinning
+    // R_m perturbs nothing else in the sample (the RNG stream is untouched).
+    if (config.forced_missing_rate.has_value())
+      for (auto& db : cls.dbs) db.extra_missing = *config.forced_missing_rate;
   }
   return sample;
 }

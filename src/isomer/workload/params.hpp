@@ -35,6 +35,16 @@
 
 namespace isomer {
 
+/// How value-level nulls are injected into the generated objects
+/// (docs/IMPUTATION.md). MCAR nulls a predicate attribute independently of
+/// everything else — today's behavior and the default. MAR conditions the
+/// injection on the object's stored covariate `x0`: objects in the lower
+/// half of x0's range get double the configured rate, objects in the upper
+/// half none, keeping the marginal rate while making the missingness
+/// predictable from an observable — exactly the signal the IM strategy's
+/// mechanism model is built to detect.
+enum class MissingMechanism : unsigned char { MCAR, MAR };
+
 /// Sampling ranges (the right column of Table 2).
 struct ParamConfig {
   std::size_t n_db = 3;                        ///< N_db
@@ -54,6 +64,17 @@ struct ParamConfig {
   /// predicate and its per-predicate selectivity is forced to this value
   /// ("the selectivity of one local predicate is adjusted").
   std::optional<double> forced_root_selectivity;
+
+  /// Missingness-rate knob for the imputation sweeps (bench_impute): when
+  /// set, every database's R_m is pinned to this value (in [0, 1]) instead
+  /// of the drawn one — applied *after* the normal draws, so the RNG stream
+  /// (and therefore every other drawn parameter) is byte-identical to the
+  /// default configuration.
+  std::optional<double> forced_missing_rate;
+
+  /// Mechanism of the injected value-level nulls; MCAR (the default) keeps
+  /// today's generator behavior bit for bit.
+  MissingMechanism missing_mechanism = MissingMechanism::MCAR;
 
   /// R_iso for this configuration.
   [[nodiscard]] double iso_ratio() const noexcept;
@@ -82,6 +103,8 @@ struct SampleParams {
   double iso_ratio = 0;
   std::vector<PerClass> classes;        ///< chain, root first
   std::uint64_t materialize_seed = 0;   ///< seed for object generation
+  /// How materialize_sample injects the R_m nulls (see MissingMechanism).
+  MissingMechanism missing_mechanism = MissingMechanism::MCAR;
 
   [[nodiscard]] std::size_t n_classes() const noexcept {
     return classes.size();

@@ -142,12 +142,24 @@ SynthFederation materialize_sample(const SampleParams& sample,
 
         // Present predicate attributes, with the R_m null injection: when
         // the database defines every predicate attribute, a fraction R_m of
-        // objects get one of them nulled.
+        // objects get one of them nulled. Under the MCAR mechanism (the
+        // default — byte-identical to the original generator) the draw is
+        // independent of everything else; under MAR it conditions on the
+        // stored covariate x0: lower-half objects get double the rate,
+        // upper-half none — same marginal rate, missingness predictable
+        // from an observable.
         const auto& present = cls.dbs[i].present_preds;
         std::optional<std::size_t> null_slot;
-        if (!present.empty() && cls.dbs[i].extra_missing > 0 &&
-            rng.bernoulli(cls.dbs[i].extra_missing))
-          null_slot = rng.index(present.size());
+        if (!present.empty() && cls.dbs[i].extra_missing > 0) {
+          double rate = cls.dbs[i].extra_missing;
+          if (sample.missing_mechanism == MissingMechanism::MAR &&
+              !entity.extra_values.empty())
+            rate = entity.extra_values[0].as_int() < 500
+                       ? std::min(1.0, 2.0 * rate)
+                       : 0.0;
+          if (rate > 0 && rng.bernoulli(rate))
+            null_slot = rng.index(present.size());
+        }
         for (std::size_t s = 0; s < present.size(); ++s) {
           if (null_slot && *null_slot == s) continue;  // stays null
           const std::size_t j = present[s];

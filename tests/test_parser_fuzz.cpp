@@ -1,7 +1,8 @@
-// Fuzzing for the three text frontends: the SQL/X-subset query parser
+// Fuzzing for the four text frontends: the SQL/X-subset query parser
 // (query/parser.hpp), the --faults specification parser
-// (fault/fault_plan.hpp), and the --serve specification parser
-// (serve/serve_spec.hpp).
+// (fault/fault_plan.hpp), the --serve specification parser
+// (serve/serve_spec.hpp), and the --impute specification parser
+// (analytic/impute.hpp).
 //
 // Three properties, each over hundreds of deterministic random inputs:
 //   * printer -> parser round-trip: any AST the generator can build prints
@@ -15,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "isomer/analytic/impute.hpp"
 #include "isomer/common/error.hpp"
 #include "isomer/common/rng.hpp"
 #include "isomer/fault/fault_plan.hpp"
@@ -391,6 +393,109 @@ TEST(ServeSpecMutation, CorruptedSpecsFailCleanlyOrParse) {
       (void)serve::parse_serve_spec(text);
     } catch (const ServeError&) {
       // the documented failure mode for malformed specs
+    }
+  }
+}
+
+// ---- impute spec (analytic/impute.hpp) ----
+
+/// A random but valid ImputeSpec. Any double in [0, 1] survives the
+/// %.17g print exactly, so the threshold is drawn from the full range.
+ImputeSpec random_impute_spec(Rng& rng) {
+  if (rng.bernoulli(0.2)) return ImputeSpec{};  // canonical "off"
+  ImputeSpec spec;
+  spec.enabled = true;
+  spec.threshold = rng.bernoulli(0.1) ? static_cast<double>(rng.index(2))
+                                      : rng.uniform_real(0.0, 1.0);
+  spec.mechanism =
+      rng.bernoulli(0.5) ? ImputeMechanism::MCAR : ImputeMechanism::MAR;
+  return spec;
+}
+
+class ImputeSpecRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImputeSpecRoundTrip, PrintedSpecsParseBackIdentically) {
+  Rng rng(derive_stream(0x1217'E014ULL, GetParam()));
+  const ImputeSpec spec = random_impute_spec(rng);
+  const std::string text = to_string(spec);
+  ImputeSpec parsed;
+  ASSERT_NO_THROW(parsed = parse_impute_spec(text)) << text;
+  EXPECT_EQ(parsed, spec) << text;
+  // The canonical form is a fixed point: printing the parse reproduces it.
+  EXPECT_EQ(to_string(parsed), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImputeSpecRoundTrip,
+                         ::testing::Range<std::uint64_t>(1, 301));
+
+TEST(ImputeSpecErrors, MalformedSpecsAreHardErrors) {
+  const char* const malformed[] = {
+      "",                    // empty specification
+      "on",                  // unknown bareword ('off' is the only one)
+      "thresh",              // missing '='
+      "thresh=",             // missing value
+      "thresh=1.5",          // above 1
+      "thresh=-0.1",         // below 0
+      "thresh=nan",          // NaN compares false with everything
+      "thresh=inf",
+      "thresh=0.5abc",       // trailing junk after the real
+      "thresh=0.5,",         // trailing empty item
+      ",thresh=0.5",         // leading empty item
+      "mech=mcar",           // thresh is required
+      "thresh=0.5,mech=bogus",  // unknown mechanism
+      "thresh=0.5,mech=",       // empty mechanism
+      "thresh=0.5,bogus=1",     // unknown key
+      "off,thresh=0.5",         // 'off' must stand alone
+      "thresh=0.5,off",
+  };
+  for (const char* spec : malformed)
+    EXPECT_THROW((void)parse_impute_spec(spec), ImputeError) << spec;
+}
+
+TEST(ImputeSpecErrors, DuplicateKeysAreHardErrors) {
+  // Same policy as --faults and --serve: last-one-wins would silently
+  // discard half the operator's intent, so every key appears at most once.
+  const char* const duplicated[] = {
+      "thresh=0.5,thresh=0.5",
+      "thresh=0.4,mech=mcar,mech=mar",
+      "thresh=0.1,mech=mar,thresh=0.9",
+  };
+  for (const char* spec : duplicated)
+    EXPECT_THROW((void)parse_impute_spec(spec), ImputeError) << spec;
+}
+
+TEST(ImputeSpecMutation, CorruptedSpecsFailCleanlyOrParse) {
+  const std::string corpus[] = {
+      "off",
+      "thresh=0.5",
+      "thresh=0.75,mech=mar",
+      "thresh=1,mech=mcar",
+  };
+  Rng rng(0x1217'F022ULL);
+  for (int i = 0; i < 500; ++i) {
+    std::string text = corpus[rng.index(std::size(corpus))];
+    const std::size_t rounds = 1 + rng.index(4);
+    for (std::size_t r = 0; r < rounds; ++r)
+      text = mutate(std::move(text), rng);
+    try {
+      (void)parse_impute_spec(text);
+    } catch (const ImputeError&) {
+      // the documented failure mode for malformed specs
+    }
+  }
+}
+
+TEST(ImputeSpecGarbage, ArbitraryPrintableStringsNeverCrashTheParser) {
+  Rng rng(0x1217'1112ULL);
+  const char kPool[] = "threshmcarof=,.0123456789einfa -_";
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    const std::size_t len = rng.index(40);
+    for (std::size_t c = 0; c < len; ++c)
+      text += kPool[rng.index(sizeof(kPool) - 1)];
+    try {
+      (void)parse_impute_spec(text);
+    } catch (const ImputeError&) {
     }
   }
 }

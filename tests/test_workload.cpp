@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "isomer/common/error.hpp"
+#include "isomer/federation/federation.hpp"
+#include "isomer/store/database.hpp"
 #include "isomer/workload/synth.hpp"
 
 namespace isomer {
@@ -196,6 +199,115 @@ TEST(Materialize, RejectsDegenerateSamples) {
   SampleParams empty;
   empty.n_db = 2;
   EXPECT_THROW((void)materialize_sample(empty), ContractViolation);
+}
+
+// ---- missingness knobs (bench_impute, docs/IMPUTATION.md) --------------
+
+/// FNV-1a over a full textual dump of the generated universe: every
+/// database in DbId order, every class in schema order, every object in
+/// extent (insertion) order with all stored values. Any byte the generator
+/// moves — a value, a null, an ordering — moves the digest.
+std::uint64_t federation_digest(const Federation& fed) {
+  std::ostringstream os;
+  for (const DbId id : fed.db_ids()) {
+    const ComponentDatabase& db = fed.db(id);
+    os << "db" << id.value() << '{';
+    for (const ClassDef& cls : db.schema().classes()) {
+      os << cls.name() << ':';
+      for (const Object& obj : db.extent(cls.name()).objects())
+        os << obj << ';';
+    }
+    os << '}';
+  }
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : os.str()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+TEST(MissingnessKnobs, DefaultsAreByteIdenticalGolden) {
+  // forced_missing_rate / missing_mechanism must be invisible at their
+  // defaults: the R_m override runs after every draw (the RNG stream is
+  // untouched) and MCAR takes the original injection path call for call.
+  // This golden pins the generated universe of the default configuration;
+  // it may only change when the generator itself deliberately does.
+  ParamConfig config;
+  config.n_objects = {30, 40};
+  Rng rng(2026);
+  const SampleParams sample = draw_sample(config, rng);
+  EXPECT_EQ(sample.missing_mechanism, MissingMechanism::MCAR);
+  const SynthFederation synth = materialize_sample(sample);
+  EXPECT_EQ(federation_digest(*synth.federation), 0x8e46492e7e7c65c7ULL);
+}
+
+TEST(MissingnessKnobs, ForcedMissingRatePinsRmAndNothingElse) {
+  ParamConfig config;
+  config.n_objects = {30, 40};
+  ParamConfig forced = config;
+  forced.forced_missing_rate = 0.3;
+
+  Rng rng_a(4242), rng_b(4242);
+  const SampleParams plain = draw_sample(config, rng_a);
+  const SampleParams pinned = draw_sample(forced, rng_b);
+
+  // The override runs after the draws, so both streams end in lockstep...
+  EXPECT_EQ(rng_a(), rng_b());
+  // ...and every drawn figure except R_m is identical.
+  ASSERT_EQ(pinned.classes.size(), plain.classes.size());
+  EXPECT_EQ(pinned.n_targets, plain.n_targets);
+  EXPECT_EQ(pinned.materialize_seed, plain.materialize_seed);
+  for (std::size_t k = 0; k < plain.classes.size(); ++k) {
+    const auto& p = pinned.classes[k];
+    const auto& q = plain.classes[k];
+    EXPECT_EQ(p.n_preds, q.n_preds);
+    EXPECT_EQ(p.pred_selectivity, q.pred_selectivity);
+    EXPECT_EQ(p.ref_ratio, q.ref_ratio);
+    ASSERT_EQ(p.dbs.size(), q.dbs.size());
+    for (std::size_t i = 0; i < q.dbs.size(); ++i) {
+      EXPECT_EQ(p.dbs[i].n_objects, q.dbs[i].n_objects);
+      EXPECT_EQ(p.dbs[i].present_preds, q.dbs[i].present_preds);
+      EXPECT_EQ(p.dbs[i].extra_missing, 0.3);
+    }
+  }
+}
+
+TEST(MissingnessKnobs, MarConcentratesNullsInTheLowerCovariateHalf) {
+  // Under mech=mar the injection rate doubles for objects in x0's lower
+  // half and drops to zero in the upper half: every injected null must sit
+  // on a low-covariate object. Present predicate attributes are only ever
+  // null through the injection, so the stratified null counts observe the
+  // mechanism directly.
+  ParamConfig config;
+  config.n_objects = {200, 300};
+  config.forced_missing_rate = 0.3;
+  config.missing_mechanism = MissingMechanism::MAR;
+  Rng rng(7);
+  const SampleParams sample = draw_sample(config, rng);
+  EXPECT_EQ(sample.missing_mechanism, MissingMechanism::MAR);
+  const SynthFederation synth = materialize_sample(sample);
+
+  std::uint64_t low_nulls = 0, high_nulls = 0;
+  for (const DbId id : synth.federation->db_ids()) {
+    const ComponentDatabase& db = synth.federation->db(id);
+    for (const ClassDef& cls : db.schema().classes()) {
+      const auto covariate = cls.find_attribute("x0");
+      ASSERT_TRUE(covariate.has_value());
+      std::vector<std::size_t> pred_slots;
+      for (std::size_t a = 0; a < cls.attribute_count(); ++a)
+        if (cls.attribute(a).name[0] == 'p')
+          pred_slots.push_back(a);
+      for (const Object& obj : db.extent(cls.name()).objects()) {
+        const bool low = obj.value(*covariate).as_int() < 500;
+        for (const std::size_t a : pred_slots)
+          if (obj.value(a).is_null()) (low ? low_nulls : high_nulls) += 1;
+      }
+    }
+  }
+  EXPECT_GT(low_nulls, 0u) << "MAR injected nothing at R_m = 0.3";
+  EXPECT_EQ(high_nulls, 0u)
+      << "MAR injected into the upper covariate half";
 }
 
 }  // namespace

@@ -12,7 +12,9 @@
 // args it must emit at least one Phase::Cert span (the certificate-cache
 // markers of docs/CONDITIONS.md); with a 'tenant:' clause among them it
 // must emit serve-phase serve.tenant/<id> attribution spans
-// (docs/TRACING.md). Deliberately dependency-free: a minimal
+// (docs/TRACING.md); with an enabled --impute spec among them it must emit
+// impute-phase im.* spans (the IM strategy's filter/discharge markers of
+// docs/IMPUTATION.md). Deliberately dependency-free: a minimal
 // recursive JSON parser below, no gtest, no external libraries.
 #include <cctype>
 #include <cstdint>
@@ -256,10 +258,11 @@ void check_header(const JsonObject& obj, std::size_t line_no,
 void check_span(const JsonObject& obj, std::size_t line_no,
                 const std::string& line, std::set<std::string>& strategies,
                 std::set<std::string>& phases) {
-  static const std::set<std::string> kStrategies = {"CA",  "BL",  "PL",
-                                                    "BLS", "PLS", "HY"};
+  static const std::set<std::string> kStrategies = {
+      "CA", "BL", "PL", "BLS", "PLS", "HY", "IM"};
   static const std::set<std::string> kPhases = {
-      "setup", "O", "I", "P", "transfer", "fault", "plan", "cert", "serve"};
+      "setup", "O",    "I",    "P",      "transfer",
+      "fault", "plan", "cert", "serve",  "impute"};
   for (const char* key : {"strategy", "phase", "site", "step"})
     if (!has_string(obj, key))
       fail(line_no, std::string("span needs string '") + key + "'", line);
@@ -294,6 +297,13 @@ void check_span(const JsonObject& obj, std::size_t line_no,
       obj.at("step").string().rfind("serve.tenant/", 0) != 0)
     fail(line_no, "serve-phase span step must start with 'serve.tenant/'",
          line);
+  // Impute-phase spans are the IM strategy's markers — the dispatch
+  // filter's im.impute/<n> / im.decline/<n>, and the global site's
+  // im.certify / im.discharge summaries (docs/IMPUTATION.md).
+  if (has_string(obj, "phase") && obj.at("phase").string() == "impute" &&
+      has_string(obj, "step") &&
+      obj.at("step").string().rfind("im.", 0) != 0)
+    fail(line_no, "impute-phase span step must start with 'im.'", line);
 
   const auto meter = obj.find("meter");
   if (meter == obj.end() || !meter->second.is_object()) {
@@ -332,6 +342,7 @@ int main(int argc, char** argv) {
   std::string base = binary.substr(binary.find_last_of("/\\") + 1);
   bool require_cert_spans = false;
   bool require_tenant_spans = false;
+  bool require_impute_spans = false;
   std::string extra;
   std::uint64_t arg_hash = 1469598103934665603ull;
   for (int i = 2; i < argc; ++i) {
@@ -339,6 +350,8 @@ int main(int argc, char** argv) {
     if (arg.rfind("--certcache=", 0) == 0 && arg != "--certcache=off")
       require_cert_spans = true;
     if (arg.find("tenant:") != std::string::npos) require_tenant_spans = true;
+    if (arg.rfind("--impute=", 0) == 0 && arg != "--impute=off")
+      require_impute_spans = true;
     extra += " " + arg;
     for (const char c : arg) {
       arg_hash ^= static_cast<unsigned char>(c);
@@ -433,6 +446,10 @@ int main(int argc, char** argv) {
   if (require_tenant_spans && phases.count("serve") == 0) {
     std::fprintf(stderr,
                  "tenant-bearing run emitted no serve.tenant/ spans\n");
+    ++failures;
+  }
+  if (require_impute_spans && phases.count("impute") == 0) {
+    std::fprintf(stderr, "--impute run emitted no impute-phase im.* spans\n");
     ++failures;
   }
 

@@ -17,6 +17,8 @@ Three checks over README.md, EXPERIMENTS.md, ROADMAP.md and docs/*.md:
     (`bench/harness.hpp`) appears in README.md's canonical
     "Harness flags" table, so there is exactly one place flags live and
     the other docs can link to it.
+  * required docs — every subsystem document other docs rely on exists
+    (a rename or deletion fails here, not in a reader's browser).
 
 Registered as the `check_docs` ctest; exit 0 clean, 1 on any failure.
 """
@@ -32,6 +34,19 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
 PATH_RE = re.compile(r"`((?:src|bench|tests|tools)/[A-Za-z0-9_./-]*[A-Za-z0-9_/-])`")
 FLAG_VALUE_RE = re.compile(r'value\("(--[a-z-]+)="\)')
 FLAG_BARE_RE = re.compile(r'arg == "(--[a-z-]+)"')
+
+# Subsystem documents the rest of the tree points readers at (source
+# comments included, which the link check cannot see).
+REQUIRED_DOCS = (
+    "docs/ARCHITECTURE.md",
+    "docs/CONDITIONS.md",
+    "docs/FAULTS.md",
+    "docs/IMPUTATION.md",
+    "docs/PERFORMANCE.md",
+    "docs/PLANNING.md",
+    "docs/SERVING.md",
+    "docs/TRACING.md",
+)
 
 
 def github_anchor(heading):
@@ -132,6 +147,9 @@ def main():
     check_links(root, failures)
     check_paths(root, failures)
     check_flags(root, failures)
+    for required in REQUIRED_DOCS:
+        if not (root / required).exists():
+            failures.append(f"{required}: required subsystem doc is missing")
 
     docs = len(doc_files(root))
     flags = len(harness_flags(root))
